@@ -1,0 +1,86 @@
+"""Shared machinery for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure (or an ablation) and
+emits the rendered artifact to ``results/<name>.txt`` as well as the
+terminal (uncaptured), so ``pytest benchmarks/ --benchmark-only`` leaves
+a complete set of paper-comparable outputs behind.
+
+The three table sweeps are the expensive part (9 pipeline simulations
+each); a session-scoped cache shares them with the figure benchmarks,
+which only re-render.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import run_table1, run_table2, run_table3
+from repro.core.context import ExecutionConfig
+
+#: Simulation depth for every benchmark sweep.
+BENCH_CFG = ExecutionConfig(n_cpis=8, warmup=2)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_collection_modifyitems(items):
+    """Run the table sweeps first so the figure benchmarks (which only
+    re-render cached sweeps) never trigger a duplicate computation."""
+
+    def order(item):
+        name = item.module.__name__
+        if "table" in name:
+            return (0, name)
+        if "fig" in name:
+            return (1, name)
+        return (2, name)
+
+    items.sort(key=order)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """emit(name, text): save an artifact and print it uncaptured."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to {path}]")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Session cache so figures reuse the table sweeps."""
+    return {}
+
+
+def cached(cache, key, producer):
+    if key not in cache:
+        cache[key] = producer()
+    return cache[key]
+
+
+@pytest.fixture(scope="session")
+def table1(sweep_cache):
+    return cached(sweep_cache, "t1", lambda: run_table1(cfg=BENCH_CFG))
+
+
+@pytest.fixture(scope="session")
+def table2(sweep_cache):
+    return cached(sweep_cache, "t2", lambda: run_table2(cfg=BENCH_CFG))
+
+
+@pytest.fixture(scope="session")
+def table3(sweep_cache):
+    return cached(sweep_cache, "t3", lambda: run_table3(cfg=BENCH_CFG))

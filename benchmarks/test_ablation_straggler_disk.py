@@ -1,0 +1,41 @@
+"""Ablation: a single degraded stripe directory (tail-latency fault).
+
+Striping spreads every read over many directories, so each read
+completes only when its *slowest* run does — one straggler disk
+throttles the entire pipeline.  This sweep degrades directory 0 of 64 by
+increasing factors at the otherwise healthy 100-node configuration.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_ablation_straggler_disk
+from repro.trace.report import format_table
+
+
+def test_ablation_straggler_disk(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: run_ablation_straggler_disk(
+            slow_factors=(1.0, 2.0, 4.0, 8.0), cfg=BENCH_CFG
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [f"x{slow:g}", r.throughput, r.latency,
+         r.measurement.task_stats["doppler"].recv]
+        for slow, r in out.items()
+    ]
+    emit(
+        "ablation_straggler_disk",
+        format_table(
+            ["dir-0 slowdown", "throughput", "latency (s)", "read phase (s)"],
+            rows,
+            title="One straggler stripe directory of 64, case 3 (100 nodes)",
+        ),
+    )
+    values = [out[s].throughput for s in sorted(out)]
+    # Monotone non-increasing with degradation...
+    assert all(values[i + 1] <= values[i] * 1.02 for i in range(len(values) - 1))
+    # ...and a single 8x-slow disk of 64 costs most of the throughput.
+    assert out[8.0].throughput < 0.4 * out[1.0].throughput
+    # Once the straggler dominates, throughput ~ halves per doubling.
+    assert out[8.0].throughput < 0.6 * out[4.0].throughput

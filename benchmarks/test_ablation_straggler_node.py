@@ -1,0 +1,40 @@
+"""Ablation: one degraded compute node in the Doppler task.
+
+The dual of the straggler-disk fault: a data-parallel task finishes when
+its slowest node does, so a single slow node drags its task's time and
+(Eq. 1) the whole pipeline's throughput — regardless of how many healthy
+nodes the task has.  Unlike the I/O straggler, latency degrades too:
+the slow node sits on the latency path.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_ablation_straggler_node
+from repro.trace.report import format_table
+
+
+def test_ablation_straggler_node(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: run_ablation_straggler_node(
+            slow_factors=(1.0, 2.0, 4.0), cfg=BENCH_CFG
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [f"x{slow:g}", r.throughput, r.latency,
+         r.measurement.task_stats["doppler"].total]
+        for slow, r in out.items()
+    ]
+    emit(
+        "ablation_straggler_node",
+        format_table(
+            ["doppler-node slowdown", "throughput", "latency (s)", "T_doppler (s)"],
+            rows,
+            title="One straggler compute node of 8 in the Doppler task, case 1",
+        ),
+    )
+    # Throughput tracks the straggler (halves per slowdown doubling)...
+    assert out[2.0].throughput < 0.6 * out[1.0].throughput
+    assert out[4.0].throughput < 0.6 * out[2.0].throughput
+    # ...and latency degrades too (the slow node is on the latency path).
+    assert out[2.0].latency > 1.5 * out[1.0].latency

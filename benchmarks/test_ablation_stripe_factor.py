@@ -1,0 +1,32 @@
+"""Ablation: stripe-factor sweep at the 100-node case.
+
+Beyond the paper's two stripe factors, sweep sf in {4..128} to locate
+the knee where the read phase stops throttling the pipeline.  The paper
+predicts monotone non-decreasing throughput with diminishing returns
+once the read is fully hidden behind computation.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_ablation_stripe_sweep
+from repro.trace.report import bar_chart
+
+
+def test_ablation_stripe_factor(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: run_ablation_stripe_sweep(
+            stripe_factors=(4, 8, 16, 32, 64, 128), cfg=BENCH_CFG
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    thr = {f"sf={sf}": r.throughput for sf, r in out.items()}
+    emit(
+        "ablation_stripe_factor",
+        bar_chart(thr, title="Case 3 (100 nodes) throughput vs stripe factor"),
+    )
+    values = [out[sf].throughput for sf in sorted(out)]
+    # Monotone non-decreasing (2% tolerance for simulation noise)...
+    assert all(values[i] <= values[i + 1] * 1.02 for i in range(len(values) - 1))
+    # ...with a real knee: sf=4 is I/O-starved, sf=128 is compute-bound.
+    assert values[-1] > 1.5 * values[0]
+    assert out[128].throughput < 1.05 * out[64].throughput  # saturated

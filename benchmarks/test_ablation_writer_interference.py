@@ -1,0 +1,37 @@
+"""Ablation: radar writer contending with pipeline reads.
+
+The paper's setup stages radar writes "at times that are different from
+the times at which the [pipeline] reads" to minimise interference.  This
+bench quantifies the interference when a live writer streams future
+CPIs into the same stripe directories while the pipeline runs, at the
+bottleneck-prone configuration (case 3, stripe factor 16).
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_ablation_writer_interference
+from repro.trace.report import format_table
+
+
+def test_ablation_writer_interference(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: run_ablation_writer_interference(
+            case_number=3, stripe_factor=16, cfg=BENCH_CFG
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [label, r.throughput, r.latency,
+         r.measurement.task_stats["doppler"].recv]
+        for label, r in out.items()
+    ]
+    emit(
+        "ablation_writer_interference",
+        format_table(
+            ["configuration", "throughput", "latency (s)", "doppler recv (s)"],
+            rows,
+            title="Read/write interference at case 3, PFS sf=16",
+        ),
+    )
+    # Writer traffic queues on the same disks: reads cannot get faster.
+    assert out["with_writer"].throughput <= out["quiet"].throughput * 1.02

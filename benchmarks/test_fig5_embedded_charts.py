@@ -1,0 +1,12 @@
+"""Benchmark: Figure 5 — bar charts of the embedded-I/O results.
+
+Renders the throughput/latency bar charts corresponding to Table 1, in
+the paper's grouped format (one group per file system, one bar per node
+count).
+"""
+
+
+def test_fig5_embedded_charts(benchmark, emit, table1):
+    chart = benchmark.pedantic(table1.render_charts, rounds=1, iterations=1)
+    emit("fig5_embedded_charts", chart)
+    assert "throughput" in chart and "latency" in chart

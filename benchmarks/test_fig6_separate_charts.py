@@ -1,0 +1,11 @@
+"""Benchmark: Figure 6 — bar charts of the separate-I/O-task results."""
+
+from benchmarks.conftest import BENCH_CFG, cached
+from repro.bench.experiments import run_table2
+
+
+def test_fig6_separate_charts(benchmark, emit, sweep_cache):
+    table2 = cached(sweep_cache, "t2", lambda: run_table2(cfg=BENCH_CFG))
+    chart = benchmark.pedantic(table2.render_charts, rounds=1, iterations=1)
+    emit("fig6_separate_charts", chart)
+    assert "throughput" in chart and "latency" in chart

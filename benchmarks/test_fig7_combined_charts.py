@@ -1,0 +1,11 @@
+"""Benchmark: Figure 7 — bar charts of the combined-task results."""
+
+from benchmarks.conftest import BENCH_CFG, cached
+from repro.bench.experiments import run_table3
+
+
+def test_fig7_combined_charts(benchmark, emit, sweep_cache):
+    table3 = cached(sweep_cache, "t3", lambda: run_table3(cfg=BENCH_CFG))
+    chart = benchmark.pedantic(table3.render_charts, rounds=1, iterations=1)
+    emit("fig7_combined_charts", chart)
+    assert "throughput" in chart and "latency" in chart

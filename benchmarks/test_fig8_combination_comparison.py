@@ -1,0 +1,21 @@
+"""Benchmark: Figure 8 — pipeline with vs without task combining.
+
+The paper's Figure 8 plots throughput and latency of the 7-task and
+6-task pipelines side by side for every file system; the visible shape
+is equal throughput bars and uniformly shorter latency bars for the
+6-task variant.
+"""
+
+from repro.bench.experiments import run_fig8
+
+
+def test_fig8_combination_comparison(benchmark, emit, table1, table3):
+    result = benchmark.pedantic(
+        lambda: run_fig8(table1=table1, table3=table3), rounds=1, iterations=1
+    )
+    emit("fig8_combination_comparison", result.render())
+
+    for fs in result.fs_labels:
+        lat7 = result.series["latency"][f"{fs}|7 tasks"]
+        lat6 = result.series["latency"][f"{fs}|6 tasks"]
+        assert all(lat6[c] < lat7[c] for c in lat7)

@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the STAP numeric kernels.
+
+These time the *actual numpy kernels* (not the simulation) on the
+full-size cube, giving per-kernel wall-time baselines for anyone reusing
+:mod:`repro.stap` as a plain signal-processing library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stap.beamform import beamform
+from repro.stap.cfar import ca_cfar
+from repro.stap.chain import stap_chain
+from repro.stap.doppler import doppler_process
+from repro.stap.params import STAPParams
+from repro.stap.pulse import pulse_compress
+from repro.stap.scenario import Scenario, make_cube
+from repro.stap.weights import compute_weights_easy, compute_weights_hard
+
+
+@pytest.fixture(scope="module")
+def params():
+    return STAPParams()
+
+
+@pytest.fixture(scope="module")
+def cube(params):
+    return make_cube(params, Scenario.standard(params), 0)
+
+
+@pytest.fixture(scope="module")
+def dop(params, cube):
+    return doppler_process(cube, params)
+
+
+def test_bench_cube_generation(benchmark, params):
+    sc = Scenario.standard(params)
+    cube = benchmark(lambda: make_cube(params, sc, 1))
+    assert cube.shape == params.cube_shape
+
+
+def test_bench_doppler(benchmark, params, cube):
+    out = benchmark(lambda: doppler_process(cube, params))
+    assert out.easy.shape[0] == params.n_easy_bins
+
+
+def test_bench_weights_easy(benchmark, params, dop):
+    ws = benchmark(lambda: compute_weights_easy(dop, params))
+    assert ws.weights.shape[0] == params.n_easy_bins
+
+
+def test_bench_weights_hard(benchmark, params, dop):
+    ws = benchmark(lambda: compute_weights_hard(dop, params))
+    assert ws.weights.shape[0] == params.n_hard_bins
+
+
+def test_bench_beamform_easy(benchmark, params, dop):
+    ws = compute_weights_easy(dop, params)
+    y = benchmark(lambda: beamform(dop.easy, ws))
+    assert y.shape == (params.n_easy_bins, params.n_beams, params.n_ranges)
+
+
+def test_bench_pulse_compression(benchmark, params):
+    rng = np.random.default_rng(0)
+    beams = (
+        rng.standard_normal((params.n_doppler_bins, params.n_beams, params.n_ranges))
+        .astype(np.complex64)
+    )
+    y = benchmark(lambda: pulse_compress(beams, params.pulse_len))
+    assert y.shape == beams.shape
+
+
+def test_bench_cfar(benchmark, params):
+    rng = np.random.default_rng(1)
+    beams = (
+        (rng.standard_normal((params.n_doppler_bins, params.n_beams, params.n_ranges))
+         + 1j * rng.standard_normal((params.n_doppler_bins, params.n_beams, params.n_ranges)))
+        .astype(np.complex64)
+    )
+    dets = benchmark(
+        lambda: ca_cfar(
+            beams,
+            list(range(params.n_doppler_bins)),
+            params.cfar_window,
+            params.cfar_guard,
+            params.pfa,
+        )
+    )
+    assert isinstance(dets, list)
+
+
+def test_bench_full_chain(benchmark, params, cube, dop):
+    res = benchmark(lambda: stap_chain(cube, params, prev_doppler=dop))
+    assert res.beams.shape[0] == params.n_doppler_bins

@@ -1,0 +1,62 @@
+"""Validation: the analytic model (Eqs. 1-4) vs the simulation.
+
+The paper derives its conclusions from the throughput/latency equations;
+this bench quantifies how well the first-order analytic model
+(:class:`repro.core.model.PipelineModel`) predicts the measured values
+across the evaluation grid — the check a designer would run before
+trusting the equations for capacity planning.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.cases import paper_cases
+from repro.core.executor import PipelineExecutor
+from repro.core.model import IOModel, PipelineModel
+from repro.core.pipeline import build_embedded_pipeline
+from repro.stap.params import STAPParams
+from repro.trace.report import format_table
+
+PARAMS = STAPParams()
+
+
+def _run_grid():
+    rows = []
+    for case in paper_cases(PARAMS):
+        spec = build_embedded_pipeline(case.assignment)
+        io = IOModel(
+            stripe_factor=case.fs.stripe_factor,
+            stripe_unit=case.fs.stripe_unit,
+            disk_bw=case.preset.disk_bw,
+            disk_overhead=case.preset.disk_overhead,
+            asynchronous=(case.fs.kind == "pfs"),
+        )
+        model = PipelineModel(spec, PARAMS, case.preset, io)
+        measured = PipelineExecutor(spec, PARAMS, case.preset, case.fs, BENCH_CFG).run()
+        rows.append(
+            (case.label, model.predicted_throughput(), measured.throughput,
+             model.predicted_latency(), measured.latency)
+        )
+    return rows
+
+
+def test_model_validation(benchmark, emit):
+    rows = benchmark.pedantic(_run_grid, rounds=1, iterations=1)
+    table = [
+        [label, pt, mt, pt / mt, pl, ml, pl / ml]
+        for label, pt, mt, pl, ml in rows
+    ]
+    emit(
+        "model_validation",
+        format_table(
+            ["configuration", "thr model", "thr meas", "ratio",
+             "lat model", "lat meas", "ratio"],
+            table,
+            title="Analytic model (Eqs. 1-4 + IOModel) vs simulation",
+            float_fmt="{:.3f}",
+        ),
+    )
+    # The first-order model tracks the simulation within 2x everywhere
+    # and within 40% for throughput (good enough for design decisions,
+    # which is all the paper asks of it).
+    for label, pt, mt, pl, ml in rows:
+        assert 0.6 < pt / mt < 1.67, (label, pt, mt)
+        assert 0.5 < pl / ml < 2.0, (label, pl, ml)

@@ -1,0 +1,36 @@
+"""Benchmark: Table 1 — I/O embedded in the Doppler task.
+
+Regenerates the paper's Table 1: per-task receive/compute/send times,
+throughput, and latency for the three node-assignment cases on Paragon
+PFS (stripe factors 16 and 64) and SP PIOFS (stripe factor 80).
+
+Paper findings checked here (see also tests/test_integration_paper.py):
+stripe factor 16 throughput degrades at 100 nodes while 64 scales; the
+first two cases are stripe-factor-insensitive; PIOFS scales worst.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_table1
+
+
+def test_table1_embedded_io(benchmark, emit, sweep_cache):
+    result = benchmark.pedantic(
+        lambda: run_table1(cfg=BENCH_CFG), rounds=1, iterations=1
+    )
+    sweep_cache["t1"] = result
+    emit("table1_embedded_io", result.render())
+
+    # Shape assertions mirroring §5.1.
+    thr = {
+        (fs, c): result.cell(fs, c).throughput
+        for fs in result.fs_labels()
+        for c in (1, 2, 3)
+    }
+    # sf=16 loses to sf=64 at case 3 only.
+    assert thr[("PFS sf=16", 3)] < 0.75 * thr[("PFS sf=64", 3)]
+    assert abs(thr[("PFS sf=16", 1)] - thr[("PFS sf=64", 1)]) < 0.05 * thr[("PFS sf=64", 1)]
+    assert abs(thr[("PFS sf=16", 2)] - thr[("PFS sf=64", 2)]) < 0.05 * thr[("PFS sf=64", 2)]
+    # sf=64 scales nearly linearly over the 4x node range.
+    assert thr[("PFS sf=64", 3)] > 3.0 * thr[("PFS sf=64", 1)]
+    # PIOFS (sync reads) scales sublinearly despite faster CPUs.
+    assert thr[("PIOFS sf=80", 3)] < 2.5 * thr[("PIOFS sf=80", 1)]

@@ -1,0 +1,34 @@
+"""Benchmark: Table 2 — a separate parallel-read task (Figure 4).
+
+Regenerates the paper's Table 2 and checks §5.2's comparison against
+Table 1: throughput approximately unchanged (on the Paragon PFS
+configurations), latency strictly worse — the 8-task latency equation
+has one more additive term (Eq. 4 vs Eq. 2).
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_table2
+
+
+def test_table2_separate_io(benchmark, emit, sweep_cache, table1):
+    result = benchmark.pedantic(
+        lambda: run_table2(cfg=BENCH_CFG), rounds=1, iterations=1
+    )
+    sweep_cache["t2"] = result
+    emit("table2_separate_io", result.render())
+
+    for fs in ("PFS sf=16", "PFS sf=64"):
+        for case in (1, 2, 3):
+            r7 = table1.cell(fs, case)
+            r8 = result.cell(fs, case)
+            # §5.2: "the throughput results are approximately the same".
+            assert abs(r8.throughput - r7.throughput) < 0.05 * r7.throughput
+            # §5.2: "the latency results for the separate I/O task design
+            # are worse than the embedded one".
+            assert r8.latency > r7.latency
+
+    # PIOFS: latency is worse there too.
+    for case in (1, 2, 3):
+        assert result.cell("PIOFS sf=80", case).latency > table1.cell(
+            "PIOFS sf=80", case
+        ).latency

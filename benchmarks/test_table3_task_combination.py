@@ -1,0 +1,27 @@
+"""Benchmark: Table 3 — pulse compression + CFAR combined (§6).
+
+Regenerates the paper's Table 3: the 6-task pipeline with the last two
+tasks merged onto their combined node count (same totals as Table 1).
+Checks §6's claims: latency improves in every configuration; throughput
+does not decrease (Eq. 14).
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_table3
+
+
+def test_table3_task_combination(benchmark, emit, sweep_cache, table1):
+    result = benchmark.pedantic(
+        lambda: run_table3(cfg=BENCH_CFG), rounds=1, iterations=1
+    )
+    sweep_cache["t3"] = result
+    emit("table3_task_combination", result.render())
+
+    for fs in result.fs_labels():
+        for case in (1, 2, 3):
+            r7 = table1.cell(fs, case)
+            r6 = result.cell(fs, case)
+            # §6.1: latency improves for all cases on all file systems.
+            assert r6.latency < r7.latency, (fs, case)
+            # Eq. 14: throughput does not decrease (3% measurement noise).
+            assert r6.throughput > 0.97 * r7.throughput, (fs, case)

@@ -1,0 +1,26 @@
+"""Benchmark: Table 4 — % latency improvement from combining PC + CFAR.
+
+Regenerates the paper's Table 4 from the Table 1 and Table 3 sweeps and
+checks its trend: the improvement percentage decreases as the number of
+nodes goes up ("scalability of the parallelization tends to decrease
+when more processors are used").
+"""
+
+from repro.bench.experiments import run_table4
+
+
+def test_table4_latency_improvement(benchmark, emit, table1, table3):
+    result = benchmark.pedantic(
+        lambda: run_table4(table1=table1, table3=table3), rounds=1, iterations=1
+    )
+    emit("table4_latency_improvement", result.render())
+
+    for fs, per_case in result.improvements.items():
+        values = [per_case[c] for c in sorted(per_case)]
+        # Positive improvement everywhere...
+        assert all(v > 0 for v in values), (fs, values)
+        # ...decreasing with node count.
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1)), (
+            fs,
+            values,
+        )

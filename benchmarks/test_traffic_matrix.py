@@ -1,0 +1,70 @@
+"""Measurement: the inter-task communication matrix (the paper's C_i).
+
+The paper's analysis manipulates per-task communication terms C_i
+symbolically; this bench *measures* them: total messages and bytes
+between every task pair over a run, for the 7-task pipeline and the
+6-task combined pipeline side by side.  The visible effect of §6's
+combination is the disappearance of the pulse_compr -> cfar stream
+(the paper's Eq. 10 argument: the internal transfer simply no longer
+exists).
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.core.executor import FSConfig, PipelineExecutor
+from repro.core.pipeline import (
+    NodeAssignment,
+    build_embedded_pipeline,
+    combine_pulse_cfar,
+)
+from repro.machine.presets import paragon
+from repro.stap.params import STAPParams
+from repro.trace.report import format_table
+
+PARAMS = STAPParams()
+
+
+def _run_pair():
+    a = NodeAssignment.case(1, PARAMS)
+    out = {}
+    for label, spec in (
+        ("7 tasks", build_embedded_pipeline(a)),
+        ("6 tasks", combine_pulse_cfar(build_embedded_pipeline(a))),
+    ):
+        out[label] = PipelineExecutor(
+            spec, PARAMS, paragon(), FSConfig("pfs", 64), BENCH_CFG
+        ).run()
+    return out
+
+
+def test_traffic_matrix(benchmark, emit):
+    out = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    blocks = []
+    for label, res in out.items():
+        tt = res.task_traffic()
+        rows = [
+            [f"{src} -> {dst}", msgs, nbytes / 2**20]
+            for (src, dst), (msgs, nbytes) in sorted(
+                tt.items(), key=lambda kv: -kv[1][1]
+            )
+            if nbytes > 1024  # hide pure-ack back-channels
+        ]
+        blocks.append(
+            format_table(
+                ["stream", "messages", "MiB total"],
+                rows,
+                title=f"\n{label} — inter-task traffic over "
+                f"{res.cfg.n_cpis} CPIs (data streams > 1 KiB)",
+                float_fmt="{:.2f}",
+            )
+        )
+    emit("traffic_matrix", "\n".join(blocks))
+
+    tt7 = out["7 tasks"].task_traffic()
+    tt6 = out["6 tasks"].task_traffic()
+    # The combined pipeline has no PC->CFAR stream at all (Eq. 10).
+    assert ("pulse_compr", "cfar") in tt7
+    assert not any("pulse_compr" in k or k[1] == "cfar" for k in tt6)
+    # Total data volume strictly drops by (at least) that stream's bytes.
+    vol7 = sum(b for _, b in tt7.values())
+    vol6 = sum(b for _, b in tt6.values())
+    assert vol6 <= vol7 - tt7[("pulse_compr", "cfar")][1] * 0.9

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Visualise the interference environment: the angle-Doppler spectrum.
+
+Renders the classic STAP picture from a synthetic CPI cube as an ASCII
+heatmap: the clutter *ridge* runs diagonally (sidelooking geometry
+couples Doppler to sin(angle)), the barrage jammer paints a horizontal
+*line* at its angle across all Dopplers, and the injected targets sit as
+isolated points off the ridge.  This is why the pipeline splits Doppler
+bins into *easy* (ridge far from the look direction — spatial nulling
+suffices) and *hard* (near the ridge — space-time adaptivity needed).
+
+Also contrasts the conventional (Bartlett) estimate with Capon's MVDR
+estimate, and demonstrates the GOCA-CFAR variant on a clutter edge.
+
+Run:  python examples/clutter_spectrum.py
+"""
+
+import numpy as np
+
+from repro.stap.cfar import ca_cfar
+from repro.stap.params import STAPParams
+from repro.stap.scenario import Scenario, Target, Jammer, make_cube
+from repro.stap.spectrum import fourier_spectrum, mvdr_spectrum
+from repro.trace.report import heatmap
+
+
+def main() -> None:
+    params = STAPParams(
+        n_channels=8, n_pulses=32, n_ranges=256, n_beams=6, n_hard_bins=8,
+        n_training=64, pulse_len=16, cfar_window=12, cfar_guard=3,
+    )
+    scenario = Scenario(
+        targets=(Target(range_gate=80, doppler=0.30, angle=-0.4, snr_db=5.0),),
+        jammers=(Jammer(angle=0.7, jnr_db=30.0),),
+        cnr_db=30.0,
+        seed=3,
+    )
+    cube = make_cube(params, scenario, 0)
+
+    for name, fn in (("conventional (Bartlett)", fourier_spectrum),
+                     ("Capon (MVDR)", mvdr_spectrum)):
+        power, sin_angles, _ = fn(cube, n_angles=25, n_dopplers=49)
+        print(
+            heatmap(
+                power,
+                title=f"\n{name} angle-Doppler spectrum "
+                "(rows: sin(angle) -1..1; cols: Doppler -0.5..0.5)",
+                row_labels=[f"{v:+.2f}" for v in sin_angles],
+                col_label="Doppler ->",
+            )
+        )
+    print(
+        "\nReading the picture: the diagonal band is the clutter ridge "
+        "(Doppler = 0.5 sin(angle));\nthe horizontal line at "
+        f"sin(angle)={np.sin(scenario.jammers[0].angle):+.2f} is the jammer; "
+        f"the target hides near\nsin(angle)={np.sin(-0.4):+.2f}, "
+        "Doppler +0.30 — off the ridge, which is what makes it detectable."
+    )
+
+    # -- CFAR variants on a clutter edge -----------------------------------
+    print("\n" + "=" * 64)
+    print("CFAR variants at a 30 dB clutter edge (gate 128):")
+    rng = np.random.default_rng(1)
+    rows = 200
+    noise = (
+        (rng.standard_normal((rows, 1, 256)) + 1j * rng.standard_normal((rows, 1, 256)))
+        / np.sqrt(2)
+    ).astype(np.complex64)
+    noise[..., 128:] *= np.sqrt(1000)
+    for method in ("ca", "goca", "soca"):
+        dets = ca_cfar(noise, list(range(rows)), window=16, guard=2,
+                       pfa=1e-4, method=method)
+        edge = sum(1 for d in dets if 120 <= d.range_gate < 160)
+        print(f"  {method.upper():5s}: {edge:5d} false alarms near the edge "
+              f"({len(dets)} total)")
+    print("  -> GOCA suppresses edge alarms; SOCA floods (its design trade).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: run the parallel pipelined STAP system once.
+
+Builds the paper's case-1 configuration (25 compute nodes, embedded I/O,
+Paragon-class machine, PFS with 64 stripe directories), pushes 8 CPIs
+through the simulated pipeline, and prints the measured per-task phase
+times, throughput, and latency — one cell of the paper's Table 1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExecutionConfig,
+    FSConfig,
+    NodeAssignment,
+    PipelineExecutor,
+    STAPParams,
+    build_embedded_pipeline,
+    paragon,
+)
+from repro.trace.report import format_table
+
+
+def main() -> None:
+    params = STAPParams()  # 16 channels x 128 pulses x 1024 gates = 16 MiB/CPI
+    assignment = NodeAssignment.case(1, params)  # 25 nodes, workload-balanced
+    spec = build_embedded_pipeline(assignment)
+
+    print(f"pipeline: {spec.task_names()}")
+    print(f"latency formula (Eq. 2): {spec.graph.latency_terms()}")
+    print(f"total compute nodes: {spec.total_nodes}\n")
+
+    executor = PipelineExecutor(
+        spec,
+        params,
+        paragon(),
+        FSConfig(kind="pfs", stripe_factor=64),
+        ExecutionConfig(n_cpis=8, warmup=2),
+    )
+    result = executor.run()
+
+    m = result.measurement
+    rows = [
+        (name, s.recv, s.compute, s.send, s.total)
+        for name, s in m.task_stats.items()
+    ]
+    print(
+        format_table(
+            ["task", "recv (s)", "compute (s)", "send (s)", "T_i (s)"],
+            rows,
+            title=f"{result.machine_name}, {result.fs_label} — steady-state task times",
+        )
+    )
+    print(f"\nthroughput : {result.throughput:.3f} CPIs/s   (1/max T_i = {m.model_throughput:.3f})")
+    print(f"latency    : {result.latency:.3f} s        (Eq. 2 on measured T_i = {m.model_latency:.3f})")
+    print(f"bottleneck : {m.bottleneck_task}")
+
+
+if __name__ == "__main__":
+    main()

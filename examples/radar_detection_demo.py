@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""End-to-end radar detection through the parallel pipeline (compute mode).
+
+Synthesises a phased-array scene — two point targets buried in clutter,
+barrage jamming, and noise — writes it through the simulated parallel
+file system, runs the *full numeric* STAP pipeline on the simulated
+multicomputer, and checks the detection reports against ground truth and
+against the serial golden chain.
+
+Also demonstrates why the weights matter: the first CPI (non-adaptive
+quiescent weights) misses the targets; every later CPI (weights trained
+on the previous CPI, the pipeline's temporal dependency) finds them.
+
+Run:  python examples/radar_detection_demo.py
+"""
+
+import numpy as np
+
+from repro import (
+    ExecutionConfig,
+    FSConfig,
+    NodeAssignment,
+    PipelineExecutor,
+    Scenario,
+    STAPParams,
+    build_embedded_pipeline,
+    make_cube,
+    paragon,
+    run_cpi_stream,
+)
+
+
+def main() -> None:
+    # Small-but-realistic dimensions so the numerics run in seconds.
+    params = STAPParams(
+        n_channels=8, n_pulses=32, n_ranges=256, n_beams=6, n_hard_bins=8,
+        n_training=64, pulse_len=16, cfar_window=12, cfar_guard=3, pfa=1e-6,
+    )
+    scenario = Scenario.standard(params, seed=7)
+
+    print("ground truth targets:")
+    for t in scenario.targets:
+        b = round(t.doppler * params.n_pulses) % params.n_pulses
+        beam = int(np.argmin(np.abs(params.beam_angles - t.angle)))
+        kind = "hard" if b in params.hard_bins else "easy"
+        print(
+            f"  range gate {t.range_gate:4d}, Doppler bin {b:3d} ({kind}), "
+            f"beam {beam}, element SNR {t.snr_db:+.0f} dB"
+        )
+    print(f"interference: {scenario.cnr_db:.0f} dB clutter ridge, "
+          f"{scenario.jammers[0].jnr_db:.0f} dB jammer\n")
+
+    n_cpis = 4
+    executor = PipelineExecutor(
+        build_embedded_pipeline(NodeAssignment.balanced(params, 20)),
+        params,
+        paragon(),
+        FSConfig(kind="pfs", stripe_factor=8),
+        ExecutionConfig(n_cpis=n_cpis, warmup=1, compute=True),
+        scenario=scenario,
+    )
+    result = executor.run()
+
+    print("pipeline detection reports:")
+    by_cpi = {}
+    for d in result.detections:
+        by_cpi.setdefault(d.cpi_index, []).append(d)
+    for k in range(n_cpis):
+        dets = by_cpi.get(k, [])
+        note = "(quiescent weights)" if k == 0 else "(adaptive weights)"
+        print(f"  CPI {k} {note}: {len(dets)} detections")
+        for d in dets:
+            print(
+                f"      bin {d.doppler_bin:3d}  beam {d.beam}  "
+                f"gate {d.range_gate:4d}  {d.snr_db:5.1f} dB"
+            )
+
+    # Cross-check against the serial golden chain.
+    cubes = [make_cube(params, scenario, k) for k in range(n_cpis)]
+    serial = sorted(d for r in run_cpi_stream(cubes, params) for d in r.detections)
+    pipeline = sorted(result.detections)
+    same = [
+        (a.cpi_index, a.doppler_bin, a.beam, a.range_gate)
+        for a in pipeline
+    ] == [
+        (b.cpi_index, b.doppler_bin, b.beam, b.range_gate)
+        for b in serial
+    ]
+    # Cluster the raw exceedances into object-level reports.
+    from repro.stap.cluster import cluster_detections
+
+    print("\nclustered object reports (straddle cells merged):")
+    for rep in cluster_detections(result.detections, params.n_doppler_bins):
+        print(
+            f"  CPI {rep.cpi_index}: bin {rep.doppler_bin:3d}  beam {rep.beam}  "
+            f"gate {rep.range_gate:4d}  {rep.snr_db:5.1f} dB  "
+            f"({rep.n_cells} cells, extent {rep.extent})"
+        )
+
+    print(f"\npipeline == serial golden chain: {same}")
+    print(
+        f"simulated run: {result.elapsed_sim_time:.3f} s of machine time, "
+        f"throughput {result.throughput:.2f} CPIs/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

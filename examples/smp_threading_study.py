@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""SMP phase-threading study (the authors' IPPS'99 companion design).
+
+Runs key configurations in both execution models — single-threaded nodes
+(this paper) and phase-threaded SMP nodes (receive/compute/send as
+concurrent threads, the IPPS'99 follow-on) — and shows the three regimes:
+
+1. compute-bound pipelines gain almost nothing (the compute phase
+   already dominates the cycle);
+2. on the SP with synchronous-only PIOFS, the receive thread recovers
+   the missing asynchronous-I/O overlap *in software* — a large
+   throughput gain from the same nodes;
+3. once the stripe-directory disks saturate, no node-local overlap can
+   help: the disks set the beat.
+
+Latency never improves — each CPI still traverses every phase, plus the
+intra-node queue handoffs — the exact opposite trade of §6's task
+combination, which improves latency at constant throughput.
+
+Run:  python examples/smp_threading_study.py   (~20 s)
+"""
+
+from repro import (
+    ExecutionConfig,
+    FSConfig,
+    NodeAssignment,
+    PipelineExecutor,
+    STAPParams,
+    build_embedded_pipeline,
+    ibm_sp,
+    paragon,
+)
+from repro.trace.report import format_table
+
+PARAMS = STAPParams()
+
+CONFIGS = [
+    ("compute-bound: Paragon PFS sf=64, 25 nodes", paragon(), FSConfig("pfs", 64), 1),
+    ("sync-I/O-bound: SP PIOFS sf=80, 25 nodes", ibm_sp(), FSConfig("piofs", 80), 1),
+    ("disk-saturated: Paragon PFS sf=16, 100 nodes", paragon(), FSConfig("pfs", 16), 3),
+]
+
+
+def main() -> None:
+    rows = []
+    for label, preset, fs, case in CONFIGS:
+        spec = build_embedded_pipeline(NodeAssignment.case(case, PARAMS))
+        results = {}
+        for threaded in (False, True):
+            cfg = ExecutionConfig(n_cpis=8, warmup=2, threaded=threaded)
+            results[threaded] = PipelineExecutor(spec, PARAMS, preset, fs, cfg).run()
+        seq, thr = results[False], results[True]
+        rows.append(
+            [label, seq.throughput, thr.throughput,
+             thr.throughput / seq.throughput, seq.latency, thr.latency]
+        )
+    print(
+        format_table(
+            ["regime", "thr 1-thread", "thr SMP", "gain",
+             "lat 1-thread (s)", "lat SMP (s)"],
+            rows,
+            title="Single-threaded vs SMP phase-threaded nodes",
+            float_fmt="{:.3f}",
+        )
+    )
+    print(
+        "\n-> threading substitutes for the missing async-I/O API (middle row),"
+        "\n   is a wash when compute dominates (top), cannot beat saturated"
+        "\n   disks (bottom), and always pays a latency cost for the"
+        "\n   intra-node pipelining."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — parallel pipelined STAP with simulated parallel I/O.
+
+A production-quality reproduction of Liao, Choudhary, Weiner & Varshney,
+*Design and Evaluation of I/O Strategies for Parallel Pipelined STAP
+Applications* (IPPS 2000).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+* :mod:`repro.machine` — simulated multicomputers (Paragon-like mesh,
+  SP-like multistage switch) with calibrated presets;
+* :mod:`repro.mpi` — MPI/NX-like message passing over the machine;
+* :mod:`repro.pfs` — striped parallel file systems: async-capable PFS
+  and synchronous-only PIOFS;
+* :mod:`repro.stap` — the real PRI-staggered post-Doppler STAP numerics
+  (Doppler filtering, adaptive weights, beamforming, pulse compression,
+  CFAR) plus flop-exact cost models;
+* :mod:`repro.io` — the radar's round-robin data files;
+* :mod:`repro.core` — **the paper's contribution**: the parallel
+  pipeline model, its two I/O strategies, the task-combination
+  transform, the analytic equations (1)-(14), and the executor;
+* :mod:`repro.trace` / :mod:`repro.bench` — measurement and the
+  per-table/figure experiment harness.
+
+Quick start::
+
+    from repro import (
+        NodeAssignment, build_embedded_pipeline, PipelineExecutor,
+        FSConfig, ExecutionConfig, paragon, STAPParams,
+    )
+
+    params = STAPParams()
+    spec = build_embedded_pipeline(NodeAssignment.case(1, params))
+    result = PipelineExecutor(
+        spec, params, paragon(), FSConfig("pfs", stripe_factor=64),
+        ExecutionConfig(n_cpis=8, warmup=2),
+    ).run()
+    print(result.throughput, "CPIs/s,", result.latency, "s latency")
+"""
+
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
+from repro.core.model import CombinationAnalysis, IOModel, PipelineModel
+from repro.core.pipeline import (
+    NodeAssignment,
+    PipelineSpec,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.machine.presets import MachinePreset, generic_cluster, ibm_sp, paragon
+from repro.stap.chain import run_cpi_stream, stap_chain
+from repro.stap.params import STAPParams
+from repro.stap.scenario import Jammer, Scenario, Target, make_cube
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ExecutionConfig",
+    "FSConfig",
+    "PipelineExecutor",
+    "PipelineResult",
+    "PipelineModel",
+    "IOModel",
+    "CombinationAnalysis",
+    "NodeAssignment",
+    "PipelineSpec",
+    "build_embedded_pipeline",
+    "build_separate_io_pipeline",
+    "combine_pulse_cfar",
+    "MachinePreset",
+    "paragon",
+    "ibm_sp",
+    "generic_cluster",
+    "STAPParams",
+    "Scenario",
+    "Target",
+    "Jammer",
+    "make_cube",
+    "stap_chain",
+    "run_cpi_stream",
+]

@@ -1,0 +1,48 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Each ``run_*`` function sweeps the paper's configurations, returns a
+structured result, and can render itself in the paper's table/figure
+format.  The pytest-benchmark files under ``benchmarks/`` are thin
+wrappers over these drivers, so every artifact can also be regenerated
+from a plain Python session::
+
+    from repro.bench import run_table1
+    print(run_table1().render())
+"""
+
+from repro.bench.cases import PAPER_CASES, BenchCase, paper_cases, paper_filesystems
+from repro.bench.experiments import (
+    ExperimentResult,
+    run_ablation_async,
+    run_ablation_combination_analysis,
+    run_ablation_straggler_disk,
+    run_ablation_straggler_node,
+    run_ablation_stripe_sweep,
+    run_ablation_writer_interference,
+    run_fig8,
+    run_single,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = [
+    "BenchCase",
+    "PAPER_CASES",
+    "paper_cases",
+    "paper_filesystems",
+    "ExperimentResult",
+    "run_single",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_fig8",
+    "run_ablation_stripe_sweep",
+    "run_ablation_straggler_disk",
+    "run_ablation_straggler_node",
+    "run_ablation_async",
+    "run_ablation_combination_analysis",
+    "run_ablation_writer_interference",
+]

@@ -1,0 +1,494 @@
+"""Experiment drivers — one per paper table/figure, plus ablations.
+
+Every driver returns an :class:`ExperimentResult` holding per-cell
+measurements and knows how to ``render()`` itself in the paper's format
+(per-task time tables like Tables 1-3, the improvement table of Table 4,
+and grouped bar charts standing in for Figures 5-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.cases import BenchCase, paper_cases, paper_filesystems
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
+from repro.core.model import CombinationAnalysis
+from repro.core.pipeline import (
+    NodeAssignment,
+    PipelineSpec,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.io.writer import RadarWriter
+from repro.machine.presets import MachinePreset, ibm_sp, paragon
+from repro.stap.params import STAPParams
+from repro.trace.report import format_table, grouped_bar_chart
+
+__all__ = [
+    "ExperimentResult",
+    "run_single",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_fig8",
+    "run_ablation_stripe_sweep",
+    "run_ablation_straggler_disk",
+    "run_ablation_straggler_node",
+    "run_ablation_async",
+    "run_ablation_combination_analysis",
+    "run_ablation_writer_interference",
+]
+
+#: Default simulation depth for the sweeps: enough CPIs for a clean
+#: steady state while keeping each cell's wall time around a second.
+DEFAULT_CFG = ExecutionConfig(n_cpis=8, warmup=2)
+
+
+@dataclass
+class CellResult:
+    """One (case, file system) cell's outcome."""
+
+    case: BenchCase
+    result: PipelineResult
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    @property
+    def latency(self) -> float:
+        return self.result.latency
+
+
+@dataclass
+class ExperimentResult:
+    """A full experiment: labelled cells plus a renderer."""
+
+    name: str
+    cells: List[CellResult] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def cell(self, fs_label: str, case_number: int) -> CellResult:
+        for c in self.cells:
+            if c.case.fs.label() == fs_label and c.case.case_number == case_number:
+                return c
+        raise KeyError((fs_label, case_number))
+
+    def fs_labels(self) -> List[str]:
+        seen: List[str] = []
+        for c in self.cells:
+            lab = c.case.fs.label()
+            if lab not in seen:
+                seen.append(lab)
+        return seen
+
+    # -- rendering ------------------------------------------------------
+    def render(self) -> str:
+        """Paper-style per-task tables, one block per file system/case."""
+        blocks = [f"==== {self.name} ===="]
+        for fs_label in self.fs_labels():
+            for case_no in sorted({c.case.case_number for c in self.cells}):
+                cell = self.cell(fs_label, case_no)
+                m = cell.result.measurement
+                rows = [
+                    (name, s.recv, s.compute, s.send, s.total)
+                    for name, s in m.task_stats.items()
+                ]
+                blocks.append(
+                    format_table(
+                        ["task", "recv (s)", "compute (s)", "send (s)", "total (s)"],
+                        rows,
+                        title=(
+                            f"\n{fs_label} — case {case_no}: total nodes = "
+                            f"{cell.case.total_nodes}"
+                        ),
+                    )
+                )
+                blocks.append(
+                    f"throughput {cell.throughput:.4f} CPIs/s    "
+                    f"latency {cell.latency:.4f} s    "
+                    f"(model: 1/max T = {m.model_throughput:.4f}, "
+                    f"sum-path = {m.model_latency:.4f})"
+                )
+        return "\n".join(blocks)
+
+    def render_charts(self) -> str:
+        """Figure 5/6/7-style grouped bar charts (throughput, latency)."""
+        thr = {
+            fs: {
+                f"{self.cell(fs, c).case.total_nodes} nodes": self.cell(fs, c).throughput
+                for c in sorted({x.case.case_number for x in self.cells})
+            }
+            for fs in self.fs_labels()
+        }
+        lat = {
+            fs: {
+                f"{self.cell(fs, c).case.total_nodes} nodes": self.cell(fs, c).latency
+                for c in sorted({x.case.case_number for x in self.cells})
+            }
+            for fs in self.fs_labels()
+        }
+        return (
+            grouped_bar_chart(thr, title=f"{self.name}: throughput (CPIs/s)")
+            + "\n\n"
+            + grouped_bar_chart(lat, title=f"{self.name}: latency (s)", unit="s")
+        )
+
+
+def run_single(
+    spec: PipelineSpec,
+    preset: MachinePreset,
+    fs: FSConfig,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+) -> PipelineResult:
+    """Run one pipeline configuration (timing mode)."""
+    params = params or STAPParams()
+    return PipelineExecutor(spec, params, preset, fs, cfg).run()
+
+
+def _sweep(
+    name: str,
+    build: Callable[[NodeAssignment], PipelineSpec],
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+) -> ExperimentResult:
+    params = params or STAPParams()
+    out = ExperimentResult(name=name)
+    for case in paper_cases(params):
+        spec = build(case.assignment)
+        res = run_single(spec, case.preset, case.fs, params, cfg)
+        out.cells.append(CellResult(case, res))
+    return out
+
+
+def run_table1(params: Optional[STAPParams] = None, cfg: ExecutionConfig = DEFAULT_CFG) -> ExperimentResult:
+    """Table 1 / Figure 5: I/O embedded in the Doppler task."""
+    return _sweep("Table 1: embedded I/O", build_embedded_pipeline, params, cfg)
+
+
+def run_table2(params: Optional[STAPParams] = None, cfg: ExecutionConfig = DEFAULT_CFG) -> ExperimentResult:
+    """Table 2 / Figure 6: separate parallel-read task."""
+    return _sweep("Table 2: separate I/O task", build_separate_io_pipeline, params, cfg)
+
+
+def run_table3(params: Optional[STAPParams] = None, cfg: ExecutionConfig = DEFAULT_CFG) -> ExperimentResult:
+    """Table 3 / Figure 7: pulse compression + CFAR combined."""
+    return _sweep(
+        "Table 3: PC+CFAR combined",
+        lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
+        params,
+        cfg,
+    )
+
+
+@dataclass
+class Table4Result:
+    """Latency-improvement percentages per file system x case."""
+
+    improvements: Dict[str, Dict[int, float]]  # fs label -> case -> %
+    table1: ExperimentResult
+    table3: ExperimentResult
+
+    def render(self) -> str:
+        fs_labels = list(self.improvements)
+        cases = sorted(next(iter(self.improvements.values())))
+        rows = [
+            [fs] + [self.improvements[fs][c] for c in cases] for fs in fs_labels
+        ]
+        headers = ["file system"] + [f"case {c}" for c in cases]
+        return format_table(
+            headers,
+            rows,
+            title="Table 4: % latency improvement from combining PC + CFAR",
+            float_fmt="{:.1f}%",
+        )
+
+
+def run_table4(
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    table1: Optional[ExperimentResult] = None,
+    table3: Optional[ExperimentResult] = None,
+) -> Table4Result:
+    """Table 4: latency improvement of combining, per FS x case."""
+    t1 = table1 or run_table1(params, cfg)
+    t3 = table3 or run_table3(params, cfg)
+    improvements: Dict[str, Dict[int, float]] = {}
+    for fs in t1.fs_labels():
+        improvements[fs] = {}
+        for case_no in sorted({c.case.case_number for c in t1.cells}):
+            lat7 = t1.cell(fs, case_no).latency
+            lat6 = t3.cell(fs, case_no).latency
+            improvements[fs][case_no] = (lat7 - lat6) / lat7 * 100.0
+    return Table4Result(improvements, t1, t3)
+
+
+@dataclass
+class Fig8Result:
+    """Figure 8: 7-task vs 6-task pipeline, throughput and latency."""
+
+    series: Dict[str, Dict[str, Dict[int, float]]]  # metric -> variant -> case -> value
+    fs_labels: List[str]
+
+    def render(self) -> str:
+        out = ["Figure 8: pipeline with vs without task combining"]
+        for fs in self.fs_labels:
+            thr = {
+                variant: {
+                    f"case {c}": v
+                    for c, v in self.series["throughput"][f"{fs}|{variant}"].items()
+                }
+                for variant in ("7 tasks", "6 tasks")
+            }
+            lat = {
+                variant: {
+                    f"case {c}": v
+                    for c, v in self.series["latency"][f"{fs}|{variant}"].items()
+                }
+                for variant in ("7 tasks", "6 tasks")
+            }
+            out.append(grouped_bar_chart(thr, title=f"{fs} — throughput (CPIs/s)"))
+            out.append(grouped_bar_chart(lat, title=f"{fs} — latency (s)", unit="s"))
+        return "\n\n".join(out)
+
+
+def run_fig8(
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    table1: Optional[ExperimentResult] = None,
+    table3: Optional[ExperimentResult] = None,
+) -> Fig8Result:
+    """Figure 8's comparison series, derived from Tables 1 and 3."""
+    t1 = table1 or run_table1(params, cfg)
+    t3 = table3 or run_table3(params, cfg)
+    series: Dict[str, Dict[str, Dict[int, float]]] = {"throughput": {}, "latency": {}}
+    for fs in t1.fs_labels():
+        for variant, exp in (("7 tasks", t1), ("6 tasks", t3)):
+            key = f"{fs}|{variant}"
+            series["throughput"][key] = {
+                c: exp.cell(fs, c).throughput
+                for c in sorted({x.case.case_number for x in exp.cells})
+            }
+            series["latency"][key] = {
+                c: exp.cell(fs, c).latency
+                for c in sorted({x.case.case_number for x in exp.cells})
+            }
+    return Fig8Result(series, t1.fs_labels())
+
+
+# ---------------------------------------------------------------------------
+# ablations beyond the paper's grid
+
+
+def run_ablation_stripe_sweep(
+    stripe_factors: Tuple[int, ...] = (4, 8, 16, 32, 64, 128),
+    case_number: int = 3,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+) -> Dict[int, PipelineResult]:
+    """Locate the stripe-factor knee: case-3 throughput vs stripe factor."""
+    params = params or STAPParams()
+    a = NodeAssignment.case(case_number, params)
+    out: Dict[int, PipelineResult] = {}
+    for sf in stripe_factors:
+        res = run_single(
+            build_embedded_pipeline(a),
+            paragon(),
+            FSConfig(kind="pfs", stripe_factor=sf),
+            params,
+            cfg,
+        )
+        out[sf] = res
+    return out
+
+
+def run_ablation_async(
+    case_number: int = 3,
+    stripe_factor: int = 80,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    preset: Optional[MachinePreset] = None,
+) -> Dict[str, PipelineResult]:
+    """Isolate the async-I/O effect: identical hardware, PFS vs PIOFS.
+
+    The paper attributes the SP's poor scaling to PIOFS' missing async
+    reads, but its SP and Paragon runs differ in *everything*.  This
+    ablation holds the machine fixed (SP preset by default — fast CPUs
+    make the in-cycle read visible, the regime where overlap matters)
+    and flips only the file-system API.  Note the converse regime is
+    also physical: once the stripe directories' disks are saturated, the
+    pipeline beat is the disk cycle and overlap cannot help — reads of
+    different nodes already overlap other nodes' computation.
+    """
+    params = params or STAPParams()
+    a = NodeAssignment.case(case_number, params)
+    spec = build_embedded_pipeline(a)
+    out = {}
+    for kind in ("pfs", "piofs"):
+        out[kind] = run_single(
+            spec,
+            preset or ibm_sp(),
+            FSConfig(kind=kind, stripe_factor=stripe_factor),
+            params,
+            cfg,
+        )
+    return out
+
+
+def run_ablation_combination_analysis(
+    params: Optional[STAPParams] = None,
+) -> Dict[str, object]:
+    """§6 algebra checks, including the both-improve case (Eq. 15).
+
+    The paper only *analyses* the case where a combined task is the
+    bottleneck; this driver constructs it concretely: an assignment that
+    deliberately starves pulse compression so T5 is the pipeline max,
+    then verifies combining improves throughput *and* latency.
+    """
+    from repro.stap.costs import STAPCosts
+
+    params = params or STAPParams()
+    costs = STAPCosts(params)
+    # Deliberately unbalanced: starve PC so it is the bottleneck.
+    a = NodeAssignment(
+        doppler=8, easy_weight=2, hard_weight=2, easy_bf=5, hard_bf=4,
+        pulse_compr=1, cfar=1,
+    )
+    spec7 = build_embedded_pipeline(a)
+    spec6 = combine_pulse_cfar(spec7)
+    fs = FSConfig(kind="pfs", stripe_factor=64)
+    r7 = run_single(spec7, paragon(), fs, params)
+    r6 = run_single(spec6, paragon(), fs, params)
+    flops = paragon().node_spec.flops
+    stats7 = r7.measurement.task_stats
+    analysis = CombinationAnalysis(
+        w_a=costs.pulse_compression_flops() / flops,
+        w_b=costs.cfar_flops() / flops,
+        p_a=a.pulse_compr,
+        p_b=a.cfar,
+        c_a=stats7["pulse_compr"].send,
+        c_b=stats7["cfar"].send,
+    )
+    return {
+        "bottlenecked": r7,
+        "combined": r6,
+        "analysis": analysis,
+        "throughput_gain": r6.throughput / r7.throughput,
+        "latency_gain": r7.latency / r6.latency,
+    }
+
+
+def run_ablation_straggler_disk(
+    slow_factors: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+    case_number: int = 3,
+    stripe_factor: int = 64,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+) -> Dict[float, PipelineResult]:
+    """Fault injection: one degraded stripe directory among many.
+
+    Every node's read touches many stripe directories and completes only
+    when the slowest run does, so a single straggler disk throttles the
+    whole read phase — striping's classic tail-latency weakness.  This
+    sweep degrades directory 0's media rate and request overhead by
+    ``slow_factor`` and measures the pipeline at an otherwise healthy
+    configuration (case 3, stripe factor 64).
+    """
+    from repro.pfs.blockdev import DiskSpec
+
+    params = params or STAPParams()
+    a = NodeAssignment.case(case_number, params)
+    spec = build_embedded_pipeline(a)
+    out: Dict[float, PipelineResult] = {}
+    for slow in slow_factors:
+        ex = PipelineExecutor(
+            spec,
+            params,
+            paragon(),
+            FSConfig(kind="pfs", stripe_factor=stripe_factor),
+            cfg,
+        )
+        healthy = ex.fs.servers[0].disk
+        ex.fs.servers[0].disk = DiskSpec(
+            bandwidth=healthy.bandwidth / slow,
+            overhead=healthy.overhead * slow,
+            extra_unit_overhead_frac=healthy.extra_unit_overhead_frac,
+        )
+        out[slow] = ex.run()
+    return out
+
+
+def run_ablation_straggler_node(
+    slow_factors: Tuple[float, ...] = (1.0, 2.0, 4.0),
+    case_number: int = 1,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+) -> Dict[float, PipelineResult]:
+    """Fault injection: one degraded *compute* node in the Doppler task.
+
+    A data-parallel task finishes when its slowest node does, so one
+    slow node drags its whole task's time — and, through Eq. 1, the
+    whole pipeline's throughput, no matter how many healthy nodes the
+    task has.  The dual of the disk straggler: tail latency in compute
+    instead of I/O.
+    """
+    from repro.machine.node import Node, NodeSpec
+
+    params = params or STAPParams()
+    a = NodeAssignment.case(case_number, params)
+    spec = build_embedded_pipeline(a)
+    out: Dict[float, PipelineResult] = {}
+    for slow in slow_factors:
+        ex = PipelineExecutor(
+            spec, params, paragon(), FSConfig(kind="pfs", stripe_factor=64), cfg
+        )
+        healthy = ex.machine.node(0).spec  # node 0 belongs to the Doppler task
+        ex.machine.nodes[0] = Node(
+            0,
+            NodeSpec(
+                flops=healthy.flops / slow,
+                mem_bw=healthy.mem_bw,
+                name=f"{healthy.name}-slow{slow:g}x",
+            ),
+        )
+        out[slow] = ex.run()
+    return out
+
+
+def run_ablation_writer_interference(
+    case_number: int = 3,
+    stripe_factor: int = 16,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+) -> Dict[str, PipelineResult]:
+    """Read/write interference: pipeline alone vs with a live radar writer.
+
+    The paper stages reads and writes "at different times" to minimise
+    interference; this ablation quantifies what happens when the radar
+    writes future CPIs into the same stripe directories while the
+    pipeline reads.
+    """
+    params = params or STAPParams()
+    a = NodeAssignment.case(case_number, params)
+    spec = build_embedded_pipeline(a)
+    fs = FSConfig(kind="pfs", stripe_factor=stripe_factor)
+    quiet = run_single(spec, paragon(), fs, params, cfg)
+
+    ex = PipelineExecutor(spec, params, paragon(), fs, cfg)
+    period = 1.0 / max(quiet.throughput, 1e-9)
+    writer = RadarWriter(
+        ex.fileset,
+        node_id=ex.machine.io_node_id(0),
+        period=period,
+        n_cpis=cfg.n_cpis,
+        start_cpi=cfg.n_cpis,       # writes future CPIs
+        initial_delay=period / 2.0,  # staggered from the reads
+    )
+    ex.kernel.process(writer.run(ex.kernel), name="radar-writer")
+    noisy = ex.run()
+    return {"quiet": quiet, "with_writer": noisy}

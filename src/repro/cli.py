@@ -1,0 +1,324 @@
+"""Command-line interface: run pipelines and experiments from a shell.
+
+Examples::
+
+    python -m repro info
+    python -m repro run --case 3 --fs pfs --stripe-factor 16
+    python -m repro run --pipeline separate --machine sp --fs piofs
+    python -m repro table 1
+    python -m repro table 4
+    python -m repro detect --cpis 4
+    python -m repro sweep-stripe --factors 4,8,16,32,64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import (
+    run_ablation_stripe_sweep,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor
+from repro.core.pipeline import (
+    NodeAssignment,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.machine.presets import ibm_sp, paragon
+from repro.stap.costs import STAPCosts
+from repro.stap.params import STAPParams
+from repro.stap.scenario import Scenario
+from repro.trace.report import bar_chart, format_table
+
+__all__ = ["main", "build_parser"]
+
+_PIPELINES = {
+    "embedded": build_embedded_pipeline,
+    "separate": build_separate_io_pipeline,
+    "combined": lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
+}
+_MACHINES = {"paragon": paragon, "sp": ibm_sp}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel pipelined STAP with simulated parallel I/O "
+        "(reproduction of Liao et al., IPPS 2000).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one pipeline configuration")
+    p_run.add_argument("--pipeline", choices=sorted(_PIPELINES), default="embedded")
+    p_run.add_argument("--case", type=int, choices=(1, 2, 3), default=1,
+                       help="paper node-assignment case (25/50/100 nodes)")
+    p_run.add_argument("--machine", choices=sorted(_MACHINES), default="paragon")
+    p_run.add_argument("--fs", choices=("pfs", "piofs"), default="pfs")
+    p_run.add_argument("--stripe-factor", type=int, default=64)
+    p_run.add_argument("--cpis", type=int, default=8)
+    p_run.add_argument("--warmup", type=int, default=2)
+    p_run.add_argument("--threaded", action="store_true",
+                       help="SMP phase-threaded nodes (IPPS'99 design)")
+
+    p_table = sub.add_parser("table", help="regenerate a paper table (1-4)")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    p_table.add_argument("--cpis", type=int, default=8)
+    p_table.add_argument("--warmup", type=int, default=2)
+
+    p_det = sub.add_parser("detect", help="compute-mode detection demo")
+    p_det.add_argument("--cpis", type=int, default=3)
+    p_det.add_argument("--seed", type=int, default=7)
+    p_det.add_argument("--nodes", type=int, default=20)
+
+    p_sw = sub.add_parser("sweep-stripe", help="stripe-factor throughput sweep")
+    p_sw.add_argument("--factors", default="4,8,16,32,64,128",
+                      help="comma-separated stripe factors")
+    p_sw.add_argument("--case", type=int, choices=(1, 2, 3), default=3)
+    p_sw.add_argument("--cpis", type=int, default=8)
+
+    p_rep = sub.add_parser(
+        "reproduce",
+        help="regenerate every paper table/figure artifact into a directory",
+    )
+    p_rep.add_argument("--out", default="results", help="output directory")
+    p_rep.add_argument("--cpis", type=int, default=8)
+    p_rep.add_argument("--warmup", type=int, default=2)
+
+    p_sp = sub.add_parser(
+        "spectrum", help="render the angle-Doppler spectrum of a synthetic scene"
+    )
+    p_sp.add_argument("--seed", type=int, default=3)
+    p_sp.add_argument("--estimator", choices=("mvdr", "fourier"), default="mvdr")
+    p_sp.add_argument("--cnr-db", type=float, default=30.0)
+    p_sp.add_argument("--jnr-db", type=float, default=30.0)
+
+    sub.add_parser("info", help="show dimensions, costs, and node assignments")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    params = STAPParams()
+    spec = _PIPELINES[args.pipeline](NodeAssignment.case(args.case, params))
+    cfg = ExecutionConfig(
+        n_cpis=args.cpis, warmup=args.warmup, threaded=args.threaded
+    )
+    result = PipelineExecutor(
+        spec,
+        params,
+        _MACHINES[args.machine](),
+        FSConfig(kind=args.fs, stripe_factor=args.stripe_factor),
+        cfg,
+    ).run()
+    m = result.measurement
+    rows = [
+        (name, s.recv, s.compute, s.send, s.total)
+        for name, s in m.task_stats.items()
+    ]
+    print(
+        format_table(
+            ["task", "recv (s)", "compute (s)", "send (s)", "T_i (s)"],
+            rows,
+            title=(
+                f"{result.machine_name}, {result.fs_label}, {spec.name}, "
+                f"case {args.case} ({spec.total_nodes} nodes)"
+                + (", SMP-threaded" if args.threaded else "")
+            ),
+        )
+    )
+    print(f"\nthroughput : {result.throughput:.4f} CPIs/s")
+    print(f"latency    : {result.latency:.4f} s")
+    print(f"bottleneck : {m.bottleneck_task}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    cfg = ExecutionConfig(n_cpis=args.cpis, warmup=args.warmup)
+    if args.number == 1:
+        print(run_table1(cfg=cfg).render())
+    elif args.number == 2:
+        print(run_table2(cfg=cfg).render())
+    elif args.number == 3:
+        print(run_table3(cfg=cfg).render())
+    else:
+        print(run_table4(cfg=cfg).render())
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    import numpy as np
+
+    params = STAPParams(
+        n_channels=8, n_pulses=32, n_ranges=256, n_beams=6, n_hard_bins=8,
+        n_training=64, pulse_len=16, cfar_window=12, cfar_guard=3, pfa=1e-6,
+    )
+    scenario = Scenario.standard(params, seed=args.seed)
+    print("ground truth:")
+    for t in scenario.targets:
+        b = round(t.doppler * params.n_pulses) % params.n_pulses
+        beam = int(np.argmin(np.abs(params.beam_angles - t.angle)))
+        print(f"  gate {t.range_gate}, bin {b}, beam {beam}, {t.snr_db:+.0f} dB element SNR")
+    result = PipelineExecutor(
+        build_embedded_pipeline(NodeAssignment.balanced(params, args.nodes)),
+        params,
+        paragon(),
+        FSConfig("pfs", stripe_factor=8),
+        ExecutionConfig(n_cpis=args.cpis, warmup=min(1, args.cpis - 1), compute=True),
+        scenario=scenario,
+    ).run()
+    print(f"\ndetections ({len(result.detections)}):")
+    for d in result.detections:
+        print(
+            f"  CPI {d.cpi_index}  bin {d.doppler_bin:3d}  beam {d.beam}  "
+            f"gate {d.range_gate:4d}  {d.snr_db:5.1f} dB"
+        )
+    return 0
+
+
+def _cmd_sweep_stripe(args) -> int:
+    try:
+        factors = tuple(int(x) for x in args.factors.split(",") if x.strip())
+    except ValueError:
+        print(f"error: bad --factors value {args.factors!r}", file=sys.stderr)
+        return 2
+    if not factors or any(f < 1 for f in factors):
+        print("error: factors must be positive integers", file=sys.stderr)
+        return 2
+    out = run_ablation_stripe_sweep(
+        stripe_factors=factors,
+        case_number=args.case,
+        cfg=ExecutionConfig(n_cpis=args.cpis, warmup=2),
+    )
+    print(
+        bar_chart(
+            {f"sf={sf}": r.throughput for sf, r in out.items()},
+            title=f"case {args.case} throughput (CPIs/s) vs stripe factor",
+        )
+    )
+    return 0
+
+
+def _cmd_spectrum(args) -> int:
+    """Render the clutter-ridge/jammer picture as an ASCII heatmap."""
+    import numpy as np
+
+    from repro.stap.scenario import Jammer, Target, make_cube
+    from repro.stap.spectrum import fourier_spectrum, mvdr_spectrum
+    from repro.trace.report import heatmap
+
+    params = STAPParams(
+        n_channels=8, n_pulses=32, n_ranges=256, n_beams=6, n_hard_bins=8,
+        n_training=64, pulse_len=16, cfar_window=12, cfar_guard=3,
+    )
+    scenario = Scenario(
+        targets=(Target(range_gate=80, doppler=0.30, angle=-0.4, snr_db=5.0),),
+        jammers=(Jammer(angle=0.7, jnr_db=args.jnr_db),),
+        cnr_db=args.cnr_db,
+        seed=args.seed,
+    )
+    cube = make_cube(params, scenario, 0)
+    fn = mvdr_spectrum if args.estimator == "mvdr" else fourier_spectrum
+    power, sin_angles, _ = fn(cube, n_angles=25, n_dopplers=49)
+    print(
+        heatmap(
+            power,
+            title=f"{args.estimator} angle-Doppler spectrum "
+            "(rows: sin(angle) -1..1; cols: Doppler -0.5..0.5)",
+            row_labels=[f"{v:+.2f}" for v in sin_angles],
+            col_label="Doppler ->",
+        )
+    )
+    print(
+        f"\nclutter ridge: diagonal; jammer line at sin(angle)="
+        f"{np.sin(scenario.jammers[0].angle):+.2f}; target near "
+        f"sin(angle)={np.sin(-0.4):+.2f}, Doppler +0.30"
+    )
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    """Regenerate the core paper artifacts (tables 1-4, figures 5-8)."""
+    import pathlib
+
+    from repro.bench.experiments import run_fig8
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cfg = ExecutionConfig(n_cpis=args.cpis, warmup=args.warmup)
+
+    def save(name: str, text: str) -> None:
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+
+    print("running Table 1 (embedded I/O) ...")
+    t1 = run_table1(cfg=cfg)
+    save("table1_embedded_io", t1.render())
+    save("fig5_embedded_charts", t1.render_charts())
+
+    print("running Table 2 (separate I/O task) ...")
+    t2 = run_table2(cfg=cfg)
+    save("table2_separate_io", t2.render())
+    save("fig6_separate_charts", t2.render_charts())
+
+    print("running Table 3 (PC+CFAR combined) ...")
+    t3 = run_table3(cfg=cfg)
+    save("table3_task_combination", t3.render())
+    save("fig7_combined_charts", t3.render_charts())
+
+    t4 = run_table4(table1=t1, table3=t3)
+    save("table4_latency_improvement", t4.render())
+    f8 = run_fig8(table1=t1, table3=t3)
+    save("fig8_combination_comparison", f8.render())
+    print("done — compare against EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    params = STAPParams()
+    costs = STAPCosts(params)
+    print(f"CPI cube    : {params.cube_shape} {params.dtype} "
+          f"= {params.cube_nbytes / 2**20:.0f} MiB")
+    print(f"Doppler bins: {params.n_doppler_bins} "
+          f"({params.n_easy_bins} easy / {params.n_hard_bins} hard)")
+    print(f"beams       : {params.n_beams}, training gates: {params.n_training}")
+    names = ["doppler", "easy_weight", "hard_weight", "easy_bf", "hard_bf",
+             "pulse_compr", "cfar"]
+    rows = [[n, costs.task_flops(i) / 1e6] for i, n in enumerate(names)]
+    print(format_table(["task", "Mflop/CPI"], rows, title="\nper-task work",
+                       float_fmt="{:.1f}"))
+    print()
+    for case in (1, 2, 3):
+        a = NodeAssignment.case(case, params)
+        counts = [a.doppler, a.easy_weight, a.hard_weight, a.easy_bf,
+                  a.hard_bf, a.pulse_compr, a.cfar]
+        print(f"case {case}: {dict(zip(names, counts))} "
+              f"(total {a.total_without_io}, read task {a.io_nodes})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "table": _cmd_table,
+        "detect": _cmd_detect,
+        "sweep-stripe": _cmd_sweep_stripe,
+        "reproduce": _cmd_reproduce,
+        "spectrum": _cmd_spectrum,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

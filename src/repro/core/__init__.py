@@ -1,0 +1,62 @@
+"""The parallel pipeline STAP model — the paper's primary contribution.
+
+Subpackage map:
+
+* :mod:`~repro.core.partition` — block-partition arithmetic used to split
+  every task's workload over its nodes and to plan redistributions
+  between differently partitioned tasks;
+* :mod:`~repro.core.task` / :mod:`~repro.core.graph` — task specs and the
+  SD/TD dependency graph (paper Figure 2), with the latency-path rule
+  (temporal-dependency tasks are off the path);
+* :mod:`~repro.core.pipeline` — pipeline builders: 7-task embedded-I/O
+  (Figure 3), 8-task separate-I/O (Figure 4), and the task-combination
+  transform of §6 (pulse compression + CFAR merged);
+* :mod:`~repro.core.model` — the analytic equations (1)–(14):
+  throughput/latency predictions and the combination analysis;
+* :mod:`~repro.core.executor` — runs a pipeline on the simulated machine
+  (compute mode: real numerics; timing mode: cost-model phantoms) and
+  measures throughput, latency, and per-task phase times;
+* :mod:`~repro.core.metrics` — steady-state measurement from traces.
+"""
+
+from repro.core.partition import BlockPartition, label_block_rows
+from repro.core.task import TaskKind, TaskSpec, TaskInstance
+from repro.core.graph import DependencyKind, Edge, TaskGraph
+from repro.core.pipeline import (
+    NodeAssignment,
+    PipelineSpec,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.core.model import PipelineModel, CombinationAnalysis
+from repro.core.executor import ExecutionConfig, PipelineExecutor, PipelineResult
+from repro.core.metrics import TaskPhaseStats, measure
+from repro.core.scaling import ScalingStudy, run_scaling_study
+from repro.core.validate import validate_plan
+
+__all__ = [
+    "BlockPartition",
+    "label_block_rows",
+    "TaskKind",
+    "TaskSpec",
+    "TaskInstance",
+    "DependencyKind",
+    "Edge",
+    "TaskGraph",
+    "NodeAssignment",
+    "PipelineSpec",
+    "build_embedded_pipeline",
+    "build_separate_io_pipeline",
+    "combine_pulse_cfar",
+    "PipelineModel",
+    "CombinationAnalysis",
+    "ExecutionConfig",
+    "PipelineExecutor",
+    "PipelineResult",
+    "TaskPhaseStats",
+    "measure",
+    "ScalingStudy",
+    "run_scaling_study",
+    "validate_plan",
+]

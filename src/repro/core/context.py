@@ -1,0 +1,172 @@
+"""Per-node runtime context for task bodies.
+
+A :class:`TaskContext` is everything one task node's process generator
+needs: its rank handle, the plan, the file set, the trace collector, the
+execution config, and helpers for timed phases, cost-model compute, and
+credit-window flow control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.plan import PipelinePlan
+from repro.core.task import TaskInstance
+from repro.io.fileset import CubeFileSet
+from repro.mpi.communicator import RankComm
+from repro.mpi.datatypes import Phantom
+from repro.sim.kernel import Kernel
+from repro.stap.costs import STAPCosts
+from repro.stap.params import STAPParams
+from repro.trace.collector import TraceCollector
+from repro.trace.record import Phase
+
+__all__ = ["ExecutionConfig", "TaskContext", "data_tag", "ACK_NBYTES"]
+
+#: Bytes charged for a flow-control acknowledgement message.
+ACK_NBYTES = 64
+
+
+def data_tag(cpi: int) -> int:
+    """Message tag for CPI ``cpi`` (offset so the bootstrap CPI -1 is
+    representable as a valid non-negative tag)."""
+    return cpi + 1
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How to run a pipeline.
+
+    Attributes
+    ----------
+    n_cpis:
+        CPIs pushed through the pipeline.
+    warmup:
+        Leading CPIs excluded from steady-state metrics.
+    window:
+        Credit window W: a producer may be at most W CPIs ahead of each
+        of its consumers (bounds buffering, like the real system's
+        finite message buffers).
+    compute:
+        True = real numerics flow (compute mode); False = phantom
+        payloads and cost-model times only (timing mode).
+    threaded:
+        False = the paper's single-threaded nodes (phases in sequence);
+        True = the IPPS'99 companion design: receive/compute/send run as
+        concurrent threads per node (SMP nodes), overlapping phases of
+        successive CPIs.
+    write_reports:
+        When True, the sink task writes each CPI's detection reports
+        back into the parallel file system (one file per sink node) —
+        the output-side I/O the authors' journal version studies.  The
+        writes queue on the same stripe-directory disks as the reads.
+    """
+
+    n_cpis: int = 8
+    warmup: int = 2
+    window: int = 2
+    compute: bool = False
+    threaded: bool = False
+    write_reports: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_cpis < 1:
+            raise ValueError("n_cpis must be >= 1")
+        if not (0 <= self.warmup < self.n_cpis):
+            raise ValueError("warmup must be in [0, n_cpis)")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+
+class TaskContext:
+    """Everything one task node needs at run time."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rc: RankComm,
+        task: TaskInstance,
+        local: int,
+        plan: PipelinePlan,
+        cfg: ExecutionConfig,
+        trace: TraceCollector,
+        fileset: Optional[CubeFileSet],
+        node_spec,
+        results: Dict[str, Any],
+    ) -> None:
+        self.kernel = kernel
+        self.rc = rc
+        self.task = task
+        self.local = local
+        self.plan = plan
+        self.cfg = cfg
+        self.trace = trace
+        self.fileset = fileset
+        self.node_spec = node_spec
+        self.results = results
+        self.params: STAPParams = plan.params
+        self.costs = STAPCosts(plan.params)
+        # Per-consumer-set credit bookkeeping: edge key -> consumer ranks.
+        self._credit_consumers: Dict[str, Tuple[int, ...]] = {}
+
+    # -- sugar ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    def record(self, cpi: int, phase: Phase, t_start: float, t_end: Optional[float] = None) -> None:
+        """Add a trace record ending now (or at ``t_end``)."""
+        self.trace.add(
+            self.name, self.local, cpi, phase, t_start,
+            self.now if t_end is None else t_end,
+        )
+
+    def ranks(self, task_name: str) -> Tuple[int, ...]:
+        return self.plan.ranks(task_name)
+
+    # -- compute phase -------------------------------------------------------
+    def compute_for(self, seconds: float):
+        """Process generator: occupy the node for ``seconds`` of compute."""
+        if seconds > 0:
+            yield self.kernel.timeout(seconds)
+
+    def model_time(self, full_cpi_flops: float, share: float, bytes_touched: float = 0.0) -> float:
+        """Cost-model seconds for this node's ``share`` of a task's work."""
+        return self.node_spec.compute_time(full_cpi_flops * share, bytes_touched * share)
+
+    # -- flow control ----------------------------------------------------------
+    def register_consumers(self, edge: str, consumer_ranks) -> None:
+        """Declare the consumer set of an outgoing edge (once, at start)."""
+        self._credit_consumers[edge] = tuple(sorted(set(consumer_ranks)))
+
+    def await_credit(self, edge: str, cpi: int):
+        """Process generator: wait for acks of CPI ``cpi - window``.
+
+        Call before *sending* CPI ``cpi`` on ``edge``.  Records the stall
+        as a CREDIT phase (idle, excluded from service times).
+        """
+        need = cpi - self.cfg.window
+        if need < 0:
+            return
+        consumers = self._credit_consumers[edge]
+        t0 = self.now
+        for c in consumers:
+            yield from self.rc.recv(source=c, tag=data_tag(need))
+        if self.now > t0:
+            self.record(cpi, Phase.CREDIT, t0)
+
+    def send_ack(self, producer_rank: int, cpi: int) -> None:
+        """Acknowledge consumption of CPI ``cpi`` to one producer."""
+        self.rc.isend(Phantom(ACK_NBYTES, {"ack": cpi}), producer_rank, data_tag(cpi))
+
+    # -- payload helpers ----------------------------------------------------------
+    def payload(self, array_or_none, nbytes: int, **meta) -> Any:
+        """Compute mode: the array; timing mode: a Phantom of ``nbytes``."""
+        if self.cfg.compute:
+            return array_or_none
+        return Phantom(nbytes, meta)

@@ -1,0 +1,151 @@
+"""The pipeline dependency graph (paper Figure 2).
+
+Edges are typed: **spatial** (SD — data of the *current* CPI flows along
+the edge) or **temporal** (TD — the consumer uses the producer's output
+from the *previous* CPI).  The two performance equations read off the
+graph:
+
+* throughput is ``1 / max_i T_i`` over *all* tasks (Eq. 1/3);
+* latency is the longest service-time path over **spatial** edges among
+  tasks **without temporal inputs** (Eq. 2/4): weight tasks never delay
+  a CPI because their inputs are already a CPI old.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import DependencyError
+from repro.core.task import TaskSpec
+
+__all__ = ["DependencyKind", "Edge", "TaskGraph"]
+
+
+class DependencyKind(enum.Enum):
+    """Edge types of Figure 2."""
+
+    SPATIAL = "SD"
+    TEMPORAL = "TD"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed dependency between two tasks (by name)."""
+
+    src: str
+    dst: str
+    kind: DependencyKind
+
+
+class TaskGraph:
+    """Typed task DAG with the paper's latency-path semantics."""
+
+    def __init__(self, tasks: Sequence[TaskSpec], edges: Sequence[Edge]) -> None:
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise DependencyError("duplicate task names")
+        self.tasks: Dict[str, TaskSpec] = {t.name: t for t in tasks}
+        self.order: List[str] = names
+        for e in edges:
+            if e.src not in self.tasks or e.dst not in self.tasks:
+                raise DependencyError(f"edge {e} references unknown task")
+            if e.src == e.dst:
+                raise DependencyError(f"self-edge on {e.src!r}")
+        self.edges: List[Edge] = list(edges)
+        self._check_acyclic()
+
+    # -- structure -----------------------------------------------------------
+    def successors(self, name: str, kind: DependencyKind | None = None) -> List[str]:
+        """Downstream task names (optionally filtered by edge kind)."""
+        return [
+            e.dst for e in self.edges if e.src == name and (kind is None or e.kind == kind)
+        ]
+
+    def predecessors(self, name: str, kind: DependencyKind | None = None) -> List[str]:
+        """Upstream task names (optionally filtered by edge kind)."""
+        return [
+            e.src for e in self.edges if e.dst == name and (kind is None or e.kind == kind)
+        ]
+
+    def has_temporal_input(self, name: str) -> bool:
+        """True if the task consumes previous-CPI data."""
+        return bool(self.predecessors(name, DependencyKind.TEMPORAL))
+
+    def _check_acyclic(self) -> None:
+        """All edges (SD and TD) must form a DAG in task order.
+
+        The pipeline is a feed-forward structure; temporal edges point
+        forward too (the *data* is old, the flow direction is not).
+        """
+        indeg = {n: 0 for n in self.order}
+        adj: Dict[str, List[str]] = {n: [] for n in self.order}
+        for e in self.edges:
+            adj[e.src].append(e.dst)
+            indeg[e.dst] += 1
+        ready = [n for n in self.order if indeg[n] == 0]
+        seen = 0
+        while ready:
+            n = ready.pop()
+            seen += 1
+            for m in adj[n]:
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    ready.append(m)
+        if seen != len(self.order):
+            raise DependencyError("task graph contains a cycle")
+
+    # -- the paper's equations over the graph ---------------------------------
+    def latency_path_tasks(self) -> List[List[str]]:
+        """Stages of the latency path, source to sink.
+
+        Each stage is the set of tasks whose times combine by ``max``
+        (parallel branches); stages combine by ``+``.  Tasks with
+        temporal inputs are excluded (Eq. 2), as are their pure-temporal
+        upstream edges.
+
+        The pipelines in this package are series-parallel (a chain of
+        fan-out/fan-in stages), which this computes by levelising the
+        spatial subgraph restricted to non-temporal tasks.
+        """
+        keep = [n for n in self.order if not self.has_temporal_input(n)]
+        keepset = set(keep)
+        level: Dict[str, int] = {}
+        for n in keep:  # self.order is topological for our builders
+            preds = [
+                p
+                for p in self.predecessors(n, DependencyKind.SPATIAL)
+                if p in keepset
+            ]
+            level[n] = 0 if not preds else 1 + max(level[p] for p in preds)
+        n_levels = 1 + max(level.values()) if level else 0
+        stages: List[List[str]] = [[] for _ in range(n_levels)]
+        for n in keep:
+            stages[level[n]].append(n)
+        return stages
+
+    def latency(self, times: Mapping[str, float]) -> float:
+        """Eq. 2/4: sum over stages of the max task time in each stage."""
+        total = 0.0
+        for stage in self.latency_path_tasks():
+            total += max(times[n] for n in stage)
+        return total
+
+    def throughput(self, times: Mapping[str, float]) -> float:
+        """Eq. 1/3: inverse of the slowest task."""
+        worst = max(times[n] for n in self.order)
+        if worst <= 0:
+            raise DependencyError("task times must be positive")
+        return 1.0 / worst
+
+    def latency_terms(self) -> str:
+        """Human-readable latency formula, e.g.
+        ``T[read] + T[doppler] + max(T[ebf], T[hbf]) + T[pc] + T[cfar]``."""
+        parts = []
+        for stage in self.latency_path_tasks():
+            if len(stage) == 1:
+                parts.append(f"T[{stage[0]}]")
+            else:
+                parts.append("max(" + ", ".join(f"T[{n}]" for n in stage) + ")")
+        return " + ".join(parts)

@@ -1,0 +1,271 @@
+"""Analytic performance model — the paper's equations (1)–(14).
+
+Two layers:
+
+* :class:`PipelineModel` predicts per-task service times
+  :math:`T_i = W_i/P_i + C_i + V_i` from the cost models, the machine
+  preset, and the file-system characteristics, then evaluates Eq. 1–4
+  through the task graph.  It is deliberately first-order (no queueing)
+  — the executor's measurements are the ground truth; the model is used
+  for sanity bounds and for the §6 analysis.
+* :class:`CombinationAnalysis` reproduces §6's algebra for merging two
+  pipeline tasks: Eq. 8's decomposition of
+  :math:`T_{5+6} - (T_5 + T_6)`, the sign argument of Eq. 9, the
+  throughput non-decrease of Eqs. 13–14, and the both-improve condition
+  of Eq. 15.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError, PipelineError
+from repro.core.pipeline import PipelineSpec
+from repro.core.task import TaskKind
+from repro.machine.presets import MachinePreset
+from repro.stap.costs import STAPCosts
+from repro.stap.params import STAPParams
+
+__all__ = ["IOModel", "PipelineModel", "CombinationAnalysis"]
+
+
+@dataclass(frozen=True)
+class IOModel:
+    """First-order read-time model for one CPI through the striped FS.
+
+    ``cycle_time(p_readers, nbytes)`` estimates the elapsed time for
+    ``p_readers`` nodes to collectively read ``nbytes`` striped over
+    ``stripe_factor`` directories: media time is parallel across
+    directories; every reader pays one (coalesced) request overhead per
+    directory it touches.
+    """
+
+    stripe_factor: int
+    stripe_unit: int
+    disk_bw: float
+    disk_overhead: float
+    asynchronous: bool
+
+    def cycle_time(self, p_readers: int, nbytes: int) -> float:
+        if p_readers < 1 or nbytes < 0:
+            raise ConfigurationError("bad IO model arguments")
+        per_dir_bytes = nbytes / self.stripe_factor
+        units_total = max(1, math.ceil(nbytes / self.stripe_unit))
+        dirs_touched_per_reader = min(
+            self.stripe_factor, max(1, units_total // p_readers)
+        )
+        # Each directory serves ~p_readers coalesced requests per CPI.
+        reqs_per_dir = p_readers * dirs_touched_per_reader / self.stripe_factor
+        return per_dir_bytes / self.disk_bw + reqs_per_dir * self.disk_overhead
+
+
+class PipelineModel:
+    """Predicted task times and Eq. 1–4 evaluation for one pipeline."""
+
+    #: Fixed per-CPI parallelisation overhead V_i charged to every task
+    #: (loop bookkeeping, tag matching...).  Small by construction — the
+    #: paper argues V_i is negligible for these task structures.
+    V_OVERHEAD = 1e-4
+
+    def __init__(
+        self,
+        spec: PipelineSpec,
+        params: STAPParams,
+        preset: MachinePreset,
+        io_model: Optional[IOModel] = None,
+    ) -> None:
+        self.spec = spec
+        self.params = params
+        self.preset = preset
+        self.costs = STAPCosts(params)
+        self.io_model = io_model
+        needs_io = any(
+            t.kind in (TaskKind.PARALLEL_READ, TaskKind.DOPPLER_EMBEDDED_IO)
+            for t in spec.tasks
+        )
+        if needs_io and io_model is None:
+            raise PipelineError("pipeline performs I/O but no IOModel given")
+
+    # -- per-task building blocks ---------------------------------------------
+    def _comm_time(self, nbytes: float, n_msgs: float) -> float:
+        """Alpha-beta estimate for a node moving ``nbytes`` in ``n_msgs``."""
+        return n_msgs * self.preset.latency + nbytes / self.preset.bandwidth
+
+    def _flops_of(self, kind: TaskKind) -> float:
+        c = self.costs
+        table = {
+            TaskKind.PARALLEL_READ: 0.0,
+            TaskKind.DOPPLER: c.doppler_flops(),
+            TaskKind.DOPPLER_EMBEDDED_IO: c.doppler_flops(),
+            TaskKind.EASY_WEIGHT: c.easy_weight_flops(),
+            TaskKind.HARD_WEIGHT: c.hard_weight_flops(),
+            TaskKind.EASY_BEAMFORM: c.easy_beamform_flops(),
+            TaskKind.HARD_BEAMFORM: c.hard_beamform_flops(),
+            TaskKind.PULSE_COMPRESSION: c.pulse_compression_flops(),
+            TaskKind.CFAR: c.cfar_flops(),
+            TaskKind.PULSE_CFAR_COMBINED: c.pulse_compression_flops() + c.cfar_flops(),
+        }
+        return table[kind]
+
+    def _bytes_in_out(self, kind: TaskKind) -> tuple:
+        """(bytes received, bytes sent) for the whole CPI, per task kind."""
+        c = self.costs
+        dop_out = c.doppler_easy_bytes() + c.doppler_hard_bytes()
+        w_bytes = c.weights_easy_bytes() + c.weights_hard_bytes()
+        table = {
+            TaskKind.PARALLEL_READ: (0.0, c.cube_bytes()),
+            TaskKind.DOPPLER: (c.cube_bytes(), 2.0 * dop_out),
+            TaskKind.DOPPLER_EMBEDDED_IO: (0.0, 2.0 * dop_out),
+            TaskKind.EASY_WEIGHT: (c.doppler_easy_bytes(), c.weights_easy_bytes()),
+            TaskKind.HARD_WEIGHT: (c.doppler_hard_bytes(), c.weights_hard_bytes()),
+            TaskKind.EASY_BEAMFORM: (
+                c.doppler_easy_bytes() + c.weights_easy_bytes(),
+                c.beams_easy_bytes(),
+            ),
+            TaskKind.HARD_BEAMFORM: (
+                c.doppler_hard_bytes() + c.weights_hard_bytes(),
+                c.beams_hard_bytes(),
+            ),
+            TaskKind.PULSE_COMPRESSION: (c.beams_all_bytes(), c.beams_all_bytes()),
+            TaskKind.CFAR: (c.beams_all_bytes(), c.detections_bytes()),
+            TaskKind.PULSE_CFAR_COMBINED: (c.beams_all_bytes(), c.detections_bytes()),
+        }
+        # Doppler's output is sent both to beamforming (current CPI) and
+        # to the weight tasks (for the next CPI) — hence the 2x above.
+        return table[kind]
+
+    def task_time(self, name: str) -> float:
+        """Predicted :math:`T_i = W_i/P_i + C_i + V_i` (+ I/O term)."""
+        t = self.spec.task(name)
+        node = self.preset.node_spec
+        p = t.n_nodes
+        compute = self._flops_of(t.kind) / p / node.flops
+        bin_, bout = self._bytes_in_out(t.kind)
+        # Message count per node: one per peer per logical stream; use a
+        # small constant times pipeline fan-in/out as a first-order guess.
+        comm = self._comm_time((bin_ + bout) / p, n_msgs=8.0)
+        total = compute + comm + self.V_OVERHEAD
+        if t.kind in (TaskKind.PARALLEL_READ, TaskKind.DOPPLER_EMBEDDED_IO):
+            assert self.io_model is not None
+            io = self.io_model.cycle_time(p, self.costs.cube_bytes())
+            if self.io_model.asynchronous and t.kind is TaskKind.DOPPLER_EMBEDDED_IO:
+                # Async reads overlap compute+send: the cycle is whichever
+                # is longer, not the sum.
+                total = max(total, io)
+            else:
+                total = total + io
+        return total
+
+    def predicted_times(self) -> Dict[str, float]:
+        """Predicted T_i for every task."""
+        return {t.name: self.task_time(t.name) for t in self.spec.tasks}
+
+    def predicted_throughput(self) -> float:
+        """Eq. 1/3 on predicted times."""
+        return self.spec.graph.throughput(self.predicted_times())
+
+    def predicted_latency(self) -> float:
+        """Eq. 2/4 on predicted times."""
+        return self.spec.graph.latency(self.predicted_times())
+
+
+@dataclass(frozen=True)
+class CombinationAnalysis:
+    """§6 algebra for merging tasks a and b onto ``p_a + p_b`` nodes.
+
+    Inputs are the measured (or modelled) decompositions of the two
+    tasks' times: work terms :math:`W/P`, communication :math:`C`, and
+    overhead :math:`V`.
+    """
+
+    w_a: float  # total work of task a (node-seconds: W_a such that T=W/P)
+    w_b: float
+    p_a: int
+    p_b: int
+    c_a: float
+    c_b: float
+    v_a: float = 0.0
+    v_b: float = 0.0
+    #: Communication of the combined task; §6 argues C_{a+b} < C_a
+    #: (receives are split over more nodes; the internal send vanishes).
+    c_combined: Optional[float] = None
+    v_combined: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.p_a < 1 or self.p_b < 1:
+            raise ConfigurationError("node counts must be >= 1")
+        if min(self.w_a, self.w_b, self.c_a, self.c_b) < 0:
+            raise ConfigurationError("times must be >= 0")
+
+    # -- separate tasks ------------------------------------------------------
+    @property
+    def t_a(self) -> float:
+        """Eq. 6: T_a = W_a/P_a + C_a + V_a."""
+        return self.w_a / self.p_a + self.c_a + self.v_a
+
+    @property
+    def t_b(self) -> float:
+        return self.w_b / self.p_b + self.c_b + self.v_b
+
+    # -- combined task --------------------------------------------------------
+    @property
+    def _c_comb(self) -> float:
+        # Default per §6: the combined task only receives (over more
+        # nodes, so smaller per-node messages) — bounded by C_a.
+        if self.c_combined is not None:
+            return self.c_combined
+        return self.c_a * self.p_a / (self.p_a + self.p_b)
+
+    @property
+    def t_combined(self) -> float:
+        """Eq. 7: T_{a+b} = (W_a + W_b)/(P_a + P_b) + C_{a+b} + V_{a+b}."""
+        v = self.v_combined if self.v_combined is not None else max(self.v_a, self.v_b)
+        return (self.w_a + self.w_b) / (self.p_a + self.p_b) + self._c_comb + v
+
+    # -- the paper's claims -----------------------------------------------------
+    def work_term_delta(self) -> float:
+        """Eq. 9's quantity: (W_a+W_b)/(P_a+P_b) - W_a/P_a - W_b/P_b.
+
+        Algebraically ``-(W_a P_b^2 + W_b P_a^2) / (P_a P_b (P_a+P_b))``
+        — strictly negative whenever any work exists.
+        """
+        return (
+            (self.w_a + self.w_b) / (self.p_a + self.p_b)
+            - self.w_a / self.p_a
+            - self.w_b / self.p_b
+        )
+
+    def latency_delta(self) -> float:
+        """Eq. 8: T_{a+b} - (T_a + T_b); negative = combining helps."""
+        return self.t_combined - (self.t_a + self.t_b)
+
+    def latency_improves(self) -> bool:
+        """Eq. 12's conclusion: the combined task is faster than the sum."""
+        return self.latency_delta() < 0
+
+    def combined_time_bound(self) -> float:
+        """Eq. 13's bound: T_{a+b} <= max(T_a, T_b) when C,V shrink.
+
+        Returns the weighted-average bound
+        ``(P_a T_a + P_b T_b) / (P_a + P_b)`` (work terms only).
+        """
+        return (self.p_a * self.t_a + self.p_b * self.t_b) / (self.p_a + self.p_b)
+
+    def throughput_non_decreasing(self, other_task_times: Mapping[str, float]) -> bool:
+        """Eq. 14: new max task time <= old max task time.
+
+        ``other_task_times`` are the times of the tasks *not* being
+        combined; they are unchanged by the transform.
+        """
+        old_max = max(list(other_task_times.values()) + [self.t_a, self.t_b])
+        new_max = max(list(other_task_times.values()) + [self.t_combined])
+        return new_max <= old_max + 1e-12
+
+    def both_improve(self, other_task_times: Mapping[str, float]) -> bool:
+        """§6.2's special case: if a combined task *was* the bottleneck
+        (Eq. 15), combining improves throughput and latency together."""
+        others = max(other_task_times.values()) if other_task_times else 0.0
+        was_bottleneck = max(self.t_a, self.t_b) > others
+        return was_bottleneck and self.latency_improves() and self.t_combined < max(self.t_a, self.t_b)

@@ -1,0 +1,121 @@
+"""Block-partition arithmetic.
+
+Every pipeline task partitions its workload (range gates, Doppler-bin
+rows, or global Doppler bins) into contiguous blocks over its nodes.
+Redistribution between two tasks partitioned along the same unit axis is
+planned from block overlaps; redistribution between *different* axes
+(Doppler's range partition feeding beamforming's bin partition) is an
+all-to-all where each producer sends its range slab of each consumer's
+bin rows.
+
+All functions are pure arithmetic and property-tested: blocks tile the
+index space, sizes differ by at most one, and overlap plans conserve
+element counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import PartitionError
+
+__all__ = ["BlockPartition", "label_block_rows"]
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Contiguous block partition of ``total`` units over ``parts`` nodes.
+
+    The first ``total % parts`` blocks get one extra unit, so sizes
+    differ by at most one (balanced load, the paper's "evenly
+    partitioning its work load").
+    """
+
+    total: int
+    parts: int
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise PartitionError(f"total must be >= 0, got {self.total}")
+        if self.parts < 1:
+            raise PartitionError(f"parts must be >= 1, got {self.parts}")
+
+    def bounds(self, i: int) -> Tuple[int, int]:
+        """Half-open unit interval ``[lo, hi)`` owned by block ``i``."""
+        if not (0 <= i < self.parts):
+            raise PartitionError(f"block {i} outside partition of {self.parts}")
+        base, rem = divmod(self.total, self.parts)
+        lo = i * base + min(i, rem)
+        hi = lo + base + (1 if i < rem else 0)
+        return lo, hi
+
+    def size(self, i: int) -> int:
+        """Units owned by block ``i``."""
+        lo, hi = self.bounds(i)
+        return hi - lo
+
+    def owner(self, unit: int) -> int:
+        """Block owning ``unit``."""
+        if not (0 <= unit < self.total):
+            raise PartitionError(f"unit {unit} outside [0, {self.total})")
+        base, rem = divmod(self.total, self.parts)
+        boundary = rem * (base + 1)
+        if unit < boundary:
+            return unit // (base + 1)
+        if base == 0:
+            raise PartitionError(f"unit {unit} beyond populated blocks")
+        return rem + (unit - boundary) // base
+
+    def all_bounds(self) -> List[Tuple[int, int]]:
+        """Bounds of every block, in order."""
+        return [self.bounds(i) for i in range(self.parts)]
+
+    def overlap(self, i: int, other: "BlockPartition", j: int) -> Tuple[int, int]:
+        """Intersection of my block ``i`` with ``other``'s block ``j``.
+
+        Both partitions must cover the same unit space.  Returns a
+        (possibly empty) half-open interval.
+        """
+        if self.total != other.total:
+            raise PartitionError(
+                f"partitions cover different spaces: {self.total} vs {other.total}"
+            )
+        a_lo, a_hi = self.bounds(i)
+        b_lo, b_hi = other.bounds(j)
+        lo, hi = max(a_lo, b_lo), min(a_hi, b_hi)
+        return (lo, hi) if lo < hi else (lo, lo)
+
+    def peers_overlapping(self, i: int, other: "BlockPartition") -> List[int]:
+        """Blocks of ``other`` whose interval intersects my block ``i``."""
+        if self.total != other.total:
+            raise PartitionError(
+                f"partitions cover different spaces: {self.total} vs {other.total}"
+            )
+        lo, hi = self.bounds(i)
+        if lo >= hi:
+            return []
+        first = other.owner(lo)
+        last = other.owner(hi - 1)
+        return [j for j in range(first, last + 1) if other.size(j) > 0]
+
+
+def label_block_rows(
+    labels: Sequence[int], lo: int, hi: int
+) -> Tuple[int, int]:
+    """Rows of a sorted label list whose labels fall in ``[lo, hi)``.
+
+    Used to map a *global* Doppler-bin interval (a pulse-compression
+    node's ownership) onto the *row* space of the easy or hard stream,
+    whose rows carry sorted global bin labels.
+
+    Returns a half-open row interval (possibly empty).
+    """
+    if hi < lo:
+        raise PartitionError(f"bad interval [{lo}, {hi})")
+    if any(labels[k] > labels[k + 1] for k in range(len(labels) - 1)):
+        raise PartitionError("labels must be sorted ascending")
+    row_lo = bisect.bisect_left(labels, lo)
+    row_hi = bisect.bisect_left(labels, hi)
+    return row_lo, row_hi

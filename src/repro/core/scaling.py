@@ -1,0 +1,124 @@
+"""Scalability analysis: speedup, efficiency, and scaling sweeps.
+
+The paper reports raw throughput/latency; these helpers turn a sweep
+over node counts into the classic derived metrics — speedup relative to
+the smallest configuration, parallel efficiency, and the serial-fraction
+estimate of the Karp–Flatt metric — and locate where pipeline scaling
+saturates (I/O floors, per-message latency floors, integer-partition
+granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.machine.presets import MachinePreset, paragon
+from repro.stap.params import STAPParams
+
+__all__ = ["ScalingPoint", "ScalingStudy", "run_scaling_study"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node-count sample of a scaling sweep."""
+
+    nodes: int
+    throughput: float
+    latency: float
+    bottleneck: str
+
+
+@dataclass
+class ScalingStudy:
+    """A throughput/latency scaling curve with derived metrics."""
+
+    points: List[ScalingPoint]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ConfigurationError("a scaling study needs >= 2 points")
+        if any(
+            self.points[i].nodes >= self.points[i + 1].nodes
+            for i in range(len(self.points) - 1)
+        ):
+            raise ConfigurationError("points must be sorted by node count")
+
+    @property
+    def base(self) -> ScalingPoint:
+        """The smallest configuration (speedup reference)."""
+        return self.points[0]
+
+    def speedups(self) -> Dict[int, float]:
+        """Throughput speedup over the base configuration."""
+        return {p.nodes: p.throughput / self.base.throughput for p in self.points}
+
+    def efficiencies(self) -> Dict[int, float]:
+        """Speedup per relative node count (1.0 = perfect scaling)."""
+        return {
+            p.nodes: (p.throughput / self.base.throughput)
+            / (p.nodes / self.base.nodes)
+            for p in self.points
+        }
+
+    def serial_fraction(self, nodes: int) -> float:
+        """Karp–Flatt experimentally determined serial fraction at ``nodes``.
+
+        ``f = (1/S - 1/p) / (1 - 1/p)`` with speedup S over the base and
+        relative node ratio p.  Near-zero = clean scaling; growth with p
+        reveals a fixed overhead (here: I/O floors and message latency).
+        """
+        s = self.speedups()[nodes]
+        p = nodes / self.base.nodes
+        if p <= 1:
+            raise ConfigurationError("serial fraction needs nodes > base")
+        return (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p)
+
+    def saturation_nodes(self, threshold: float = 0.05) -> Optional[int]:
+        """First node count whose marginal throughput gain over the
+        previous point falls below ``threshold`` (relative); None if the
+        curve never flattens within the sweep."""
+        for prev, cur in zip(self.points, self.points[1:]):
+            gain = (cur.throughput - prev.throughput) / prev.throughput
+            if gain < threshold:
+                return cur.nodes
+        return None
+
+
+def run_scaling_study(
+    node_counts: Sequence[int] = (25, 50, 100, 150, 200),
+    stripe_factor: int = 64,
+    params: Optional[STAPParams] = None,
+    preset: Optional[MachinePreset] = None,
+    fs_kind: str = "pfs",
+    cfg: Optional[ExecutionConfig] = None,
+    build: Callable[[NodeAssignment], object] = build_embedded_pipeline,
+) -> ScalingStudy:
+    """Sweep total node counts (beyond the paper's 100) and measure.
+
+    Assignments are workload-balanced at every point, so the curve shows
+    the *system's* scaling limits rather than partitioning artefacts.
+    """
+    params = params or STAPParams()
+    preset = preset or paragon()
+    cfg = cfg or ExecutionConfig(n_cpis=8, warmup=2)
+    points: List[ScalingPoint] = []
+    for total in node_counts:
+        assignment = NodeAssignment.balanced(params, total)
+        spec = build(assignment)
+        result: PipelineResult = PipelineExecutor(
+            spec, params, preset, FSConfig(kind=fs_kind, stripe_factor=stripe_factor), cfg
+        ).run()
+        points.append(
+            ScalingPoint(
+                nodes=total,
+                throughput=result.throughput,
+                latency=result.latency,
+                bottleneck=result.measurement.bottleneck_task,
+            )
+        )
+    return ScalingStudy(points)

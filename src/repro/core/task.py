@@ -1,0 +1,109 @@
+"""Task specifications for the pipeline graph."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TaskKind", "TaskSpec", "TaskInstance"]
+
+
+class TaskKind(enum.Enum):
+    """The task bodies the pipeline knows how to run.
+
+    Values track the paper's task names; the two ``*_COMBINED`` kinds
+    are the transformations studied in the paper (embedded I/O = read
+    merged into Doppler; §6's pulse compression + CFAR merge).
+    """
+
+    PARALLEL_READ = "parallel_read"
+    DOPPLER = "doppler"                 # receives cube from a read task
+    DOPPLER_EMBEDDED_IO = "doppler_io"  # reads the cube itself (Figure 3)
+    EASY_WEIGHT = "easy_weight"
+    HARD_WEIGHT = "hard_weight"
+    EASY_BEAMFORM = "easy_beamform"
+    HARD_BEAMFORM = "hard_beamform"
+    PULSE_COMPRESSION = "pulse_compression"
+    CFAR = "cfar"
+    PULSE_CFAR_COMBINED = "pulse_cfar"  # §6 task combination
+
+
+#: Kinds whose *inputs* come from the previous CPI (temporal dependency).
+TEMPORAL_KINDS = frozenset({TaskKind.EASY_WEIGHT, TaskKind.HARD_WEIGHT})
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A pipeline task: a body kind plus a node budget.
+
+    Attributes
+    ----------
+    name:
+        Unique display name (e.g. ``"Doppler filter"``).
+    kind:
+        Which body this task runs.
+    n_nodes:
+        Compute nodes assigned (the paper's :math:`P_i`).
+    """
+
+    name: str
+    kind: TaskKind
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(
+                f"task {self.name!r} needs >= 1 node, got {self.n_nodes}"
+            )
+
+    @property
+    def is_temporal(self) -> bool:
+        """True if this task consumes previous-CPI data (off the latency
+        path, paper Eq. 2)."""
+        return self.kind in TEMPORAL_KINDS
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """A task bound to concrete communicator ranks.
+
+    Attributes
+    ----------
+    spec:
+        The task spec.
+    ranks:
+        Global communicator ranks of this task's nodes, in local-index
+        order (``ranks[i]`` is the task-local node ``i``).
+    """
+
+    spec: TaskSpec
+    ranks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.ranks) != self.spec.n_nodes:
+            raise ConfigurationError(
+                f"task {self.spec.name!r}: {len(self.ranks)} ranks for "
+                f"{self.spec.n_nodes} nodes"
+            )
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ConfigurationError(f"task {self.spec.name!r}: duplicate ranks")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    def local_index(self, rank: int) -> int:
+        """Task-local index of a global rank."""
+        try:
+            return self.ranks.index(rank)
+        except ValueError:
+            raise ConfigurationError(
+                f"rank {rank} not in task {self.spec.name!r}"
+            ) from None

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Generic failure inside the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, pipeline, or file-system configuration."""
+
+
+class PartitionError(ConfigurationError):
+    """A workload cannot be partitioned over the requested node count."""
+
+
+class MPIError(ReproError):
+    """Misuse of the message-passing layer (bad rank, tag, truncation...)."""
+
+
+class TruncationError(MPIError):
+    """A receive buffer was smaller than the matched incoming message."""
+
+
+class FileSystemError(ReproError):
+    """Base class for simulated parallel file system failures."""
+
+
+class FileNotOpenError(FileSystemError):
+    """Operation attempted on a closed or never-opened file handle."""
+
+
+class FileExistsInFSError(FileSystemError):
+    """Exclusive create of a path that already exists."""
+
+
+class NoSuchFileError(FileSystemError):
+    """Open of a path that does not exist (without create mode)."""
+
+
+class AsyncUnsupportedError(FileSystemError):
+    """Asynchronous I/O requested from a file system without async support.
+
+    This is the PIOFS case from the paper: the IBM parallel file system
+    exposes only synchronous ``read``/``write``, so requesting ``iread``
+    raises this error and callers must fall back to blocking reads.
+    """
+
+
+class PipelineError(ReproError):
+    """Invalid pipeline structure or execution failure."""
+
+
+class DependencyError(PipelineError):
+    """Task dependency graph violates pipeline model rules."""

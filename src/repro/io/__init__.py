@@ -1,0 +1,19 @@
+"""Radar-side I/O: the data files the pipeline reads.
+
+The paper's setup (§4): the radar writes collected CPIs into **four
+files round-robin**, and the STAP pipeline reads the four files
+round-robin at offset/length values fixed at initialisation, staggered
+in time from the writes so read/write inconsistency is minimised.
+
+* :class:`~repro.io.fileset.CubeFileSet` — the four files, their naming,
+  per-CPI path/offset arithmetic, and content population (real cubes in
+  compute mode, phantom sizes in timing mode);
+* :class:`~repro.io.writer.RadarWriter` — an optional simulated writer
+  process that keeps writing future CPIs into the round-robin files
+  while the pipeline runs, contending for the same stripe directories.
+"""
+
+from repro.io.fileset import CubeFileSet, CubeSource
+from repro.io.writer import RadarWriter
+
+__all__ = ["CubeFileSet", "CubeSource", "RadarWriter"]

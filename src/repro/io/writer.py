@@ -1,0 +1,64 @@
+"""Simulated radar writer process.
+
+Optional substrate for studying read/write interference: a process on a
+dedicated node keeps writing future CPIs into the round-robin files at a
+fixed CPI period, while the pipeline reads older ones — the paper's
+"radar writes ... at times that are different from the times at which
+the [pipeline] reads".  Writes queue on the same stripe-directory disks
+as the pipeline's reads, so turning the writer on measurably perturbs
+read service times (exercised in the ablation benches).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.io.fileset import CubeFileSet
+from repro.mpi.datatypes import Phantom
+from repro.pfs.base import OpenMode
+
+__all__ = ["RadarWriter"]
+
+
+class RadarWriter:
+    """Writes CPI ``k`` into file ``k % n_files`` every ``period`` seconds."""
+
+    def __init__(
+        self,
+        fileset: CubeFileSet,
+        node_id: int,
+        period: float,
+        n_cpis: int,
+        start_cpi: int = 0,
+        initial_delay: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError("writer period must be > 0")
+        if n_cpis < 0:
+            raise ConfigurationError("n_cpis must be >= 0")
+        self.fileset = fileset
+        self.node_id = node_id
+        self.period = period
+        self.n_cpis = n_cpis
+        self.start_cpi = start_cpi
+        self.initial_delay = initial_delay
+        self.writes_done = 0
+
+    def run(self, kernel):
+        """Process generator: the writer's life."""
+        fs = self.fileset.fs
+        params = self.fileset.params
+        if self.initial_delay > 0:
+            yield kernel.timeout(self.initial_delay)
+        for k in range(self.start_cpi, self.start_cpi + self.n_cpis):
+            path = self.fileset.path(k)
+            handle = fs.open(path, self.node_id, mode=OpenMode.M_ASYNC)
+            if self.fileset.phantom:
+                payload = Phantom(params.cube_nbytes, {"cpi": k})
+            else:
+                payload = self.fileset.source.cube(k).to_file_bytes()
+            yield from fs.write(handle, 0, payload)
+            handle.close()
+            self.writes_done += 1
+            yield kernel.timeout(self.period)

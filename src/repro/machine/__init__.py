@@ -1,0 +1,37 @@
+"""Simulated multicomputer models.
+
+A :class:`~repro.machine.machine.Machine` bundles compute nodes, I/O
+server nodes, and an interconnect model on top of one DES kernel.  Two
+machine presets reproduce the paper's platforms:
+
+* :func:`~repro.machine.presets.paragon` — Intel Paragon XP/S-class:
+  i860 compute nodes on a 2-D mesh with XY wormhole routing and per-link
+  contention (:class:`~repro.machine.mesh.MeshNetwork`).
+* :func:`~repro.machine.presets.ibm_sp` — IBM SP-class: faster P2SC
+  compute nodes on a multistage switch
+  (:class:`~repro.machine.multistage.MultistageNetwork`).
+
+Networks expose a single operation — ``transfer(src, dst, nbytes)`` as a
+process generator — which the MPI layer drives.
+"""
+
+from repro.machine.node import NodeSpec, Node
+from repro.machine.network import Network, ContentionFreeNetwork
+from repro.machine.mesh import MeshNetwork
+from repro.machine.multistage import MultistageNetwork
+from repro.machine.machine import Machine
+from repro.machine.presets import paragon, ibm_sp, generic_cluster, MachinePreset
+
+__all__ = [
+    "NodeSpec",
+    "Node",
+    "Network",
+    "ContentionFreeNetwork",
+    "MeshNetwork",
+    "MultistageNetwork",
+    "Machine",
+    "paragon",
+    "ibm_sp",
+    "generic_cluster",
+    "MachinePreset",
+]

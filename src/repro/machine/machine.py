@@ -1,0 +1,106 @@
+"""The Machine: nodes + interconnect + I/O servers on one kernel.
+
+Node numbering convention (used throughout the package):
+
+* ranks ``0 .. n_compute-1`` are compute nodes;
+* ranks ``n_compute .. n_compute+n_io-1`` are I/O server nodes (they host
+  the parallel file system stripe directories and are reachable through
+  the same interconnect).
+
+The pipeline code only ever addresses compute ranks; the file-system
+layer addresses I/O ranks when shipping stripe units.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.machine.network import Network
+from repro.machine.node import Node, NodeSpec
+from repro.sim.kernel import Kernel
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A simulated multicomputer.
+
+    Parameters
+    ----------
+    kernel:
+        DES kernel everything runs on.
+    n_compute:
+        Number of compute nodes.
+    node_spec:
+        Performance spec shared by all compute nodes.
+    network:
+        Interconnect covering ``n_compute + n_io`` endpoints.
+    n_io:
+        Number of I/O server nodes (stripe directories map onto these).
+    io_node_spec:
+        Spec for I/O nodes; defaults to ``node_spec``.
+    name:
+        Machine label for reports (e.g. ``"Intel Paragon"``).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        n_compute: int,
+        node_spec: NodeSpec,
+        network: Network,
+        n_io: int = 0,
+        io_node_spec: Optional[NodeSpec] = None,
+        name: str = "machine",
+    ) -> None:
+        if n_compute < 1:
+            raise ConfigurationError(f"need >= 1 compute node, got {n_compute}")
+        if n_io < 0:
+            raise ConfigurationError(f"n_io must be >= 0, got {n_io}")
+        total = n_compute + n_io
+        net_nodes = getattr(network, "n_nodes", total)
+        if net_nodes < total:
+            raise ConfigurationError(
+                f"network covers {net_nodes} endpoints but machine has {total}"
+            )
+        self.kernel = kernel
+        self.network = network
+        self.name = name
+        self.n_compute = n_compute
+        self.n_io = n_io
+        io_spec = io_node_spec or node_spec
+        self.nodes: List[Node] = [Node(i, node_spec) for i in range(n_compute)]
+        self.nodes += [Node(n_compute + j, io_spec) for j in range(n_io)]
+
+    # -- addressing -------------------------------------------------------
+    @property
+    def n_total(self) -> int:
+        """Total endpoints (compute + I/O)."""
+        return self.n_compute + self.n_io
+
+    def node(self, node_id: int) -> Node:
+        """Node object for a global node id."""
+        if not (0 <= node_id < self.n_total):
+            raise ConfigurationError(
+                f"node id {node_id} outside machine of {self.n_total}"
+            )
+        return self.nodes[node_id]
+
+    def io_node_id(self, io_index: int) -> int:
+        """Global node id of the ``io_index``-th I/O server."""
+        if not (0 <= io_index < self.n_io):
+            raise ConfigurationError(
+                f"io index {io_index} outside {self.n_io} I/O nodes"
+            )
+        return self.n_compute + io_index
+
+    def is_io_node(self, node_id: int) -> bool:
+        """True if ``node_id`` addresses an I/O server node."""
+        return self.n_compute <= node_id < self.n_total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Machine {self.name!r}: {self.n_compute} compute + "
+            f"{self.n_io} I/O nodes, net={type(self.network).__name__}>"
+        )

@@ -1,0 +1,89 @@
+"""Interconnect base classes.
+
+A network's single job is to model the time a message of ``nbytes`` takes
+from node ``src`` to node ``dst``, including contention with concurrent
+traffic.  The operation is exposed as a *process generator* —
+``yield from net.transfer(src, dst, nbytes)`` — so implementations can
+acquire link resources, wait, and release.
+
+:class:`ContentionFreeNetwork` is the analytic baseline
+(``latency + nbytes / bandwidth``), useful for tests and for isolating
+contention effects in ablations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Kernel
+
+__all__ = ["Network", "ContentionFreeNetwork"]
+
+
+class Network(ABC):
+    """Abstract interconnect attached to a DES kernel.
+
+    Attributes
+    ----------
+    kernel:
+        The owning simulation kernel.
+    latency:
+        Fixed per-message software + hardware startup cost in seconds
+        (the alpha of the alpha-beta model).
+    bandwidth:
+        Per-link (or per-port) bandwidth in bytes/s (1/beta).
+    """
+
+    def __init__(self, kernel: Kernel, latency: float, bandwidth: float) -> None:
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency}")
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {bandwidth}")
+        self.kernel = kernel
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+
+    @abstractmethod
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Process generator that completes when the message has arrived.
+
+        Implementations must accept ``src == dst`` and model it as a local
+        memcpy-speed operation (no network involvement).
+        """
+
+    def _validate(self, src: int, dst: int, nbytes: int, n_nodes: int) -> None:
+        if not (0 <= src < n_nodes) or not (0 <= dst < n_nodes):
+            raise ConfigurationError(
+                f"transfer endpoints ({src}, {dst}) outside machine of {n_nodes} nodes"
+            )
+        if nbytes < 0:
+            raise ConfigurationError(f"message size must be >= 0, got {nbytes}")
+
+    def pure_transfer_time(self, nbytes: int) -> float:
+        """Uncontended alpha-beta time for a message of ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+
+class ContentionFreeNetwork(Network):
+    """Ideal network: every transfer takes ``latency + nbytes/bandwidth``.
+
+    Any number of messages proceed concurrently without interference.
+    ``n_nodes`` bounds valid endpoints; local transfers (``src == dst``)
+    cost half the latency (no wire time).
+    """
+
+    def __init__(
+        self, kernel: Kernel, n_nodes: int, latency: float, bandwidth: float
+    ) -> None:
+        super().__init__(kernel, latency, bandwidth)
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        self._validate(src, dst, nbytes, self.n_nodes)
+        if src == dst:
+            yield self.kernel.timeout(self.latency * 0.5)
+            return
+        yield self.kernel.timeout(self.pure_transfer_time(nbytes))

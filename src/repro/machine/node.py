@@ -1,0 +1,72 @@
+"""Compute node model.
+
+A node is characterised by a sustained floating-point rate and a memory
+copy bandwidth.  Task kernels report their work as (flops, bytes touched)
+via the cost models in :mod:`repro.stap.costs`; the node converts that to
+simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeSpec", "Node"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static performance characteristics of one compute node.
+
+    Attributes
+    ----------
+    flops:
+        Sustained floating-point rate in FLOP/s on STAP-style kernels
+        (well below peak; see DESIGN.md calibration notes).
+    mem_bw:
+        Memory copy bandwidth in bytes/s, used for pack/unpack costs.
+    name:
+        Label for traces (e.g. ``"i860XP"``).
+    """
+
+    flops: float
+    mem_bw: float
+    name: str = "node"
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0:
+            raise ConfigurationError(f"node flops must be positive, got {self.flops}")
+        if self.mem_bw <= 0:
+            raise ConfigurationError(f"node mem_bw must be positive, got {self.mem_bw}")
+
+    def compute_time(self, flops: float, bytes_touched: float = 0.0) -> float:
+        """Seconds to execute ``flops`` floating ops touching ``bytes_touched``.
+
+        The model is a simple roofline-style max of compute time and
+        memory traffic time: STAP kernels are mostly FFTs and small dense
+        solves, so compute usually dominates, but the memory term prevents
+        absurd results for copy-heavy phases.
+        """
+        if flops < 0 or bytes_touched < 0:
+            raise ConfigurationError("work amounts must be non-negative")
+        return max(flops / self.flops, bytes_touched / self.mem_bw)
+
+    def copy_time(self, nbytes: float) -> float:
+        """Seconds to memcpy ``nbytes`` (message pack/unpack)."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+        return nbytes / self.mem_bw
+
+
+class Node:
+    """A compute node instance: a spec plus an identity in the machine."""
+
+    __slots__ = ("node_id", "spec")
+
+    def __init__(self, node_id: int, spec: NodeSpec) -> None:
+        self.node_id = node_id
+        self.spec = spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} ({self.spec.name})>"

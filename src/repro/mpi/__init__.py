@@ -1,0 +1,36 @@
+"""MPI-like message passing over the simulated machine.
+
+The pipeline code in :mod:`repro.core` is written against this layer the
+same way the paper's code was written against Intel NX / IBM MPL: ranks,
+tags, blocking and non-blocking point-to-point, and a few collectives.
+
+Key objects:
+
+* :class:`~repro.mpi.communicator.Communicator` — a set of ranks mapped
+  onto machine node ids, with per-rank mailboxes.
+* :class:`~repro.mpi.communicator.RankComm` — the per-rank handle used
+  inside process generators (``yield from rc.send(...)``, ``req =
+  rc.isend(...)``, ``data = yield from rc.recv(...)``).
+* :class:`~repro.mpi.request.Request` — non-blocking operation handle
+  with ``wait()``/``test()`` semantics.
+* :data:`~repro.mpi.communicator.ANY_SOURCE`, :data:`ANY_TAG` wildcards.
+
+Payloads are real numpy arrays in compute mode, or
+:class:`~repro.mpi.datatypes.Phantom` size-only placeholders in timing
+mode; the simulated transfer time depends only on the byte count, so both
+modes time identically.
+"""
+
+from repro.mpi.datatypes import Phantom, nbytes_of
+from repro.mpi.request import Request
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator, RankComm
+
+__all__ = [
+    "Phantom",
+    "nbytes_of",
+    "Request",
+    "Communicator",
+    "RankComm",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

@@ -1,0 +1,67 @@
+"""Non-blocking operation handles, mirroring MPI's ``Request``.
+
+A :class:`Request` wraps the DES event that completes the operation.
+Inside a process generator::
+
+    req = rc.isend(data, dest=3, tag=7)
+    ... overlap computation ...
+    yield from req.wait()
+
+    req = rc.irecv(source=0, tag=7)
+    msg = yield from req.wait()
+
+``test()`` gives the non-blocking completion check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import MPIError
+from repro.sim.events import Event
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for an in-flight isend/irecv (or async file read)."""
+
+    __slots__ = ("_event", "kind")
+
+    def __init__(self, event: Event, kind: str) -> None:
+        self._event = event
+        self.kind = kind
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation has finished."""
+        return self._event.triggered
+
+    def test(self) -> Optional[Any]:
+        """Non-blocking check: the result if complete, else ``None``.
+
+        Note: a completed operation whose value is ``None`` (e.g. a send)
+        is indistinguishable from "not done" through ``test`` alone — use
+        :attr:`complete` to disambiguate, exactly like MPI's flag output.
+        """
+        if self._event.triggered:
+            return self._event.value
+        return None
+
+    def wait(self):
+        """Process generator: suspend until the operation completes.
+
+        Returns the operation's value (received payload for irecv,
+        ``None`` for isend).
+        """
+        result = yield self._event
+        return result
+
+    @staticmethod
+    def wait_all(kernel, requests: "list[Request]"):
+        """Process generator: wait for every request; returns their values."""
+        for req in requests:
+            if not isinstance(req, Request):
+                raise MPIError(f"wait_all got non-request {req!r}")
+        values = yield kernel.all_of([r._event for r in requests])
+        return values

@@ -1,0 +1,255 @@
+"""Common machinery of the simulated parallel file systems.
+
+:class:`ParallelFileSystem` implements striped reads/writes over
+:class:`~repro.pfs.server.IOServer` queues; concrete subclasses add the
+platform API differences (async support, open modes).
+
+Open modes model Intel PFS semantics the paper relies on:
+
+* ``M_UNIX`` — shared file pointer, atomic accesses: every read/write on
+  the file acquires a global file token, serialising all nodes' accesses.
+* ``M_ASYNC`` — independent pointers, no atomicity: accesses from
+  different nodes proceed concurrently.  The paper opens its data files
+  with ``gopen(..., M_ASYNC)`` "because it offers better performance and
+  causes less system overhead" — the token serialisation is exactly the
+  overhead being avoided.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    FileExistsInFSError,
+    FileNotOpenError,
+    NoSuchFileError,
+)
+from repro.machine.machine import Machine
+from repro.mpi.datatypes import Phantom, nbytes_of
+from repro.pfs.backing import BackingStore
+from repro.pfs.blockdev import DiskSpec
+from repro.pfs.server import IOServer
+from repro.pfs.stripe import StripeLayout
+from repro.sim.resources import Resource
+
+__all__ = ["OpenMode", "FileHandle", "ParallelFileSystem"]
+
+
+class OpenMode(enum.Enum):
+    """File I/O modes (Intel PFS nomenclature)."""
+
+    M_UNIX = "M_UNIX"
+    M_ASYNC = "M_ASYNC"
+
+
+class FileHandle:
+    """A node's handle on an open file."""
+
+    __slots__ = ("fs", "path", "node_id", "mode", "closed")
+
+    def __init__(self, fs: "ParallelFileSystem", path: str, node_id: int, mode: OpenMode) -> None:
+        self.fs = fs
+        self.path = path
+        self.node_id = node_id
+        self.mode = mode
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise FileNotOpenError(f"{self.path} (handle already closed)")
+
+    def close(self) -> None:
+        """Release the handle (no simulated time cost)."""
+        self.closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"<FileHandle {self.path!r} node={self.node_id} {self.mode.value} {state}>"
+
+
+class ParallelFileSystem:
+    """Striped file system over the machine's I/O nodes.
+
+    Parameters
+    ----------
+    machine:
+        Host machine; must have at least one I/O node.  Stripe directory
+        ``d`` is hosted on I/O node ``d % machine.n_io`` (directories
+        share nodes when there are more directories than I/O nodes).
+    stripe_unit:
+        Striping granularity in bytes (64 KiB on both of the paper's
+        machines).
+    stripe_factor:
+        Number of stripe directories.
+    disk:
+        Per-directory disk service model.
+    name:
+        Label for reports.
+    """
+
+    #: Whether this file system supports iread/iwrite (PFS yes, PIOFS no).
+    supports_async: bool = False
+
+    def __init__(
+        self,
+        machine: Machine,
+        stripe_unit: int,
+        stripe_factor: int,
+        disk: DiskSpec,
+        name: str = "pfs",
+    ) -> None:
+        if machine.n_io < 1:
+            raise ConfigurationError(
+                "parallel file system needs a machine with I/O nodes"
+            )
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.layout = StripeLayout(stripe_unit, stripe_factor)
+        self.disk = disk
+        self.name = name
+        self.backing = BackingStore()
+        self.servers: List[IOServer] = [
+            IOServer(
+                machine,
+                machine.io_node_id(d % machine.n_io),
+                disk,
+                name=f"{name}.dir{d}",
+            )
+            for d in range(stripe_factor)
+        ]
+        # Per-path shared-file-pointer tokens for M_UNIX handles.
+        self._file_tokens: Dict[str, Resource] = {}
+
+    # -- namespace ---------------------------------------------------------
+    def create(
+        self,
+        path: str,
+        data: Optional[Union[bytes, np.ndarray]] = None,
+        phantom_size: Optional[int] = None,
+        exist_ok: bool = False,
+    ) -> None:
+        """Create a file, optionally pre-populated (no simulated time).
+
+        Use :meth:`write` (through a handle) when the write *cost* should
+        appear in the simulation; ``create`` is for initial conditions.
+        """
+        if self.backing.exists(path) and not exist_ok:
+            raise FileExistsInFSError(path)
+        if phantom_size is not None:
+            self.backing.create(path, phantom=True, size=phantom_size)
+        else:
+            self.backing.create(path)
+            if data is not None:
+                self.backing.write(path, 0, data)
+
+    def exists(self, path: str) -> bool:
+        """True if the path exists in this file system."""
+        return self.backing.exists(path)
+
+    def file_size(self, path: str) -> int:
+        """Size of a file in bytes."""
+        return self.backing.size(path)
+
+    # -- open/close ----------------------------------------------------------
+    def open(self, path: str, node_id: int, mode: OpenMode = OpenMode.M_UNIX) -> FileHandle:
+        """Open an existing file from one node."""
+        if not self.backing.exists(path):
+            raise NoSuchFileError(path)
+        if not (0 <= node_id < self.machine.n_total):
+            raise ConfigurationError(f"node {node_id} outside machine")
+        return FileHandle(self, path, node_id, mode)
+
+    def gopen(self, path: str, node_ids: List[int], mode: OpenMode = OpenMode.M_ASYNC) -> List[FileHandle]:
+        """Global open: every listed node gets a handle (paper's gopen)."""
+        return [self.open(path, n, mode) for n in node_ids]
+
+    def _token(self, path: str) -> Resource:
+        res = self._file_tokens.get(path)
+        if res is None:
+            res = Resource(self.kernel, capacity=1, name=f"{self.name}.tok:{path}")
+            self._file_tokens[path] = res
+        return res
+
+    # -- data path -------------------------------------------------------------
+    def read(self, handle: FileHandle, offset: int, nbytes: int):
+        """Process generator: blocking striped read.
+
+        Fans the byte range out to the touched stripe directories, waits
+        for every server to service + ship its run, then returns the
+        assembled content (``bytes`` or :class:`Phantom`).
+        """
+        handle._check_open()
+        if nbytes < 0 or offset < 0:
+            raise ConfigurationError("offset and nbytes must be >= 0")
+        token = self._token(handle.path) if handle.mode is OpenMode.M_UNIX else None
+        if token is not None:
+            yield token.request()
+        try:
+            runs = self.layout.map_range(offset, nbytes)
+            procs = [
+                self.kernel.process(
+                    self.servers[run.directory].service(
+                        run.nbytes, run.n_units, handle.node_id
+                    ),
+                    name=f"read:{handle.path}@dir{run.directory}",
+                )
+                for run in runs
+            ]
+            if procs:
+                yield self.kernel.all_of(procs)
+        finally:
+            if token is not None:
+                token.release()
+        return self.backing.read(handle.path, offset, nbytes)
+
+    def write(self, handle: FileHandle, offset: int, data: Union[bytes, np.ndarray, Phantom]):
+        """Process generator: blocking striped write.
+
+        The payload is shipped client -> each touched server, queued on
+        the disks, and stored.  Returns bytes written.
+        """
+        handle._check_open()
+        total = nbytes_of(data)
+        token = self._token(handle.path) if handle.mode is OpenMode.M_UNIX else None
+        if token is not None:
+            yield token.request()
+        try:
+            runs = self.layout.map_range(offset, total)
+            procs = []
+            for run in runs:
+                procs.append(
+                    self.kernel.process(
+                        self._write_one_run(handle, run),
+                        name=f"write:{handle.path}@dir{run.directory}",
+                    )
+                )
+            if procs:
+                yield self.kernel.all_of(procs)
+        finally:
+            if token is not None:
+                token.release()
+        self.backing.write(handle.path, offset, data)
+        return total
+
+    def _write_one_run(self, handle: FileHandle, run):
+        server = self.servers[run.directory]
+        if handle.node_id != server.node_id:
+            yield from self.machine.network.transfer(
+                handle.node_id, server.node_id, run.nbytes
+            )
+        yield from server.service(run.nbytes, run.n_units, handle.node_id, ship=False)
+
+    # -- stats -------------------------------------------------------------------
+    def total_bytes_served(self) -> int:
+        """Bytes served across all stripe directories."""
+        return sum(s.bytes_served for s in self.servers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r} stripe_factor="
+            f"{self.layout.stripe_factor} unit={self.layout.stripe_unit}>"
+        )

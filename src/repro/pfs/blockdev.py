@@ -1,0 +1,56 @@
+"""Disk service-time model for a stripe directory's storage device.
+
+The model is deliberately simple and classical: each service request
+costs a fixed positioning/software ``overhead`` plus media transfer at
+``bandwidth``.  Multi-unit gather requests pay a (smaller) per-extra-unit
+seek fraction, reflecting that round-robin units of one file land close
+together on a real disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DiskSpec"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Service model of one stripe directory's disk.
+
+    Attributes
+    ----------
+    bandwidth:
+        Sustained media rate, bytes/s.
+    overhead:
+        Per-request positioning + software cost, seconds.
+    extra_unit_overhead_frac:
+        Fraction of ``overhead`` charged per additional stripe unit in a
+        coalesced multi-unit request (default 10%).
+    """
+
+    bandwidth: float
+    overhead: float
+    extra_unit_overhead_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.overhead < 0:
+            raise ConfigurationError(f"overhead must be >= 0, got {self.overhead}")
+        if not (0.0 <= self.extra_unit_overhead_frac <= 1.0):
+            raise ConfigurationError(
+                "extra_unit_overhead_frac must be in [0, 1], got "
+                f"{self.extra_unit_overhead_frac}"
+            )
+
+    def service_time(self, nbytes: int, n_units: int = 1) -> float:
+        """Seconds to service a (possibly multi-unit) request."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        if n_units < 1:
+            n_units = 1
+        seek = self.overhead * (1.0 + self.extra_unit_overhead_frac * (n_units - 1))
+        return seek + nbytes / self.bandwidth

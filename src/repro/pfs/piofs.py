@@ -1,0 +1,36 @@
+"""IBM PIOFS model: striped files, synchronous API only.
+
+PIOFS "supports existing C read, write, open and close functions.
+However, unlike the Paragon NX library, asynchronous parallel read/write
+subroutines are not supported" (paper §3).  Requesting ``iread`` here
+raises :class:`~repro.errors.AsyncUnsupportedError`; pipeline code
+detects ``supports_async`` and falls back to blocking reads, which is
+precisely what destroys I/O–compute overlap on the SP.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AsyncUnsupportedError
+from repro.pfs.base import FileHandle, ParallelFileSystem
+
+__all__ = ["PIOFS"]
+
+
+class PIOFS(ParallelFileSystem):
+    """IBM Parallel I/O File System (synchronous only)."""
+
+    supports_async = False
+
+    def iread(self, handle: FileHandle, offset: int, nbytes: int):
+        """PIOFS has no asynchronous read — always raises."""
+        raise AsyncUnsupportedError(
+            "PIOFS does not provide asynchronous read subroutines; "
+            "use the blocking read() instead"
+        )
+
+    def iwrite(self, handle: FileHandle, offset: int, data):
+        """PIOFS has no asynchronous write — always raises."""
+        raise AsyncUnsupportedError(
+            "PIOFS does not provide asynchronous write subroutines; "
+            "use the blocking write() instead"
+        )

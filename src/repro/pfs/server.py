@@ -1,0 +1,70 @@
+"""I/O server: one stripe directory's disk on an I/O node.
+
+Each stripe directory is hosted by an I/O node of the machine (several
+directories may share one node if the machine has fewer I/O nodes than
+the file system has directories).  A server owns a capacity-1 FIFO disk
+resource; client requests queue on it — this queue is where the paper's
+I/O bottleneck physically forms when many compute nodes read through few
+stripe directories.
+
+After disk service the data is shipped over the interconnect from the
+I/O node to the requesting compute node, so drain traffic also contends
+on the network like it did on the real machines.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.pfs.blockdev import DiskSpec
+from repro.sim.resources import Resource
+
+__all__ = ["IOServer"]
+
+
+class IOServer:
+    """A stripe directory's service point."""
+
+    def __init__(self, machine: Machine, node_id: int, disk: DiskSpec, name: str = "") -> None:
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.node_id = node_id
+        self.disk = disk
+        self.name = name or f"ioserver@{node_id}"
+        self._disk_res = Resource(self.kernel, capacity=1, name=f"{self.name}.disk")
+        # Counters for reports/tests.
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.busy_time = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting for the disk."""
+        return self._disk_res.queue_length
+
+    def service(self, nbytes: int, n_units: int, dest_node: int, ship: bool = True):
+        """Process generator: queue on the disk, read, ship to ``dest_node``.
+
+        Parameters
+        ----------
+        nbytes:
+            Bytes of this (coalesced) request.
+        n_units:
+            Stripe units the request touches (extra seek cost).
+        dest_node:
+            Machine node id of the requesting client.
+        ship:
+            If False, skip the network shipping leg (used for writes,
+            where the payload travelled client -> server beforehand).
+        """
+        t_service = self.disk.service_time(nbytes, n_units)
+        yield self._disk_res.request()
+        try:
+            start = self.kernel.now
+            yield self.kernel.timeout(t_service)
+            self.busy_time += self.kernel.now - start
+        finally:
+            self._disk_res.release()
+        if ship and dest_node != self.node_id:
+            yield from self.machine.network.transfer(self.node_id, dest_node, nbytes)
+        self.requests_served += 1
+        self.bytes_served += nbytes

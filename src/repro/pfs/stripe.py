@@ -1,0 +1,118 @@
+"""Striping arithmetic: mapping byte ranges to stripe directories.
+
+A striped file is laid out round-robin in ``stripe_unit``-byte units over
+``stripe_factor`` stripe directories: unit ``u`` lives on directory
+``u % stripe_factor``.  :meth:`StripeLayout.map_range` decomposes an
+arbitrary byte range into per-directory *runs* of touched units, already
+coalesced per directory, which is exactly what an I/O server services as
+one request.
+
+This module is pure arithmetic (no simulation state) and is covered by
+property-based tests: runs tile the range exactly, never overlap, and
+respect unit boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["UnitRun", "StripeLayout"]
+
+
+@dataclass(frozen=True)
+class UnitRun:
+    """A contiguous piece of a byte range that lives on one directory.
+
+    Attributes
+    ----------
+    directory:
+        Stripe directory index in ``[0, stripe_factor)``.
+    file_offset:
+        Offset of the run's first byte within the file.
+    nbytes:
+        Length of the run in bytes.
+    n_units:
+        Number of distinct stripe units the run touches on this
+        directory (each unit is a separate seek in the worst case).
+    """
+
+    directory: int
+    file_offset: int
+    nbytes: int
+    n_units: int
+
+
+class StripeLayout:
+    """Round-robin striping of a file over stripe directories."""
+
+    def __init__(self, stripe_unit: int, stripe_factor: int) -> None:
+        if stripe_unit < 1:
+            raise ConfigurationError(f"stripe_unit must be >= 1, got {stripe_unit}")
+        if stripe_factor < 1:
+            raise ConfigurationError(
+                f"stripe_factor must be >= 1, got {stripe_factor}"
+            )
+        self.stripe_unit = int(stripe_unit)
+        self.stripe_factor = int(stripe_factor)
+
+    def unit_of(self, offset: int) -> int:
+        """Index of the stripe unit containing byte ``offset``."""
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        return offset // self.stripe_unit
+
+    def directory_of(self, offset: int) -> int:
+        """Stripe directory holding byte ``offset``."""
+        return self.unit_of(offset) % self.stripe_factor
+
+    def n_units(self, nbytes: int) -> int:
+        """Number of stripe units an ``nbytes``-long file occupies."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        return -(-nbytes // self.stripe_unit)  # ceil division
+
+    def map_range(self, offset: int, nbytes: int) -> List[UnitRun]:
+        """Decompose ``[offset, offset+nbytes)`` into per-directory runs.
+
+        Each :class:`UnitRun` aggregates *all* bytes of the range on one
+        directory (they are round-robin interleaved on disk, but a
+        parallel FS services them as one gather request per directory).
+        Runs are returned ordered by directory index; directories not
+        touched by the range are absent.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ConfigurationError("offset and nbytes must be >= 0")
+        if nbytes == 0:
+            return []
+        per_dir: Dict[int, List[int]] = {}  # dir -> [first_offset, nbytes, n_units]
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            unit = pos // self.stripe_unit
+            unit_end = (unit + 1) * self.stripe_unit
+            chunk = min(end, unit_end) - pos
+            d = unit % self.stripe_factor
+            if d in per_dir:
+                acc = per_dir[d]
+                acc[1] += chunk
+                acc[2] += 1
+            else:
+                per_dir[d] = [pos, chunk, 1]
+            pos += chunk
+        return [
+            UnitRun(directory=d, file_offset=acc[0], nbytes=acc[1], n_units=acc[2])
+            for d, acc in sorted(per_dir.items())
+        ]
+
+    def directories_touched(self, offset: int, nbytes: int) -> int:
+        """How many stripe directories a range is spread over."""
+        return len(self.map_range(offset, nbytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StripeLayout(stripe_unit={self.stripe_unit}, "
+            f"stripe_factor={self.stripe_factor})"
+        )

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event simulator in the
+style of SimPy.  Simulated processes are Python generators that ``yield``
+*waitables* — :class:`~repro.sim.events.Event`, :class:`Timeout`, resource
+acquisitions, or store gets/puts — and are resumed by the
+:class:`~repro.sim.kernel.Kernel` when the waitable fires.
+
+The kernel is the timing substrate for the whole reproduction: the
+simulated multicomputer (:mod:`repro.machine`), the MPI-like message layer
+(:mod:`repro.mpi`), and the parallel file systems (:mod:`repro.pfs`) are
+all built from these primitives.
+
+Determinism: events scheduled for the same simulated time fire in
+insertion order (a monotone sequence number breaks ties), so repeated runs
+of the same program produce identical traces.
+"""
+
+from repro.sim.events import Event, Timeout, AllOf, AnyOf
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store, PriorityResource
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Kernel",
+    "Process",
+    "Resource",
+    "Store",
+    "PriorityResource",
+]

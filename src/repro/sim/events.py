@@ -1,0 +1,175 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot waitable: it starts *pending*, is
+*triggered* exactly once with an optional value, and every process waiting
+on it is resumed with that value.  :class:`Timeout` is an event that the
+kernel triggers after a fixed simulated delay.  :class:`AllOf` /
+:class:`AnyOf` compose events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf"]
+
+# Sentinel distinguishing "no value yet" from a triggered value of None.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot waitable that processes can ``yield`` on.
+
+    Parameters
+    ----------
+    kernel:
+        Owning kernel.  Needed so that ``succeed`` can schedule the
+        callbacks at the current simulated time.
+    name:
+        Optional human-readable label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("kernel", "name", "_value", "_ok", "callbacks")
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:  # noqa: F821
+        self.kernel = kernel
+        self.name = name
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        # Callbacks run when the event fires; each receives this event.
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        Raises
+        ------
+        SimulationError
+            If the event has not been triggered yet.
+        """
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Waiting processes are scheduled to resume at the current simulated
+        time (not synchronously), preserving run-to-yield semantics.
+        """
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.kernel._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.kernel._schedule_event(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after ``delay`` units of simulated time.
+
+    The kernel schedules the trigger at construction; yielding a Timeout
+    suspends the process for exactly ``delay``.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, kernel: "Kernel", delay: float, value: Any = None) -> None:  # noqa: F821
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(kernel, name=f"Timeout({delay})")
+        self.delay = float(delay)
+        # Stays pending until the kernel's clock reaches now + delay.
+        kernel._push(self.delay, lambda: self.succeed(value))
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, kernel: "Kernel", events: List[Event]) -> None:  # noqa: F821
+        super().__init__(kernel, name=self.__class__.__name__)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            # Degenerate condition is immediately satisfied.
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.triggered:
+                # Already-fired events count immediately via a callback
+                # scheduled through the kernel to keep ordering uniform.
+                self.kernel._call_soon(self._on_child, ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every child event has fired; value is the list of values.
+
+    If any child fails, the condition fails with that child's exception as
+    soon as the failure is observed.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is ``(event, value)``."""
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self.succeed((ev, ev.value))

@@ -1,0 +1,147 @@
+"""The discrete-event simulation kernel (event loop).
+
+The kernel owns the simulated clock and a priority queue of
+``(time, seq, action)`` entries.  ``seq`` is a monotone counter so that
+entries at equal times fire in insertion order — this makes every
+simulation in the package fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        k = Kernel()
+
+        def producer(k, store):
+            yield k.timeout(1.0)
+            yield store.put("item")
+
+        def consumer(k, store):
+            item = yield store.get()
+            return item
+
+        store = Store(k)
+        k.process(producer(k, store))
+        proc = k.process(consumer(k, store))
+        k.run()
+        assert proc.value == "item"
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        # Heap entries: (time, seq, callable) — callable takes no args.
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._active: int = 0  # live (unfinished) processes, for deadlock detection
+        # Exceptions from processes that failed with nobody waiting on
+        # them; run() re-raises these instead of deadlocking opaquely.
+        self._unobserved_failures: List[BaseException] = []
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+    def _push(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, action))
+
+    def _call_soon(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at the current simulated time, after the
+        currently-executing step finishes."""
+        self._push(0.0, lambda: fn(*args))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule a triggered event's callbacks to run after ``delay``."""
+        self._push(delay, lambda: self._fire(event))
+
+    @staticmethod
+    def _fire(event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+
+    # -- factories -------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator, name: str = "") -> "Process":  # noqa: F821
+        """Spawn a simulated process from a generator and return it."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- main loop -------------------------------------------------------
+    def step(self) -> None:
+        """Execute the next scheduled action, advancing the clock."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        t, _seq, action = heapq.heappop(self._queue)
+        self._now = t
+        action()
+
+    def run(self, until: Optional[float] = None, *, check_deadlock: bool = True) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            the clock is left at ``until``.  ``None`` runs to exhaustion.
+        check_deadlock:
+            When running to exhaustion, raise :class:`DeadlockError` if
+            live processes remain blocked after the queue drains.
+
+        Returns
+        -------
+        float
+            The simulated time at which the run stopped.
+        """
+        while self._queue:
+            t = self._queue[0][0]
+            if until is not None and t > until:
+                self._now = until
+                return self._now
+            self.step()
+            if self._unobserved_failures:
+                raise self._unobserved_failures[0]
+        if until is not None:
+            self._now = max(self._now, until)
+        if check_deadlock and until is None and self._active > 0:
+            raise DeadlockError(
+                f"event queue drained with {self._active} process(es) still blocked"
+            )
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled action, or None if queue is empty."""
+        return self._queue[0][0] if self._queue else None

@@ -1,0 +1,109 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` drives a generator: each value the generator yields
+must be an :class:`~repro.sim.events.Event` (or subclass); the process
+suspends until the event fires and is resumed with the event's value
+(``throw``-n into if the event failed).  A Process is itself an Event that
+fires when the generator returns, carrying the generator's return value —
+so processes can wait on each other by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulated process; also an event firing at completion."""
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, kernel: "Kernel", generator: Generator, name: str = "") -> None:  # noqa: F821
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(kernel, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        kernel._active += 1
+        # First resumption happens via the queue so that process start
+        # order matches spawn order deterministically.
+        kernel._call_soon(self._resume, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, send_value: Any, throw_exc: BaseException | None) -> None:
+        if self.triggered:  # interrupted/finished while a resume was queued
+            return
+        try:
+            if throw_exc is not None:
+                target = self.generator.throw(throw_exc)
+            else:
+                target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.kernel._active -= 1
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:  # generator raised: fail the process
+            self.kernel._active -= 1
+            # If nobody is waiting on this process when it fails, surface
+            # the exception through Kernel.run() rather than letting the
+            # simulation deadlock silently.
+            had_waiters = bool(self.callbacks)
+            self.fail(exc)
+            if not had_waiters:
+                self.kernel._unobserved_failures.append(exc)
+            return
+
+        if not isinstance(target, Event):
+            # Tell the generator it yielded garbage; this surfaces the bug
+            # at the offending ``yield`` with a clear traceback.
+            self.kernel._call_soon(
+                self._resume,
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                ),
+            )
+            return
+
+        self._waiting_on = target
+        if target.triggered:
+            # Already fired: resume on the next queue step with its value.
+            self.kernel._call_soon(self._on_event, target)
+        else:
+            target.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        waiting = self._waiting_on
+        if waiting is not None and self._on_event in waiting.callbacks:
+            waiting.callbacks.remove(self._on_event)
+        self._waiting_on = None
+        self.kernel._call_soon(self._resume, None, Interrupt(cause))
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause

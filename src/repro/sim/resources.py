@@ -1,0 +1,169 @@
+"""Shared resources for simulated processes.
+
+:class:`Resource`
+    A counted semaphore with FIFO queuing — models disks, network links,
+    DMA engines.  ``request()``/``release()`` return events.
+:class:`PriorityResource`
+    Same, but waiters are served in (priority, FIFO) order.
+:class:`Store`
+    An unbounded FIFO buffer of items with optional filtered gets — the
+    basis of MPI message mailboxes and I/O server request queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Kernel
+
+__all__ = ["Resource", "PriorityResource", "Store"]
+
+
+class Resource:
+    """Counted FIFO resource with ``capacity`` concurrent holders.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    the holder must call ``release()`` exactly once.  A convenience
+    generator :meth:`using` wraps request/hold/release::
+
+        yield from resource.using(kernel, hold_time)
+    """
+
+    def __init__(self, kernel: Kernel, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending requests."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Request a slot; the returned event fires when granted."""
+        ev = self.kernel.event(name=f"request({self.name})")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release a previously granted slot, waking the next waiter."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter: _in_use unchanged.
+            ev = self._waiters.popleft()
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def using(self, hold_time: float):
+        """Generator: acquire, hold for ``hold_time``, release.
+
+        Use as ``yield from resource.using(t)`` inside a process body.
+        """
+        yield self.request()
+        try:
+            yield self.kernel.timeout(hold_time)
+        finally:
+            self.release()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served in (priority, arrival) order.
+
+    Lower ``priority`` values are served first.
+    """
+
+    def __init__(self, kernel: Kernel, capacity: int = 1, name: str = "") -> None:
+        super().__init__(kernel, capacity, name)
+        self._pwaiters: List[Tuple[float, int, Event]] = []
+        self._counter = 0
+
+    def request(self, priority: float = 0.0) -> Event:  # type: ignore[override]
+        ev = self.kernel.event(name=f"request({self.name})")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._counter += 1
+            heapq.heappush(self._pwaiters, (priority, self._counter, ev))
+        return ev
+
+    def release(self) -> None:  # type: ignore[override]
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._pwaiters:
+            _, _, ev = heapq.heappop(self._pwaiters)
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+    @property
+    def queue_length(self) -> int:  # type: ignore[override]
+        return len(self._pwaiters)
+
+
+class Store:
+    """Unbounded FIFO item buffer with optional filtered retrieval.
+
+    ``put(item)`` returns an already-fired event (puts never block).
+    ``get(filter)`` returns an event that fires with the first item
+    matching ``filter`` (FIFO order among matches); with no filter, the
+    head of the queue.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit ``item``; wakes the first matching waiter if any."""
+        # Try to satisfy a pending getter first (FIFO among getters).
+        for idx, (ev, flt) in enumerate(self._getters):
+            if flt is None or flt(item):
+                del self._getters[idx]
+                ev.succeed(item)
+                done = self.kernel.event(name=f"put({self.name})")
+                done.succeed(item)
+                return done
+        self._items.append(item)
+        done = self.kernel.event(name=f"put({self.name})")
+        done.succeed(item)
+        return done
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event firing with the first item matching ``filter``."""
+        ev = self.kernel.event(name=f"get({self.name})")
+        for idx, item in enumerate(self._items):
+            if filter is None or filter(item):
+                del self._items[idx]
+                ev.succeed(item)
+                return ev
+        self._getters.append((ev, filter))
+        return ev
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of buffered items (for inspection/testing)."""
+        return list(self._items)

@@ -1,0 +1,65 @@
+"""PRI-staggered post-Doppler STAP signal processing.
+
+A complete, numerically real implementation of the radar processing
+chain the paper parallelises (its Figure 2):
+
+1. :mod:`~repro.stap.doppler` — Doppler filter processing with PRI
+   stagger (two staggered sub-CPIs);
+2. :mod:`~repro.stap.weights` — adaptive weight computation: *easy*
+   (spatial-only, J degrees of freedom) and *hard* (space-time, 2J DoF)
+   Doppler bins, MVDR weights from diagonally loaded sample covariance;
+3. :mod:`~repro.stap.beamform` — apply weights to form beams;
+4. :mod:`~repro.stap.pulse` — LFM pulse compression (matched filter);
+5. :mod:`~repro.stap.cfar` — cell-averaging CFAR detection.
+
+:mod:`~repro.stap.scenario` synthesises phased-array CPI data cubes
+(targets + clutter ridge + jammer + noise) so the chain can be validated
+end-to-end: injected targets must be detected at the right range/Doppler/
+beam cells.  :mod:`~repro.stap.chain` is the serial golden reference the
+parallel pipeline is checked against, and :mod:`~repro.stap.costs` holds
+the per-task flop/byte models that drive the timing simulation.
+"""
+
+from repro.stap.params import STAPParams
+from repro.stap.datacube import DataCube
+from repro.stap.scenario import Scenario, Target, Jammer, make_cube
+from repro.stap.doppler import doppler_process, DopplerOutput
+from repro.stap.weights import compute_weights_easy, compute_weights_hard, WeightSet
+from repro.stap.beamform import beamform
+from repro.stap.pulse import lfm_replica, pulse_compress
+from repro.stap.cfar import ca_cfar, Detection
+from repro.stap.cluster import ClusteredReport, cluster_detections
+from repro.stap.chain import stap_chain, ChainResult
+from repro.stap.costs import STAPCosts
+from repro.stap.spectrum import fourier_spectrum, mvdr_spectrum
+from repro.stap.analysis import clairvoyant_covariance, optimal_weights, output_sinr, sinr_loss_curve
+
+__all__ = [
+    "STAPParams",
+    "DataCube",
+    "Scenario",
+    "Target",
+    "Jammer",
+    "make_cube",
+    "doppler_process",
+    "DopplerOutput",
+    "compute_weights_easy",
+    "compute_weights_hard",
+    "WeightSet",
+    "beamform",
+    "lfm_replica",
+    "pulse_compress",
+    "ca_cfar",
+    "Detection",
+    "ClusteredReport",
+    "cluster_detections",
+    "stap_chain",
+    "ChainResult",
+    "STAPCosts",
+    "fourier_spectrum",
+    "mvdr_spectrum",
+    "clairvoyant_covariance",
+    "optimal_weights",
+    "output_sinr",
+    "sinr_loss_curve",
+]

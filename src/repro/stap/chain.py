@@ -1,0 +1,153 @@
+"""Serial golden-reference STAP chain.
+
+Runs the full algorithm of the paper's Figure 2 in one process, with the
+same temporal dependency as the pipeline: weights for CPI *k* are
+trained on CPI *k-1*'s Doppler output.  The parallel pipeline executor
+(compute mode) is validated against this chain — identical detection
+reports, CPI for CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.stap.beamform import beamform
+from repro.stap.cfar import Detection, ca_cfar
+from repro.stap.datacube import DataCube
+from repro.stap.doppler import DopplerOutput, doppler_process
+from repro.stap.params import STAPParams
+from repro.stap.pulse import pulse_compress
+from repro.stap.weights import (
+    CovarianceTracker,
+    WeightSet,
+    compute_weights_easy,
+    compute_weights_hard,
+    initial_weights,
+)
+
+__all__ = ["ChainResult", "stap_chain", "assemble_bins", "run_cpi_stream"]
+
+
+@dataclass
+class ChainResult:
+    """Everything the serial chain produced for one CPI."""
+
+    cpi_index: int
+    doppler: DopplerOutput
+    weights_easy: WeightSet
+    weights_hard: WeightSet
+    beams: np.ndarray          # (n_doppler_bins, n_beams, n_ranges), bin order
+    compressed: np.ndarray     # same shape, after pulse compression
+    detections: List[Detection]
+
+
+def assemble_bins(
+    easy: np.ndarray,
+    hard: np.ndarray,
+    easy_bins,
+    hard_bins,
+    n_bins: int,
+) -> np.ndarray:
+    """Interleave easy/hard rows back into Doppler-bin order.
+
+    The pipeline's pulse-compression task receives the two beamforming
+    streams separately; this is the merge it performs.
+    """
+    out = np.empty((n_bins,) + easy.shape[1:], dtype=easy.dtype)
+    out[list(easy_bins)] = easy
+    out[list(hard_bins)] = hard
+    return out
+
+
+def stap_chain(
+    cube: DataCube,
+    params: STAPParams,
+    prev_doppler: Optional[DopplerOutput] = None,
+    trackers: "Optional[tuple]" = None,
+) -> ChainResult:
+    """Process one CPI through the whole chain.
+
+    Parameters
+    ----------
+    cube:
+        The current CPI.
+    params:
+        Algorithm parameters.
+    prev_doppler:
+        Previous CPI's Doppler output for weight training.  ``None``
+        uses quiescent (non-adaptive) bootstrap weights — the pipeline's
+        first-dwell behaviour, so chain and pipeline stay equivalent
+        CPI for CPI.
+    trackers:
+        Optional ``(easy, hard)`` :class:`CovarianceTracker` pair for
+        cross-CPI covariance smoothing (stateful — pass the same pair
+        for every CPI of a stream, as :func:`run_cpi_stream` does).
+    """
+    dop = doppler_process(cube, params)
+    t_easy, t_hard = trackers if trackers is not None else (None, None)
+    if prev_doppler is not None:
+        w_easy = compute_weights_easy(prev_doppler, params, tracker=t_easy)
+        w_hard = compute_weights_hard(prev_doppler, params, tracker=t_hard)
+    else:
+        w_easy = WeightSet(
+            initial_weights(params, hard=False, bins=dop.easy_bins),
+            bins=dop.easy_bins,
+            from_cpi=-1,
+        )
+        w_hard = WeightSet(
+            initial_weights(params, hard=True, bins=dop.hard_bins),
+            bins=dop.hard_bins,
+            from_cpi=-1,
+        )
+    y_easy = beamform(dop.easy, w_easy)
+    y_hard = beamform(dop.hard, w_hard)
+    beams = assemble_bins(
+        y_easy, y_hard, dop.easy_bins, dop.hard_bins, params.n_doppler_bins
+    )
+    compressed = pulse_compress(beams, params.pulse_len)
+    detections = ca_cfar(
+        compressed,
+        bins=list(range(params.n_doppler_bins)),
+        window=params.cfar_window,
+        guard=params.cfar_guard,
+        pfa=params.pfa,
+        cpi_index=cube.cpi_index,
+        method=params.cfar_method,
+    )
+    return ChainResult(
+        cpi_index=cube.cpi_index,
+        doppler=dop,
+        weights_easy=w_easy,
+        weights_hard=w_hard,
+        beams=beams,
+        compressed=compressed,
+        detections=detections,
+    )
+
+
+def run_cpi_stream(
+    cubes: List[DataCube],
+    params: STAPParams,
+) -> List[ChainResult]:
+    """Process a stream of CPIs with the steady-state temporal dependency.
+
+    When ``params.covariance_memory > 0``, cross-CPI covariance trackers
+    are threaded through the stream (the recursive estimator the
+    pipeline's weight tasks also maintain).
+    """
+    results: List[ChainResult] = []
+    prev: Optional[DopplerOutput] = None
+    trackers = None
+    if params.covariance_memory > 0.0:
+        trackers = (
+            CovarianceTracker(params.covariance_memory),
+            CovarianceTracker(params.covariance_memory),
+        )
+    for cube in cubes:
+        res = stap_chain(cube, params, prev_doppler=prev, trackers=trackers)
+        results.append(res)
+        prev = res.doppler
+    return results

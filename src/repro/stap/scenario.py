@@ -1,0 +1,202 @@
+"""Synthetic phased-array radar scenes.
+
+The paper's input data came from a phased-array radar (or recorded files
+of it).  Neither is available, so this module synthesises statistically
+faithful CPI cubes for a sidelooking uniform linear array:
+
+* **targets** — point scatterers with an angle, a normalised Doppler
+  frequency, a range gate, and an element-level SNR; their fast-time
+  signature is the LFM waveform (so pulse compression focuses them);
+* **clutter** — a ridge of patches uniform in sin(angle), each with the
+  angle-coupled Doppler ``f = 0.5 sin(theta)`` of a sidelooking array and
+  i.i.d. complex amplitudes per range gate (white in fast time: the
+  chirp convolution of spatially-distributed scatter is statistically
+  white, so we skip the convolution for generation speed);
+* **jammer** — barrage noise from a fixed angle, white in pulse and
+  range;
+* **noise** — unit-power complex white noise.
+
+Patch/target geometry is fixed per :class:`Scenario`; amplitude
+realisations are redrawn per CPI (seeded by ``seed + cpi_index``), which
+keeps the interference *covariance* stationary across CPIs — the
+property the pipeline's temporal dependency (weights from the previous
+CPI) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.stap.datacube import DataCube
+from repro.stap.params import STAPParams
+from repro.stap.pulse import lfm_replica
+
+__all__ = ["Target", "Jammer", "Scenario", "make_cube", "spatial_steering", "temporal_steering"]
+
+
+def spatial_steering(angle: float, n_channels: int) -> np.ndarray:
+    """ULA steering vector at half-wavelength spacing (complex64)."""
+    j = np.arange(n_channels)
+    return np.exp(1j * np.pi * j * np.sin(angle)).astype(np.complex64)
+
+
+def temporal_steering(doppler: float, n_pulses: int) -> np.ndarray:
+    """Pulse-to-pulse steering at normalised Doppler ``doppler`` (cycles/PRI)."""
+    n = np.arange(n_pulses)
+    return np.exp(2j * np.pi * doppler * n).astype(np.complex64)
+
+
+@dataclass(frozen=True)
+class Target:
+    """A point target.
+
+    Attributes
+    ----------
+    range_gate:
+        Leading-edge range gate of the (uncompressed) echo.
+    doppler:
+        Normalised Doppler in cycles/PRI, in ``[-0.5, 0.5)``.
+    angle:
+        Azimuth in radians.
+    snr_db:
+        Element-level SNR in dB (per channel, per pulse, per range
+        sample of the chirp) relative to unit noise power.
+    """
+
+    range_gate: int
+    doppler: float
+    angle: float
+    snr_db: float = -15.0
+
+
+@dataclass(frozen=True)
+class Jammer:
+    """A barrage noise jammer at a fixed angle."""
+
+    angle: float
+    jnr_db: float = 30.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Scene geometry: targets, clutter ridge, jammers.
+
+    Attributes
+    ----------
+    targets:
+        Point targets to inject.
+    jammers:
+        Barrage jammers.
+    cnr_db:
+        Total clutter-to-noise ratio (element level) in dB; ``None``
+        or ``-inf`` disables clutter.
+    n_clutter_patches:
+        Discrete patches across the ridge.
+    clutter_beta:
+        Doppler/angle coupling: patch Doppler = ``0.5 * beta * sin(theta)``.
+    seed:
+        Base RNG seed; CPI ``k`` uses ``seed + k``.
+    """
+
+    targets: Tuple[Target, ...] = ()
+    jammers: Tuple[Jammer, ...] = ()
+    cnr_db: float = 30.0
+    n_clutter_patches: int = 48
+    clutter_beta: float = 1.0
+    seed: int = 1234
+
+    @staticmethod
+    def standard(params: STAPParams, seed: int = 1234) -> "Scenario":
+        """A canonical validation scene: two targets, clutter, one jammer.
+
+        Target A sits in an *easy* Doppler bin, target B in a *hard* bin,
+        so both halves of the split pipeline are exercised.
+        """
+        easy_bin = params.easy_bins[len(params.easy_bins) // 2]
+        hard = params.hard_bins
+        hard_bin = hard[len(hard) // 4] if len(hard) > 2 else hard[0]
+        to_doppler = lambda b: ((b / params.n_pulses) + 0.5) % 1.0 - 0.5
+        return Scenario(
+            targets=(
+                Target(
+                    range_gate=params.n_ranges // 3,
+                    doppler=to_doppler(easy_bin),
+                    angle=0.25,
+                    snr_db=-10.0,
+                ),
+                Target(
+                    range_gate=(2 * params.n_ranges) // 3,
+                    doppler=to_doppler(hard_bin),
+                    angle=-0.35,
+                    snr_db=-8.0,
+                ),
+            ),
+            jammers=(Jammer(angle=0.7, jnr_db=30.0),),
+            cnr_db=25.0,
+            seed=seed,
+        )
+
+
+def make_cube(params: STAPParams, scenario: Scenario, cpi_index: int = 0) -> DataCube:
+    """Synthesise one CPI cube for ``scenario``.
+
+    Deterministic given (params, scenario, cpi_index).
+    """
+    J, N, R = params.cube_shape
+    rng = np.random.default_rng(scenario.seed + cpi_index)
+    cube = (
+        (rng.standard_normal((J, N, R)) + 1j * rng.standard_normal((J, N, R)))
+        / np.sqrt(2.0)
+    ).astype(params.dtype)
+
+    # -- clutter ridge -----------------------------------------------------
+    if scenario.cnr_db is not None and np.isfinite(scenario.cnr_db):
+        P = scenario.n_clutter_patches
+        if P < 1:
+            raise ConfigurationError("n_clutter_patches must be >= 1")
+        sin_angles = np.linspace(-0.95, 0.95, P)
+        patch_power = 10.0 ** (scenario.cnr_db / 10.0) / P
+        A_sp = np.exp(
+            1j * np.pi * np.outer(np.arange(J), sin_angles)
+        )  # (J, P) spatial steering per patch
+        dop = 0.5 * scenario.clutter_beta * sin_angles
+        B_tm = np.exp(2j * np.pi * np.outer(np.arange(N), dop))  # (N, P)
+        # Fresh patch amplitudes per range gate each CPI: (P, R).
+        G = (
+            rng.standard_normal((P, R)) + 1j * rng.standard_normal((P, R))
+        ) * np.sqrt(patch_power / 2.0)
+        # cube[j,n,r] += sum_p A_sp[j,p] B_tm[n,p] G[p,r]
+        ST = (A_sp[:, None, :] * B_tm[None, :, :]).reshape(J * N, P)
+        cube += (ST @ G).reshape(J, N, R).astype(np.complex64)
+
+    # -- jammers -----------------------------------------------------------
+    for jam in scenario.jammers:
+        a = spatial_steering(jam.angle, J)
+        power = 10.0 ** (jam.jnr_db / 10.0)
+        w = (
+            rng.standard_normal((N, R)) + 1j * rng.standard_normal((N, R))
+        ) * np.sqrt(power / 2.0)
+        cube += (a[:, None, None] * w[None, :, :]).astype(np.complex64)
+
+    # -- targets -----------------------------------------------------------
+    chirp = lfm_replica(params.pulse_len)
+    for tgt in scenario.targets:
+        if not (0 <= tgt.range_gate < R):
+            raise ConfigurationError(
+                f"target range gate {tgt.range_gate} outside [0, {R})"
+            )
+        amp = np.sqrt(10.0 ** (tgt.snr_db / 10.0)) * np.sqrt(params.pulse_len)
+        a = spatial_steering(tgt.angle, J)
+        b = temporal_steering(tgt.doppler, N)
+        span = min(params.pulse_len, R - tgt.range_gate)
+        sig = amp * chirp[:span]
+        cube[:, :, tgt.range_gate : tgt.range_gate + span] += (
+            a[:, None, None] * b[None, :, None] * sig[None, None, :]
+        ).astype(np.complex64)
+
+    assert cube.dtype == params.dtype  # in-place adds must not promote
+    return DataCube(cube, cpi_index=cpi_index)

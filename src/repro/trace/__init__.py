@@ -1,0 +1,27 @@
+"""Execution tracing and paper-style reporting.
+
+The executor records one :class:`~repro.trace.record.PhaseRecord` per
+(task, node, CPI, phase); :class:`~repro.trace.collector.TraceCollector`
+stores and indexes them; :mod:`~repro.trace.gantt` renders ASCII
+timelines for debugging; :mod:`~repro.trace.report` renders the paper's
+table and bar-chart formats.
+"""
+
+from repro.trace.record import PhaseRecord, Phase
+from repro.trace.collector import TraceCollector
+from repro.trace.export import to_chrome_trace, write_chrome_trace
+from repro.trace.gantt import render_gantt
+from repro.trace.report import bar_chart, format_table, grouped_bar_chart, heatmap
+
+__all__ = [
+    "PhaseRecord",
+    "Phase",
+    "TraceCollector",
+    "render_gantt",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "bar_chart",
+    "format_table",
+    "grouped_bar_chart",
+    "heatmap",
+]

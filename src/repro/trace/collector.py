@@ -1,0 +1,109 @@
+"""Trace storage and aggregation queries."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.record import Phase, PhaseRecord
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Accumulates phase records and answers aggregate queries."""
+
+    def __init__(self) -> None:
+        self.records: List[PhaseRecord] = []
+        # (task, cpi) -> list of records, for fast per-CPI queries.
+        self._by_task_cpi: Dict[Tuple[str, int], List[PhaseRecord]] = defaultdict(list)
+
+    def add(
+        self,
+        task: str,
+        node: int,
+        cpi: int,
+        phase: Phase,
+        t_start: float,
+        t_end: float,
+    ) -> None:
+        """Record one phase interval."""
+        rec = PhaseRecord(task, node, cpi, phase, t_start, t_end)
+        self.records.append(rec)
+        self._by_task_cpi[(task, cpi)].append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- queries ---------------------------------------------------------
+    def tasks(self) -> List[str]:
+        """Task names seen, in first-seen order."""
+        seen: List[str] = []
+        for r in self.records:
+            if r.task not in seen:
+                seen.append(r.task)
+        return seen
+
+    def cpis(self, task: Optional[str] = None) -> List[int]:
+        """Sorted CPI indices seen (optionally for one task)."""
+        vals = {
+            r.cpi
+            for r in self.records
+            if (task is None or r.task == task) and r.cpi >= 0
+        }
+        return sorted(vals)
+
+    def for_task_cpi(self, task: str, cpi: int) -> List[PhaseRecord]:
+        """All records of a task for one CPI."""
+        return list(self._by_task_cpi.get((task, cpi), []))
+
+    def phase_time(
+        self, task: str, cpi: int, phase: Phase, agg: str = "max"
+    ) -> float:
+        """Aggregate a phase's duration over the task's nodes for a CPI.
+
+        ``agg``: ``"max"`` (slowest node — determines the pipeline beat)
+        or ``"mean"``.
+        """
+        per_node: Dict[int, float] = defaultdict(float)
+        for r in self._by_task_cpi.get((task, cpi), []):
+            if r.phase == phase:
+                per_node[r.node] += r.duration
+        if not per_node:
+            return 0.0
+        vals = list(per_node.values())
+        return max(vals) if agg == "max" else sum(vals) / len(vals)
+
+    def service_time(self, task: str, cpi: int, agg: str = "max") -> float:
+        """Per-CPI task service time: recv + compute + send (no CREDIT).
+
+        This is the paper's :math:`T_i` — the work a CPI occupies the
+        task for, excluding flow-control idle.
+        """
+        per_node: Dict[int, float] = defaultdict(float)
+        for r in self._by_task_cpi.get((task, cpi), []):
+            if r.phase in (Phase.RECV, Phase.COMPUTE, Phase.SEND):
+                per_node[r.node] += r.duration
+        if not per_node:
+            return 0.0
+        vals = list(per_node.values())
+        return max(vals) if agg == "max" else sum(vals) / len(vals)
+
+    def completion_time(self, task: str, cpi: int) -> float:
+        """Time the last node of ``task`` finished CPI ``cpi``."""
+        recs = self._by_task_cpi.get((task, cpi), [])
+        if not recs:
+            raise KeyError(f"no records for ({task}, {cpi})")
+        return max(r.t_end for r in recs)
+
+    def start_time(self, task: str, cpi: int) -> float:
+        """Time the first node of ``task`` started CPI ``cpi``
+        (excluding flow-control stall)."""
+        recs = [
+            r
+            for r in self._by_task_cpi.get((task, cpi), [])
+            if r.phase is not Phase.CREDIT
+        ]
+        if not recs:
+            raise KeyError(f"no records for ({task}, {cpi})")
+        return min(r.t_start for r in recs)

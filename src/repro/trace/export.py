@@ -1,0 +1,60 @@
+"""Trace export to the Chrome tracing (Perfetto) JSON format.
+
+``chrome://tracing`` / https://ui.perfetto.dev consume a JSON array of
+"complete" events (``ph: "X"``) with microsecond timestamps.  Mapping:
+
+* each pipeline task becomes a *process* (``pid``);
+* each task-local node becomes a *thread* (``tid``) within it;
+* each phase record becomes a complete event named
+  ``"<phase> cpi=<k>"``, categorised by phase so the UI can filter.
+
+This turns any :class:`~repro.trace.collector.TraceCollector` into an
+interactively zoomable timeline of the whole simulated machine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.trace.collector import TraceCollector
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(trace: TraceCollector) -> List[dict]:
+    """Convert a trace to a list of Chrome tracing event dicts."""
+    pids: Dict[str, int] = {}
+    events: List[dict] = []
+    for task in trace.tasks():
+        pids[task] = len(pids) + 1
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[task],
+                "args": {"name": task},
+            }
+        )
+    for rec in trace.records:
+        events.append(
+            {
+                "name": f"{rec.phase.value} cpi={rec.cpi}",
+                "cat": rec.phase.value,
+                "ph": "X",
+                "pid": pids[rec.task],
+                "tid": rec.node,
+                "ts": rec.t_start * 1e6,          # microseconds
+                "dur": max(rec.duration, 0.0) * 1e6,
+                "args": {"cpi": rec.cpi},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(trace: TraceCollector, path: str) -> int:
+    """Write the Chrome tracing JSON to ``path``; returns event count."""
+    events = to_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh)
+    return len(events)

@@ -1,0 +1,54 @@
+"""ASCII Gantt timeline rendering for pipeline debugging."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.trace.collector import TraceCollector
+from repro.trace.record import Phase
+
+__all__ = ["render_gantt"]
+
+_PHASE_CHARS = {
+    Phase.CREDIT: ".",
+    Phase.RECV: "r",
+    Phase.COMPUTE: "C",
+    Phase.SEND: "s",
+    Phase.DONE: "|",
+}
+
+
+def render_gantt(
+    trace: TraceCollector,
+    width: int = 100,
+    tasks: Optional[List[str]] = None,
+    t_max: Optional[float] = None,
+) -> str:
+    """Render one line per (task, node): time flows left to right.
+
+    Characters: ``.`` credit stall, ``r`` receive/read, ``C`` compute,
+    ``s`` send.  Later phases overwrite earlier ones in a cell when
+    multiple fall into the same column.
+    """
+    if not trace.records:
+        return "(empty trace)"
+    names = tasks if tasks is not None else trace.tasks()
+    end = t_max if t_max is not None else max(r.t_end for r in trace.records)
+    if end <= 0:
+        return "(zero-length trace)"
+    scale = width / end
+    lines = [f"time: 0 .. {end:.6f} s  ({width} cols)"]
+    for name in names:
+        nodes = sorted({r.node for r in trace.records if r.task == name})
+        for node in nodes:
+            row = [" "] * width
+            for r in trace.records:
+                if r.task != name or r.node != node:
+                    continue
+                lo = min(width - 1, int(r.t_start * scale))
+                hi = min(width, max(lo + 1, int(r.t_end * scale)))
+                ch = _PHASE_CHARS.get(r.phase, "?")
+                for c in range(lo, hi):
+                    row[c] = ch
+            lines.append(f"{name[:14]:>14}[{node:>2}] {''.join(row)}")
+    return "\n".join(lines)

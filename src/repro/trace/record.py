@@ -1,0 +1,46 @@
+"""Trace record types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Phase", "PhaseRecord"]
+
+
+class Phase(enum.Enum):
+    """The phases a task node cycles through per CPI.
+
+    ``RECV`` covers waiting for and transferring inputs (for I/O-bearing
+    tasks this is the read phase the paper discusses); ``CREDIT`` is
+    flow-control stall waiting for downstream acknowledgements — it is
+    idle time, excluded from service-time metrics.
+    """
+
+    CREDIT = "credit"
+    RECV = "recv"
+    COMPUTE = "compute"
+    SEND = "send"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One timed phase of one task node for one CPI."""
+
+    task: str
+    node: int       # task-local node index
+    cpi: int
+    phase: Phase
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"phase record ends before it starts: {self.t_start} > {self.t_end}"
+            )

@@ -1,0 +1,139 @@
+"""Paper-style table and bar-chart rendering (plain text).
+
+The benchmark harness prints its results through these helpers so every
+table/figure of the paper has a directly comparable artifact: the tables
+mirror Tables 1–4's per-task rows, and :func:`bar_chart` /
+:func:`grouped_bar_chart` stand in for Figures 5–8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "bar_chart", "grouped_bar_chart", "heatmap"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(
+            " | ".join(
+                c.rjust(w) if _numericish(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(out)
+
+
+def _numericish(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart, one bar per labelled value."""
+    if not values:
+        return f"{title}\n(no data)"
+    vmax = max(values.values())
+    scale = (width / vmax) if vmax > 0 else 0.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for k, v in values.items():
+        bar = "#" * max(1 if v > 0 else 0, int(round(v * scale)))
+        lines.append(f"{k.rjust(label_w)} | {bar} {v:.4g}{unit}")
+    return "\n".join(lines)
+
+
+#: Intensity ramp for :func:`heatmap`, dim to bright.
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def heatmap(
+    values,
+    title: str = "",
+    row_labels=None,
+    col_label: str = "",
+    db_floor: float = -40.0,
+) -> str:
+    """ASCII intensity map of a 2-D array (rows x cols), log-scaled.
+
+    Values are converted to dB relative to the maximum and quantised
+    onto a 10-step character ramp over ``[db_floor, 0]`` — enough to see
+    a clutter ridge or a jammer line in a terminal.
+    """
+    import numpy as _np
+
+    arr = _np.asarray(values, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        return f"{title}\n(no data)"
+    peak = arr.max()
+    if peak <= 0:
+        return f"{title}\n(all-zero data)"
+    db = 10.0 * _np.log10(_np.maximum(arr, 1e-300) / peak)
+    levels = _np.clip((db - db_floor) / -db_floor, 0.0, 1.0)
+    idx = _np.minimum((levels * (len(_HEAT_CHARS) - 1)).astype(int), len(_HEAT_CHARS) - 1)
+    lines = [title] if title else []
+    label_w = max((len(str(l)) for l in (row_labels or [""])), default=0)
+    for i, row in enumerate(idx):
+        label = str(row_labels[i]).rjust(label_w) if row_labels is not None else ""
+        lines.append(f"{label} |" + "".join(_HEAT_CHARS[v] for v in row) + "|")
+    if col_label:
+        lines.append(" " * (label_w + 2) + col_label)
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Bar chart with series grouped under headings (paper Fig. 5–8 style).
+
+    ``groups`` maps a group label (e.g. a file system) to a mapping of
+    series label (e.g. node count) to value.  One global scale is used
+    so bars are comparable across groups.
+    """
+    all_vals = [v for g in groups.values() for v in g.values()]
+    if not all_vals:
+        return f"{title}\n(no data)"
+    vmax = max(all_vals)
+    scale = (width / vmax) if vmax > 0 else 0.0
+    label_w = max((len(k) for g in groups.values() for k in g), default=1)
+    lines = [title] if title else []
+    for gname, series in groups.items():
+        lines.append(f"-- {gname}")
+        for k, v in series.items():
+            bar = "#" * max(1 if v > 0 else 0, int(round(v * scale)))
+            lines.append(f"  {str(k).rjust(label_w)} | {bar} {v:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.presets import generic_cluster, paragon
+from repro.pfs.blockdev import DiskSpec
+from repro.sim.kernel import Kernel
+from repro.stap.params import STAPParams
+
+
+@pytest.fixture
+def kernel():
+    """Fresh DES kernel."""
+    return Kernel()
+
+
+@pytest.fixture
+def tiny_params():
+    """Very small STAP dimensions for fast numeric tests."""
+    return STAPParams(
+        n_channels=4,
+        n_pulses=16,
+        n_ranges=128,
+        n_beams=4,
+        n_hard_bins=4,
+        n_training=32,
+        pulse_len=8,
+        cfar_window=8,
+        cfar_guard=2,
+    )
+
+
+@pytest.fixture
+def small_params():
+    """Small-but-realistic STAP dimensions for pipeline tests."""
+    return STAPParams(
+        n_channels=8,
+        n_pulses=32,
+        n_ranges=256,
+        n_beams=6,
+        n_hard_bins=8,
+        n_training=64,
+        pulse_len=16,
+        cfar_window=12,
+        cfar_guard=3,
+        pfa=1e-6,
+    )
+
+
+@pytest.fixture
+def disk():
+    """A fast disk spec for FS unit tests."""
+    return DiskSpec(bandwidth=50e6, overhead=1e-3)
+
+
+@pytest.fixture
+def ideal_machine(kernel):
+    """8 compute + 4 I/O nodes on a contention-free network."""
+    return generic_cluster().build(kernel, n_compute=8, n_io=4)
+
+
+@pytest.fixture
+def mesh_machine(kernel):
+    """8 compute + 4 I/O nodes on a Paragon-like mesh."""
+    return paragon().build(kernel, n_compute=8, n_io=4)

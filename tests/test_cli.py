@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.pipeline == "embedded" and args.case == 1
+        assert args.fs == "pfs" and args.stripe_factor == 64
+        assert not args.threaded
+
+    def test_run_all_options(self):
+        args = build_parser().parse_args(
+            ["run", "--pipeline", "combined", "--case", "3", "--machine", "sp",
+             "--fs", "piofs", "--stripe-factor", "80", "--cpis", "4",
+             "--threaded"]
+        )
+        assert args.pipeline == "combined" and args.machine == "sp"
+        assert args.threaded
+
+    def test_invalid_case_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--case", "9"])
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "5"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "16 MiB" in out and "case 3" in out and "doppler" in out
+
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "--case", "1", "--cpis", "3", "--warmup", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "latency" in out and "bottleneck" in out
+
+    def test_run_threaded(self, capsys):
+        assert main(
+            ["run", "--case", "1", "--cpis", "3", "--warmup", "1", "--threaded"]
+        ) == 0
+        assert "SMP-threaded" in capsys.readouterr().out
+
+    def test_run_sp_piofs(self, capsys):
+        code = main(
+            ["run", "--machine", "sp", "--fs", "piofs", "--stripe-factor", "80",
+             "--cpis", "3", "--warmup", "1"]
+        )
+        assert code == 0
+        assert "IBM SP" in capsys.readouterr().out
+
+    def test_detect(self, capsys):
+        assert main(["detect", "--cpis", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out and "detections" in out
+
+    def test_sweep_stripe(self, capsys):
+        assert main(
+            ["sweep-stripe", "--factors", "8,64", "--case", "1", "--cpis", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sf=8" in out and "sf=64" in out
+
+    def test_sweep_stripe_bad_factors(self, capsys):
+        assert main(["sweep-stripe", "--factors", "a,b"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_stripe_nonpositive(self, capsys):
+        assert main(["sweep-stripe", "--factors", "0,4"]) == 2
+
+
+class TestSpectrumCommand:
+    def test_spectrum_renders_heatmap(self, capsys):
+        assert main(["spectrum", "--estimator", "fourier"]) == 0
+        out = capsys.readouterr().out
+        assert "angle-Doppler" in out and "Doppler ->" in out
+        assert "|" in out
+
+    def test_spectrum_mvdr_default(self, capsys):
+        assert main(["spectrum"]) == 0
+        assert "mvdr" in capsys.readouterr().out
+
+    def test_spectrum_bad_estimator(self):
+        with pytest.raises(SystemExit):
+            main(["spectrum", "--estimator", "music"])

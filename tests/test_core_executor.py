@@ -1,0 +1,191 @@
+"""Executor tests: timing mode, compute mode, and chain equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor
+from repro.core.pipeline import (
+    NodeAssignment,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.machine.presets import ibm_sp, paragon
+from repro.stap.chain import run_cpi_stream
+from repro.stap.scenario import Scenario, make_cube
+
+
+@pytest.fixture
+def assignment(small_params):
+    return NodeAssignment.balanced(small_params, 20, io_nodes=4)
+
+
+def run(spec, params, preset=None, fs=None, cfg=None, scenario=None):
+    return PipelineExecutor(
+        spec,
+        params,
+        preset or paragon(),
+        fs or FSConfig("pfs", stripe_factor=8),
+        cfg or ExecutionConfig(n_cpis=5, warmup=1),
+        scenario=scenario,
+    ).run()
+
+
+class TestConfig:
+    def test_invalid_execution_config(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(n_cpis=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(n_cpis=2, warmup=2)
+        with pytest.raises(ValueError):
+            ExecutionConfig(window=0)
+
+    def test_unknown_fs_kind(self, small_params, assignment):
+        spec = build_embedded_pipeline(assignment)
+        with pytest.raises(ConfigurationError):
+            PipelineExecutor(spec, small_params, paragon(), FSConfig("zfs", 8))
+
+    def test_compute_mode_needs_scenario(self, small_params, assignment):
+        spec = build_embedded_pipeline(assignment)
+        with pytest.raises(ConfigurationError):
+            PipelineExecutor(
+                spec, small_params, paragon(), FSConfig("pfs", 8),
+                ExecutionConfig(n_cpis=2, warmup=0, compute=True),
+            )
+
+    def test_fs_label(self):
+        assert FSConfig("pfs", 16).label() == "PFS sf=16"
+        assert FSConfig("piofs", 80, name="custom").label() == "custom"
+
+
+class TestTimingMode:
+    def test_run_produces_measurement(self, small_params, assignment):
+        res = run(build_embedded_pipeline(assignment), small_params)
+        m = res.measurement
+        assert res.throughput > 0 and res.latency > 0
+        assert set(m.task_stats) == set(res.spec.task_names())
+        assert m.bottleneck_task in m.task_stats
+
+    def test_deterministic(self, small_params, assignment):
+        spec = build_embedded_pipeline(assignment)
+        r1 = run(spec, small_params)
+        r2 = run(spec, small_params)
+        assert r1.throughput == r2.throughput
+        assert r1.latency == r2.latency
+
+    def test_all_cpis_traced_for_all_tasks(self, small_params, assignment):
+        res = run(build_embedded_pipeline(assignment), small_params)
+        for t in res.spec.task_names():
+            assert res.trace.cpis(t) == list(range(5))
+
+    def test_separate_io_pipeline_runs(self, small_params, assignment):
+        res = run(build_separate_io_pipeline(assignment), small_params)
+        assert res.throughput > 0
+        assert "read" in res.measurement.task_stats
+
+    def test_combined_pipeline_runs(self, small_params, assignment):
+        res = run(combine_pulse_cfar(build_embedded_pipeline(assignment)), small_params)
+        assert "pc_cfar" in res.measurement.task_stats
+
+    def test_piofs_runs(self, small_params, assignment):
+        res = run(
+            build_embedded_pipeline(assignment), small_params,
+            preset=ibm_sp(), fs=FSConfig("piofs", 8),
+        )
+        assert res.throughput > 0
+
+    def test_measured_consistent_with_model_form(self, small_params, assignment):
+        """Measured throughput ~ 1/max(T_i) (Eq. 1 operationalised)."""
+        res = run(
+            build_embedded_pipeline(assignment), small_params,
+            cfg=ExecutionConfig(n_cpis=8, warmup=3),
+        )
+        m = res.measurement
+        assert m.throughput == pytest.approx(m.model_throughput, rel=0.25)
+
+    def test_latency_at_least_critical_path_compute(self, small_params, assignment):
+        res = run(build_embedded_pipeline(assignment), small_params)
+        m = res.measurement
+        path_compute = (
+            m.task_stats["doppler"].compute
+            + max(m.task_stats["easy_bf"].compute, m.task_stats["hard_bf"].compute)
+            + m.task_stats["pulse_compr"].compute
+            + m.task_stats["cfar"].compute
+        )
+        assert res.latency >= path_compute
+
+    def test_no_detections_in_timing_mode(self, small_params, assignment):
+        res = run(build_embedded_pipeline(assignment), small_params)
+        assert res.detections == []
+
+    def test_window_bounds_pipelining(self, small_params, assignment):
+        """A wider credit window cannot hurt throughput."""
+        spec = build_embedded_pipeline(assignment)
+        r1 = run(spec, small_params, cfg=ExecutionConfig(n_cpis=6, warmup=2, window=1))
+        r3 = run(spec, small_params, cfg=ExecutionConfig(n_cpis=6, warmup=2, window=3))
+        assert r3.throughput >= r1.throughput * 0.99
+
+
+class TestComputeMode:
+    @pytest.fixture
+    def scenario(self, small_params):
+        return Scenario.standard(small_params, seed=7)
+
+    @pytest.fixture
+    def serial_detections(self, small_params, scenario):
+        cubes = [make_cube(small_params, scenario, k) for k in range(4)]
+        results = run_cpi_stream(cubes, small_params)
+        return sorted(d for r in results for d in r.detections)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            build_embedded_pipeline,
+            build_separate_io_pipeline,
+            lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
+        ],
+        ids=["embedded", "separate", "combined"],
+    )
+    def test_pipeline_matches_serial_chain(
+        self, small_params, assignment, scenario, serial_detections, builder
+    ):
+        res = run(
+            builder(assignment), small_params,
+            cfg=ExecutionConfig(n_cpis=4, warmup=1, compute=True),
+            scenario=scenario,
+        )
+        got = [(d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in res.detections]
+        want = [
+            (d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in serial_detections
+        ]
+        assert got == want
+        for a, b in zip(res.detections, serial_detections):
+            assert a.snr_db == pytest.approx(b.snr_db, abs=0.1)
+
+    def test_compute_and_timing_modes_time_identically(
+        self, small_params, assignment, scenario
+    ):
+        spec = build_embedded_pipeline(assignment)
+        rt = run(spec, small_params, cfg=ExecutionConfig(n_cpis=4, warmup=1))
+        rc = run(
+            spec, small_params,
+            cfg=ExecutionConfig(n_cpis=4, warmup=1, compute=True),
+            scenario=scenario,
+        )
+        assert rc.throughput == pytest.approx(rt.throughput, rel=1e-6)
+        assert rc.latency == pytest.approx(rt.latency, rel=1e-6)
+
+    def test_piofs_compute_mode(self, small_params, assignment, scenario, serial_detections):
+        res = run(
+            build_embedded_pipeline(assignment), small_params,
+            preset=ibm_sp(), fs=FSConfig("piofs", 8),
+            cfg=ExecutionConfig(n_cpis=4, warmup=1, compute=True),
+            scenario=scenario,
+        )
+        got = [(d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in res.detections]
+        want = [
+            (d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in serial_detections
+        ]
+        assert got == want

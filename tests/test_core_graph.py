@@ -1,0 +1,132 @@
+"""Tests for the task graph and the paper's Eq. 1-4 semantics."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.core.graph import DependencyKind, Edge, TaskGraph
+from repro.core.pipeline import (
+    NodeAssignment,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.core.task import TaskKind, TaskSpec
+
+SD, TD = DependencyKind.SPATIAL, DependencyKind.TEMPORAL
+
+
+def spec(name, nodes=1, kind=TaskKind.CFAR):
+    return TaskSpec(name, kind, nodes)
+
+
+@pytest.fixture
+def assignment(small_params):
+    return NodeAssignment.balanced(small_params, 20, io_nodes=4)
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DependencyError):
+            TaskGraph([spec("a"), spec("a")], [])
+
+    def test_unknown_edge_target(self):
+        with pytest.raises(DependencyError):
+            TaskGraph([spec("a")], [Edge("a", "ghost", SD)])
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(DependencyError):
+            TaskGraph([spec("a")], [Edge("a", "a", SD)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(DependencyError):
+            TaskGraph(
+                [spec("a"), spec("b")],
+                [Edge("a", "b", SD), Edge("b", "a", SD)],
+            )
+
+    def test_successors_predecessors(self):
+        g = TaskGraph(
+            [spec("a"), spec("b"), spec("c")],
+            [Edge("a", "b", SD), Edge("a", "c", TD)],
+        )
+        assert g.successors("a") == ["b", "c"]
+        assert g.successors("a", SD) == ["b"]
+        assert g.predecessors("c", TD) == ["a"]
+        assert g.has_temporal_input("c") and not g.has_temporal_input("b")
+
+
+class TestPaperEquations:
+    def test_throughput_is_inverse_of_max(self):
+        g = TaskGraph([spec("a"), spec("b")], [Edge("a", "b", SD)])
+        assert g.throughput({"a": 0.5, "b": 0.25}) == pytest.approx(2.0)
+
+    def test_throughput_needs_positive_times(self):
+        g = TaskGraph([spec("a")], [])
+        with pytest.raises(DependencyError):
+            g.throughput({"a": 0.0})
+
+    def test_latency_excludes_temporal_tasks(self, assignment):
+        spec7 = build_embedded_pipeline(assignment)
+        stages = spec7.graph.latency_path_tasks()
+        flat = [t for stage in stages for t in stage]
+        assert "easy_weight" not in flat and "hard_weight" not in flat
+
+    def test_eq2_seven_task_latency(self, assignment):
+        """latency = T0 + max(T3, T4) + T5 + T6 (paper Eq. 2)."""
+        spec7 = build_embedded_pipeline(assignment)
+        times = {
+            "doppler": 1.0,
+            "easy_weight": 100.0,   # must not matter
+            "hard_weight": 100.0,   # must not matter
+            "easy_bf": 2.0,
+            "hard_bf": 3.0,
+            "pulse_compr": 4.0,
+            "cfar": 5.0,
+        }
+        assert spec7.graph.latency(times) == pytest.approx(1 + 3 + 4 + 5)
+
+    def test_eq4_eight_task_latency(self, assignment):
+        """latency = T0' + T1 + max(T4, T5) + T6 + T7 (paper Eq. 4)."""
+        spec8 = build_separate_io_pipeline(assignment)
+        times = {
+            "read": 0.5,
+            "doppler": 1.0,
+            "easy_weight": 100.0,
+            "hard_weight": 100.0,
+            "easy_bf": 2.0,
+            "hard_bf": 3.0,
+            "pulse_compr": 4.0,
+            "cfar": 5.0,
+        }
+        assert spec8.graph.latency(times) == pytest.approx(0.5 + 1 + 3 + 4 + 5)
+
+    def test_separate_io_adds_exactly_one_term(self, assignment):
+        t = {
+            "doppler": 1.0, "easy_weight": 9.0, "hard_weight": 9.0,
+            "easy_bf": 1.0, "hard_bf": 1.0, "pulse_compr": 1.0, "cfar": 1.0,
+        }
+        lat7 = build_embedded_pipeline(assignment).graph.latency(t)
+        lat8 = build_separate_io_pipeline(assignment).graph.latency({**t, "read": 0.7})
+        assert lat8 == pytest.approx(lat7 + 0.7)
+
+    def test_combined_pipeline_latency(self, assignment):
+        """latency = T0 + max(T3, T4) + T5+6 (paper Eq. 12's left side)."""
+        spec6 = combine_pulse_cfar(build_embedded_pipeline(assignment))
+        times = {
+            "doppler": 1.0, "easy_weight": 50.0, "hard_weight": 50.0,
+            "easy_bf": 2.0, "hard_bf": 3.0, "pc_cfar": 6.0,
+        }
+        assert spec6.graph.latency(times) == pytest.approx(1 + 3 + 6)
+
+    def test_latency_terms_rendering(self, assignment):
+        s = build_embedded_pipeline(assignment).graph.latency_terms()
+        assert "T[doppler]" in s and "max(" in s and "T[cfar]" in s
+
+    def test_parallel_branch_takes_max(self):
+        g = TaskGraph(
+            [spec("src"), spec("l"), spec("r"), spec("sink")],
+            [Edge("src", "l", SD), Edge("src", "r", SD),
+             Edge("l", "sink", SD), Edge("r", "sink", SD)],
+        )
+        lat = g.latency({"src": 1, "l": 5, "r": 7, "sink": 2})
+        assert lat == pytest.approx(1 + 7 + 2)

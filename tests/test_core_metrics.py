@@ -1,0 +1,85 @@
+"""Tests for steady-state measurement from traces."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.core.metrics import TaskPhaseStats, measure
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.trace.collector import TraceCollector
+from repro.trace.record import Phase
+
+
+class TestTaskPhaseStats:
+    def test_total(self):
+        s = TaskPhaseStats("t", recv=1.0, compute=2.0, send=0.5)
+        assert s.total == 3.5
+
+
+class TestMeasure:
+    @pytest.fixture
+    def spec(self, small_params):
+        return build_embedded_pipeline(
+            NodeAssignment.balanced(small_params, 20)
+        )
+
+    def _synthetic_trace(self, spec, n_cpis=4, beat=1.0):
+        """Every task takes `beat` seconds per CPI, perfectly pipelined."""
+        tc = TraceCollector()
+        for k in range(n_cpis):
+            for i, t in enumerate(spec.tasks):
+                start = k * beat + i * beat
+                tc.add(t.name, 0, k, Phase.RECV, start, start + 0.2 * beat)
+                tc.add(t.name, 0, k, Phase.COMPUTE, start + 0.2 * beat, start + 0.9 * beat)
+                tc.add(t.name, 0, k, Phase.SEND, start + 0.9 * beat, start + beat)
+        return tc
+
+    def test_throughput_matches_beat(self, spec):
+        tc = self._synthetic_trace(spec, n_cpis=5, beat=2.0)
+        m = measure(tc, spec, n_cpis=5, warmup=1, sink_task="cfar", first_task="doppler")
+        assert m.throughput == pytest.approx(0.5)
+
+    def test_task_times_match_beat(self, spec):
+        tc = self._synthetic_trace(spec, beat=1.5)
+        m = measure(tc, spec, 4, 1, "cfar", "doppler")
+        for s in m.task_stats.values():
+            assert s.total == pytest.approx(1.5)
+
+    def test_latency_is_journey_time(self, spec):
+        tc = self._synthetic_trace(spec, beat=1.0)
+        m = measure(tc, spec, 4, 1, "cfar", "doppler")
+        # 7 pipeline stages of 1 s each.
+        assert m.latency == pytest.approx(7.0)
+
+    def test_model_forms(self, spec):
+        tc = self._synthetic_trace(spec, beat=1.0)
+        m = measure(tc, spec, 4, 1, "cfar", "doppler")
+        assert m.model_throughput == pytest.approx(1.0)
+        # Latency path: doppler + max(bf) + pc + cfar = 4 tasks.
+        assert m.model_latency == pytest.approx(4.0)
+
+    def test_bottleneck_task(self, spec):
+        tc = self._synthetic_trace(spec)
+        tc.add("pulse_compr", 0, 1, Phase.COMPUTE, 100.0, 105.0)
+        m = measure(tc, spec, 4, 1, "cfar", "doppler")
+        assert m.bottleneck_task == "pulse_compr"
+
+    def test_single_steady_cpi_falls_back(self, spec):
+        tc = self._synthetic_trace(spec, n_cpis=2)
+        m = measure(tc, spec, 2, 1, "cfar", "doppler")
+        assert m.throughput == pytest.approx(m.model_throughput)
+
+    def test_no_steady_cpis_raises(self, spec):
+        tc = self._synthetic_trace(spec, n_cpis=2)
+        with pytest.raises(PipelineError):
+            measure(tc, spec, 2, 2, "cfar", "doppler")
+
+    def test_missing_task_records_raises(self, spec):
+        tc = TraceCollector()
+        tc.add("doppler", 0, 0, Phase.COMPUTE, 0, 1)
+        with pytest.raises(PipelineError):
+            measure(tc, spec, 1, 0, "cfar", "doppler")
+
+    def test_times_dict(self, spec):
+        tc = self._synthetic_trace(spec)
+        m = measure(tc, spec, 4, 1, "cfar", "doppler")
+        assert set(m.times()) == set(spec.task_names())

@@ -1,0 +1,156 @@
+"""Tests for the analytic model — the paper's equations 5-15."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, PipelineError
+from repro.core.model import CombinationAnalysis, IOModel, PipelineModel
+from repro.core.pipeline import (
+    NodeAssignment,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+)
+from repro.machine.presets import paragon
+from repro.stap.params import STAPParams
+
+positive = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+nodes = st.integers(min_value=1, max_value=64)
+
+
+class TestCombinationAnalysis:
+    def test_eq6_task_times(self):
+        ca = CombinationAnalysis(w_a=10, w_b=2, p_a=5, p_b=1, c_a=0.1, c_b=0.05)
+        assert ca.t_a == pytest.approx(10 / 5 + 0.1)
+        assert ca.t_b == pytest.approx(2 / 1 + 0.05)
+
+    def test_eq9_work_term_strictly_negative(self):
+        ca = CombinationAnalysis(w_a=10, w_b=2, p_a=5, p_b=1, c_a=0, c_b=0)
+        assert ca.work_term_delta() < 0
+
+    @given(positive, positive, nodes, nodes)
+    @settings(max_examples=120, deadline=None)
+    def test_eq9_holds_for_all_inputs(self, wa, wb, pa, pb):
+        """(W_a+W_b)/(P_a+P_b) < W_a/P_a + W_b/P_b whenever work exists."""
+        ca = CombinationAnalysis(w_a=wa, w_b=wb, p_a=pa, p_b=pb, c_a=0, c_b=0)
+        assert ca.work_term_delta() < 0
+
+    @given(positive, positive, nodes, nodes, positive, positive)
+    @settings(max_examples=120, deadline=None)
+    def test_eq12_latency_always_improves_when_comm_shrinks(
+        self, wa, wb, pa, pb, ca_, cb
+    ):
+        """With C_{a+b} <= C_a (the paper's Eq. 10) and V negligible,
+        T_{a+b} < T_a + T_b — Eq. 11/12."""
+        ca = CombinationAnalysis(w_a=wa, w_b=wb, p_a=pa, p_b=pb, c_a=ca_, c_b=cb)
+        assert ca._c_comb <= ca_ + 1e-12
+        assert ca.latency_improves()
+
+    @given(positive, positive, nodes, nodes, positive, positive)
+    @settings(max_examples=120, deadline=None)
+    def test_eq13_combined_below_weighted_average(self, wa, wb, pa, pb, ca_, cb):
+        """T_{a+b} <= (P_a T_a + P_b T_b)/(P_a+P_b) <= max(T_a, T_b)."""
+        ca = CombinationAnalysis(
+            w_a=wa, w_b=wb, p_a=pa, p_b=pb, c_a=ca_, c_b=cb,
+            c_combined=0.0, v_combined=0.0,
+        )
+        bound = ca.combined_time_bound()
+        assert ca.t_combined <= bound + 1e-9
+        assert bound <= max(ca.t_a, ca.t_b) + 1e-9
+
+    def test_eq14_throughput_non_decreasing(self):
+        ca = CombinationAnalysis(w_a=10, w_b=2, p_a=2, p_b=1, c_a=0.01, c_b=0.01)
+        others = {"doppler": 6.0, "bf": 5.5}
+        assert ca.throughput_non_decreasing(others)
+
+    def test_eq15_both_improve_when_combined_was_bottleneck(self):
+        # PC on 1 node is the clear bottleneck.
+        ca = CombinationAnalysis(w_a=10, w_b=1, p_a=1, p_b=1, c_a=0.01, c_b=0.01)
+        others = {"doppler": 2.0}
+        assert ca.both_improve(others)
+
+    def test_both_improve_false_when_not_bottleneck(self):
+        ca = CombinationAnalysis(w_a=1, w_b=1, p_a=2, p_b=2, c_a=0.0, c_b=0.0)
+        others = {"doppler": 50.0}
+        assert not ca.both_improve(others)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            CombinationAnalysis(w_a=1, w_b=1, p_a=0, p_b=1, c_a=0, c_b=0)
+        with pytest.raises(ConfigurationError):
+            CombinationAnalysis(w_a=-1, w_b=1, p_a=1, p_b=1, c_a=0, c_b=0)
+
+
+class TestIOModel:
+    def test_more_stripes_is_faster(self):
+        kw = dict(stripe_unit=64 * 1024, disk_bw=5.5e6, disk_overhead=0.02, asynchronous=True)
+        t16 = IOModel(stripe_factor=16, **kw).cycle_time(24, 16 * 2**20)
+        t64 = IOModel(stripe_factor=64, **kw).cycle_time(24, 16 * 2**20)
+        assert t64 < t16 / 2
+
+    def test_more_readers_costs_more_overhead(self):
+        io = IOModel(16, 64 * 1024, 5.5e6, 0.02, True)
+        assert io.cycle_time(24, 16 * 2**20) > io.cycle_time(6, 16 * 2**20)
+
+    def test_invalid_args(self):
+        io = IOModel(16, 1024, 1e6, 0.01, True)
+        with pytest.raises(ConfigurationError):
+            io.cycle_time(0, 100)
+
+
+class TestPipelineModel:
+    @pytest.fixture
+    def model(self):
+        params = STAPParams()
+        spec = build_embedded_pipeline(NodeAssignment.case(1, params))
+        io = IOModel(64, 64 * 1024, 5.5e6, 0.02, asynchronous=True)
+        return PipelineModel(spec, params, paragon(), io)
+
+    def test_all_times_positive(self, model):
+        assert all(t > 0 for t in model.predicted_times().values())
+
+    def test_predictions_are_balanced(self, model):
+        times = model.predicted_times()
+        assert max(times.values()) / min(times.values()) < 4
+
+    def test_throughput_latency_consistent(self, model):
+        thr = model.predicted_throughput()
+        times = model.predicted_times()
+        assert thr == pytest.approx(1.0 / max(times.values()))
+        assert model.predicted_latency() >= max(times.values())
+
+    def test_io_pipeline_requires_io_model(self):
+        params = STAPParams()
+        spec = build_embedded_pipeline(NodeAssignment.case(1, params))
+        with pytest.raises(PipelineError):
+            PipelineModel(spec, params, paragon(), io_model=None)
+
+    def test_sync_io_slower_than_async(self):
+        params = STAPParams()
+        spec = build_embedded_pipeline(NodeAssignment.case(3, params))
+        io_async = IOModel(16, 64 * 1024, 5.5e6, 0.02, asynchronous=True)
+        io_sync = IOModel(16, 64 * 1024, 5.5e6, 0.02, asynchronous=False)
+        t_async = PipelineModel(spec, params, paragon(), io_async).task_time("doppler")
+        t_sync = PipelineModel(spec, params, paragon(), io_sync).task_time("doppler")
+        assert t_sync > t_async
+
+    def test_separate_read_task_time_includes_io(self):
+        params = STAPParams()
+        spec = build_separate_io_pipeline(NodeAssignment.case(1, params))
+        io = IOModel(16, 64 * 1024, 5.5e6, 0.02, asynchronous=True)
+        m = PipelineModel(spec, params, paragon(), io)
+        assert m.task_time("read") > io.cycle_time(
+            spec.task("read").n_nodes, params.cube_nbytes
+        ) * 0.9
+
+    def test_model_predicts_stripe16_bottleneck_at_case3(self):
+        """The model itself reproduces the paper's headline effect."""
+        params = STAPParams()
+        spec = build_embedded_pipeline(NodeAssignment.case(3, params))
+        t16 = PipelineModel(
+            spec, params, paragon(), IOModel(16, 64 * 1024, 5.5e6, 0.02, True)
+        )
+        t64 = PipelineModel(
+            spec, params, paragon(), IOModel(64, 64 * 1024, 5.5e6, 0.02, True)
+        )
+        assert t16.predicted_throughput() < 0.8 * t64.predicted_throughput()

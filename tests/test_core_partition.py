@@ -1,0 +1,138 @@
+"""Unit and property tests for block partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.core.partition import BlockPartition, label_block_rows
+
+
+class TestBlockPartition:
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            BlockPartition(-1, 2)
+        with pytest.raises(PartitionError):
+            BlockPartition(10, 0)
+
+    def test_even_split(self):
+        bp = BlockPartition(12, 4)
+        assert bp.all_bounds() == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_goes_to_first_blocks(self):
+        bp = BlockPartition(10, 4)
+        assert [bp.size(i) for i in range(4)] == [3, 3, 2, 2]
+
+    def test_more_parts_than_units(self):
+        bp = BlockPartition(2, 5)
+        assert [bp.size(i) for i in range(5)] == [1, 1, 0, 0, 0]
+
+    def test_bounds_out_of_range(self):
+        with pytest.raises(PartitionError):
+            BlockPartition(10, 2).bounds(2)
+
+    def test_owner(self):
+        bp = BlockPartition(10, 4)
+        for i in range(4):
+            lo, hi = bp.bounds(i)
+            for u in range(lo, hi):
+                assert bp.owner(u) == i
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(PartitionError):
+            BlockPartition(10, 2).owner(10)
+
+    @given(st.integers(0, 5000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_blocks_tile_and_balance(self, total, parts):
+        bp = BlockPartition(total, parts)
+        bounds = bp.all_bounds()
+        pos = 0
+        for lo, hi in bounds:
+            assert lo == pos and hi >= lo
+            pos = hi
+        assert pos == total
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(1, 2000), st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_owner_consistent_with_bounds(self, total, parts):
+        bp = BlockPartition(total, parts)
+        for u in range(0, total, max(1, total // 17)):
+            i = bp.owner(u)
+            lo, hi = bp.bounds(i)
+            assert lo <= u < hi
+
+    def test_overlap(self):
+        a, b = BlockPartition(100, 4), BlockPartition(100, 3)
+        assert a.overlap(0, b, 0) == (0, 25)
+        lo, hi = a.overlap(1, b, 0)
+        assert (lo, hi) == (25, 34)
+
+    def test_overlap_empty(self):
+        a, b = BlockPartition(100, 4), BlockPartition(100, 4)
+        lo, hi = a.overlap(0, b, 3)
+        assert lo == hi
+
+    def test_overlap_space_mismatch(self):
+        with pytest.raises(PartitionError):
+            BlockPartition(10, 2).overlap(0, BlockPartition(11, 2), 0)
+
+    @given(st.integers(1, 500), st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_overlaps_conserve_units(self, total, pa, pb):
+        a, b = BlockPartition(total, pa), BlockPartition(total, pb)
+        covered = 0
+        for i in range(pa):
+            for j in range(pb):
+                lo, hi = a.overlap(i, b, j)
+                covered += hi - lo
+        assert covered == total
+
+    @given(st.integers(1, 500), st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_peers_overlapping_is_exact(self, total, pa, pb):
+        a, b = BlockPartition(total, pa), BlockPartition(total, pb)
+        for i in range(pa):
+            peers = set(a.peers_overlapping(i, b))
+            brute = {
+                j for j in range(pb) if a.overlap(i, b, j)[1] > a.overlap(i, b, j)[0]
+            }
+            assert peers == brute
+
+
+class TestLabelBlockRows:
+    def test_basic(self):
+        labels = [1, 4, 6, 9, 12]
+        assert label_block_rows(labels, 4, 10) == (1, 4)
+
+    def test_empty_interval(self):
+        assert label_block_rows([1, 2, 3], 5, 5) == (3, 3)
+
+    def test_no_matches(self):
+        assert label_block_rows([10, 20], 12, 18) == (1, 1)
+
+    def test_all_match(self):
+        assert label_block_rows([3, 4, 5], 0, 100) == (0, 3)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(PartitionError):
+            label_block_rows([3, 1], 0, 5)
+
+    def test_bad_interval(self):
+        with pytest.raises(PartitionError):
+            label_block_rows([1], 5, 2)
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=0, max_size=50),
+        st.integers(0, 200),
+        st.integers(0, 200),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_filter_semantics(self, labels, a, b):
+        labels = sorted(set(labels))
+        lo, hi = min(a, b), max(a, b)
+        rlo, rhi = label_block_rows(labels, lo, hi)
+        selected = labels[rlo:rhi]
+        assert selected == [x for x in labels if lo <= x < hi]

@@ -1,0 +1,168 @@
+"""Tests for pipeline builders, node assignments, and the combination
+transform."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PipelineError
+from repro.core.pipeline import (
+    NodeAssignment,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.core.task import TaskKind
+from repro.stap.costs import STAPCosts
+from repro.stap.params import STAPParams
+
+
+class TestNodeAssignment:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            NodeAssignment(0, 1, 1, 1, 1, 1, 1)
+
+    def test_total(self):
+        a = NodeAssignment(6, 2, 6, 2, 6, 2, 1)
+        assert a.total_without_io == 25
+
+    def test_scaled(self):
+        a = NodeAssignment(6, 2, 6, 2, 6, 2, 1, io_nodes=6).scaled(2)
+        assert a.total_without_io == 50 and a.io_nodes == 12
+
+    def test_balanced_total_exact(self, small_params):
+        for total in (7, 10, 25, 50, 100):
+            a = NodeAssignment.balanced(small_params, total)
+            assert a.total_without_io == total
+
+    def test_balanced_minimum_one_each(self, small_params):
+        a = NodeAssignment.balanced(small_params, 7)
+        assert min(
+            a.doppler, a.easy_weight, a.hard_weight, a.easy_bf,
+            a.hard_bf, a.pulse_compr, a.cfar,
+        ) == 1
+
+    def test_balanced_too_few_nodes(self, small_params):
+        with pytest.raises(ConfigurationError):
+            NodeAssignment.balanced(small_params, 6)
+
+    def test_balanced_proportional_to_work(self, small_params):
+        a = NodeAssignment.balanced(small_params, 100)
+        costs = STAPCosts(small_params)
+        counts = [a.doppler, a.easy_weight, a.hard_weight, a.easy_bf,
+                  a.hard_bf, a.pulse_compr, a.cfar]
+        times = [costs.task_flops(i) / counts[i] for i in range(7)]
+        # Balanced: no task more than ~2.2x slower than another.
+        assert max(times) / min(times) < 2.2
+
+    def test_balanced_pc_cfar_not_meaningful_bottleneck(self):
+        """The paper's §6 precondition: T_max is neither task 5 nor 6.
+
+        Integer node counts can leave PC within rounding noise of the
+        true bottleneck (0.6% at 25 nodes); what matters for §6 is that
+        PC/CFAR never exceed the rest by a meaningful margin, so that
+        combining them cannot raise throughput.
+        """
+        p = STAPParams()
+        costs = STAPCosts(p)
+        for total in (25, 50, 100):
+            a = NodeAssignment.balanced(p, total)
+            counts = [a.doppler, a.easy_weight, a.hard_weight, a.easy_bf,
+                      a.hard_bf, a.pulse_compr, a.cfar]
+            times = [costs.task_flops(i) / counts[i] for i in range(7)]
+            others_max = max(times[:5])
+            assert max(times[5], times[6]) <= 1.03 * others_max, (total, times)
+
+    def test_paper_cases(self):
+        for n, total in ((1, 25), (2, 50), (3, 100)):
+            a = NodeAssignment.case(n)
+            assert a.total_without_io == total
+            assert a.io_nodes == a.doppler
+
+    def test_invalid_case(self):
+        with pytest.raises(ConfigurationError):
+            NodeAssignment.case(4)
+
+
+class TestBuilders:
+    @pytest.fixture
+    def a(self, small_params):
+        return NodeAssignment.balanced(small_params, 20, io_nodes=4)
+
+    def test_embedded_has_seven_tasks(self, a):
+        spec = build_embedded_pipeline(a)
+        assert len(spec.tasks) == 7
+        assert spec.task("doppler").kind is TaskKind.DOPPLER_EMBEDDED_IO
+        assert not spec.has_task("read")
+
+    def test_separate_has_eight_tasks(self, a):
+        spec = build_separate_io_pipeline(a)
+        assert len(spec.tasks) == 8
+        assert spec.task("read").kind is TaskKind.PARALLEL_READ
+        assert spec.task("read").n_nodes == 4
+        assert spec.task("doppler").kind is TaskKind.DOPPLER
+
+    def test_separate_defaults_io_to_doppler_count(self, small_params):
+        a = NodeAssignment.balanced(small_params, 20)
+        spec = build_separate_io_pipeline(a)
+        assert spec.task("read").n_nodes == a.doppler
+
+    def test_total_nodes(self, a):
+        assert build_embedded_pipeline(a).total_nodes == 20
+        assert build_separate_io_pipeline(a).total_nodes == 24
+
+    def test_instances_contiguous_disjoint(self, a):
+        spec = build_separate_io_pipeline(a)
+        inst = spec.instances()
+        seen = []
+        for t in spec.tasks:
+            seen.extend(inst[t.name].ranks)
+        assert seen == list(range(spec.total_nodes))
+
+    def test_temporal_edges_into_weights_only(self, a):
+        spec = build_embedded_pipeline(a)
+        from repro.core.graph import DependencyKind
+
+        tds = [e for e in spec.edges if e.kind is DependencyKind.TEMPORAL]
+        assert {e.dst for e in tds} == {"easy_weight", "hard_weight"}
+        assert all(e.src == "doppler" for e in tds)
+
+    def test_missing_task_lookup(self, a):
+        spec = build_embedded_pipeline(a)
+        with pytest.raises(PipelineError):
+            spec.task("nonexistent")
+
+
+class TestCombine:
+    @pytest.fixture
+    def a(self, small_params):
+        return NodeAssignment.balanced(small_params, 20, io_nodes=4)
+
+    def test_merges_nodes(self, a):
+        spec7 = build_embedded_pipeline(a)
+        spec6 = combine_pulse_cfar(spec7)
+        assert len(spec6.tasks) == 6
+        pc, cf = spec7.task("pulse_compr"), spec7.task("cfar")
+        assert spec6.task("pc_cfar").n_nodes == pc.n_nodes + cf.n_nodes
+
+    def test_total_nodes_unchanged(self, a):
+        spec7 = build_embedded_pipeline(a)
+        assert combine_pulse_cfar(spec7).total_nodes == spec7.total_nodes
+
+    def test_edges_redirected(self, a):
+        spec6 = combine_pulse_cfar(build_embedded_pipeline(a))
+        dsts = {e.dst for e in spec6.edges}
+        srcs = {e.src for e in spec6.edges}
+        assert "pulse_compr" not in dsts | srcs and "cfar" not in dsts | srcs
+        assert "pc_cfar" in dsts
+
+    def test_internal_edge_removed(self, a):
+        spec6 = combine_pulse_cfar(build_embedded_pipeline(a))
+        assert not any(e.src == e.dst for e in spec6.edges)
+
+    def test_works_on_separate_io_pipeline(self, a):
+        spec = combine_pulse_cfar(build_separate_io_pipeline(a))
+        assert len(spec.tasks) == 7 and spec.has_task("read")
+
+    def test_double_combine_rejected(self, a):
+        spec6 = combine_pulse_cfar(build_embedded_pipeline(a))
+        with pytest.raises(PipelineError):
+            combine_pulse_cfar(spec6)

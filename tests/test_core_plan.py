@@ -1,0 +1,196 @@
+"""Tests for the execution plan's routing tables.
+
+The key invariants: every unit of every stream is routed exactly once,
+producer routes and consumer expectations agree, and byte accounting
+matches the cost models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    NodeAssignment,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.core.plan import PipelinePlan
+from repro.stap.costs import STAPCosts
+
+
+@pytest.fixture
+def plan(small_params):
+    a = NodeAssignment.balanced(small_params, 20, io_nodes=4)
+    return PipelinePlan(build_separate_io_pipeline(a), small_params)
+
+
+@pytest.fixture
+def plan_embedded(small_params):
+    a = NodeAssignment.balanced(small_params, 20)
+    return PipelinePlan(build_embedded_pipeline(a), small_params)
+
+
+@pytest.fixture
+def plan_combined(small_params):
+    a = NodeAssignment.balanced(small_params, 20)
+    return PipelinePlan(combine_pulse_cfar(build_embedded_pipeline(a)), small_params)
+
+
+class TestStructure:
+    def test_first_and_sink_tasks(self, plan, plan_embedded, plan_combined):
+        assert plan.first_task == "read" and plan.sink_task == "cfar"
+        assert plan_embedded.first_task == "doppler"
+        assert plan_combined.sink_task == "pc_cfar" and plan_combined.combined
+
+    def test_ranks_disjoint_and_complete(self, plan):
+        all_ranks = []
+        for name in plan.spec.task_names():
+            all_ranks.extend(plan.ranks(name))
+        assert sorted(all_ranks) == list(range(plan.spec.total_nodes))
+
+
+class TestDopplerRouting:
+    def test_bf_routes_cover_all_rows(self, plan_embedded, small_params):
+        plan = plan_embedded
+        for easy, total_rows in ((True, small_params.n_easy_bins), (False, small_params.n_hard_bins)):
+            for dop in range(plan.ranges_doppler.parts):
+                rows_covered = sum(
+                    hi - lo for _, (lo, hi), _ in plan.doppler_to_bf(dop, easy)
+                )
+                assert rows_covered == total_rows
+
+    def test_bf_route_bytes_match_cost_model(self, plan_embedded, small_params):
+        plan = plan_embedded
+        costs = STAPCosts(small_params)
+        total = sum(
+            nb
+            for dop in range(plan.ranges_doppler.parts)
+            for _, _, nb in plan.doppler_to_bf(dop, True)
+        )
+        assert total == costs.doppler_easy_bytes()
+
+    def test_weight_routes_cover_all_gates(self, plan_embedded, small_params):
+        plan = plan_embedded
+        cols_seen = []
+        for dop in range(plan.ranges_doppler.parts):
+            routes = plan.doppler_to_weights(dop, easy=True)
+            if routes:
+                cols_seen.extend(routes[0][2])  # same cols for every consumer
+        assert sorted(cols_seen) == list(range(len(plan.train_gates)))
+
+    def test_weight_producers_match_gate_owners(self, plan_embedded):
+        plan = plan_embedded
+        expected = plan.weight_expected_producers()
+        for dop in range(plan.ranges_doppler.parts):
+            has_route = bool(plan.doppler_to_weights(dop, True))
+            assert (dop in expected) == has_route
+
+
+class TestWeightToBF:
+    def test_rows_conserved(self, plan_embedded, small_params):
+        plan = plan_embedded
+        for easy, rows_w, total in (
+            (True, plan.rows_easy_w, small_params.n_easy_bins),
+            (False, plan.rows_hard_w, small_params.n_hard_bins),
+        ):
+            covered = sum(
+                hi - lo
+                for w in range(rows_w.parts)
+                for _, (lo, hi), _ in plan.weights_to_bf(w, easy)
+            )
+            assert covered == total
+
+    def test_bf_expectations_mirror_routes(self, plan_embedded):
+        plan = plan_embedded
+        for easy, rows_bf, rows_w in (
+            (True, plan.rows_easy_bf, plan.rows_easy_w),
+            (False, plan.rows_hard_bf, plan.rows_hard_w),
+        ):
+            # build reverse map from producer routes
+            incoming = {c: set() for c in range(rows_bf.parts)}
+            for w in range(rows_w.parts):
+                for c, _, _ in plan.weights_to_bf(w, easy):
+                    incoming[c].add(w)
+            for c in range(rows_bf.parts):
+                assert set(plan.bf_expected_weight_producers(c, easy)) == incoming[c]
+
+
+class TestBFToPC:
+    def test_all_bins_routed_once(self, plan_embedded, small_params):
+        plan = plan_embedded
+        routed = []
+        for easy, rows_bf, labels in (
+            (True, plan.rows_easy_bf, plan.easy_labels),
+            (False, plan.rows_hard_bf, plan.hard_labels),
+        ):
+            for bf in range(rows_bf.parts):
+                for _, (lo, hi), _ in plan.bf_to_pc(bf, easy):
+                    routed.extend(labels[lo:hi])
+        assert sorted(routed) == list(range(small_params.n_doppler_bins))
+
+    def test_pc_expectations_mirror_routes(self, plan_embedded):
+        plan = plan_embedded
+        incoming = {c: set() for c in range(plan.bins_pc.parts)}
+        for easy, rows_bf, task in (
+            (True, plan.rows_easy_bf, "easy_bf"),
+            (False, plan.rows_hard_bf, "hard_bf"),
+        ):
+            for bf in range(rows_bf.parts):
+                for c, _, _ in plan.bf_to_pc(bf, easy):
+                    incoming[c].add((task, bf))
+        for c in range(plan.bins_pc.parts):
+            assert set(plan.pc_expected_bf_producers(c)) == incoming[c]
+
+    def test_same_for_combined_pipeline(self, plan_combined, small_params):
+        plan = plan_combined
+        routed = []
+        for easy, rows_bf, labels in (
+            (True, plan.rows_easy_bf, plan.easy_labels),
+            (False, plan.rows_hard_bf, plan.hard_labels),
+        ):
+            for bf in range(rows_bf.parts):
+                for _, (lo, hi), _ in plan.bf_to_pc(bf, easy):
+                    routed.extend(labels[lo:hi])
+        assert sorted(routed) == list(range(small_params.n_doppler_bins))
+
+
+class TestPCToCFAR:
+    def test_bins_conserved(self, plan, small_params):
+        covered = sum(
+            hi - lo
+            for pc in range(plan.bins_pc.parts)
+            for _, (lo, hi), _ in plan.pc_to_cfar(pc)
+        )
+        assert covered == small_params.n_doppler_bins
+
+    def test_combined_pipeline_has_no_edge(self, plan_combined):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            plan_combined.pc_to_cfar(0)
+        with pytest.raises(PipelineError):
+            plan_combined.cfar_expected_pc_producers(0)
+
+
+class TestReadToDoppler:
+    def test_ranges_conserved(self, plan, small_params):
+        covered = sum(
+            hi - lo
+            for rd in range(plan.ranges_read.parts)
+            for _, (lo, hi), _ in plan.read_to_doppler(rd)
+        )
+        assert covered == small_params.n_ranges
+
+    def test_doppler_expectations_mirror_routes(self, plan):
+        incoming = {c: set() for c in range(plan.ranges_doppler.parts)}
+        for rd in range(plan.ranges_read.parts):
+            for c, _, _ in plan.read_to_doppler(rd):
+                incoming[c].add(rd)
+        for c in range(plan.ranges_doppler.parts):
+            assert set(plan.doppler_expected_read_producers(c)) == incoming[c]
+
+    def test_embedded_plan_raises(self, plan_embedded):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            plan_embedded.read_to_doppler(0)

@@ -1,0 +1,114 @@
+"""Tests for the scalability analysis module and utilization metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.core.scaling import ScalingPoint, ScalingStudy, run_scaling_study
+from repro.machine.presets import paragon
+
+
+def study_from(values):
+    """Build a study from (nodes, throughput) pairs."""
+    return ScalingStudy(
+        [ScalingPoint(n, t, latency=1.0 / t, bottleneck="doppler") for n, t in values]
+    )
+
+
+class TestScalingStudy:
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            study_from([(10, 1.0)])
+
+    def test_points_must_be_sorted(self):
+        with pytest.raises(ConfigurationError):
+            study_from([(20, 2.0), (10, 1.0)])
+
+    def test_speedups_relative_to_base(self):
+        s = study_from([(10, 1.0), (20, 1.8), (40, 3.0)])
+        assert s.speedups() == {10: 1.0, 20: 1.8, 40: 3.0}
+
+    def test_efficiencies(self):
+        s = study_from([(10, 1.0), (20, 1.8), (40, 3.0)])
+        eff = s.efficiencies()
+        assert eff[10] == pytest.approx(1.0)
+        assert eff[20] == pytest.approx(0.9)
+        assert eff[40] == pytest.approx(0.75)
+
+    def test_perfect_scaling_has_zero_serial_fraction(self):
+        s = study_from([(10, 1.0), (40, 4.0)])
+        assert s.serial_fraction(40) == pytest.approx(0.0, abs=1e-12)
+
+    def test_amdahl_consistency(self):
+        """A curve generated from Amdahl's law recovers its f."""
+        f = 0.1
+        base = 10
+
+        def amdahl(p_rel):
+            return 1.0 / (f + (1 - f) / p_rel)
+
+        s = study_from([(base, 1.0), (20, amdahl(2)), (40, amdahl(4)), (80, amdahl(8))])
+        for n in (20, 40, 80):
+            assert s.serial_fraction(n) == pytest.approx(f, rel=1e-6)
+
+    def test_serial_fraction_needs_larger_p(self):
+        s = study_from([(10, 1.0), (20, 1.9)])
+        with pytest.raises(ConfigurationError):
+            s.serial_fraction(10)
+
+    def test_saturation_detection(self):
+        s = study_from([(10, 1.0), (20, 1.9), (40, 1.95)])
+        assert s.saturation_nodes() == 40
+
+    def test_no_saturation(self):
+        s = study_from([(10, 1.0), (20, 1.9), (40, 3.7)])
+        assert s.saturation_nodes() is None
+
+
+class TestRunScalingStudy:
+    def test_small_sweep(self, small_params):
+        study = run_scaling_study(
+            node_counts=(10, 20),
+            stripe_factor=8,
+            params=small_params,
+            cfg=ExecutionConfig(n_cpis=4, warmup=1),
+        )
+        assert len(study.points) == 2
+        assert study.points[1].throughput > study.points[0].throughput
+
+
+class TestUtilization:
+    def test_bottleneck_near_full_utilization(self, small_params):
+        a = NodeAssignment.balanced(small_params, 20)
+        res = PipelineExecutor(
+            build_embedded_pipeline(a), small_params, paragon(),
+            FSConfig("pfs", 8), ExecutionConfig(n_cpis=8, warmup=2),
+        ).run()
+        util = res.measurement.utilization()
+        m = res.measurement
+        assert util[m.bottleneck_task] == pytest.approx(1.0, abs=0.15)
+        assert all(0 < u < 1.3 for u in util.values())
+
+    def test_disk_stats_recorded(self, small_params):
+        a = NodeAssignment.balanced(small_params, 20)
+        res = PipelineExecutor(
+            build_embedded_pipeline(a), small_params, paragon(),
+            FSConfig("pfs", 8), ExecutionConfig(n_cpis=4, warmup=1),
+        ).run()
+        assert res.disk_stats is not None
+        assert len(res.disk_stats["busy_time_per_server"]) == 8
+        assert res.disk_stats["bytes_served"] > 0
+        assert 0 < res.disk_utilization() < 1.0
+
+    def test_smaller_stripe_factor_busier_disks(self, small_params):
+        a = NodeAssignment.balanced(small_params, 20)
+        utils = {}
+        for sf in (2, 16):
+            res = PipelineExecutor(
+                build_embedded_pipeline(a), small_params, paragon(),
+                FSConfig("pfs", sf), ExecutionConfig(n_cpis=4, warmup=1),
+            ).run()
+            utils[sf] = res.disk_utilization()
+        assert utils[2] > utils[16]

@@ -1,0 +1,191 @@
+"""Unit tests for the sequential/threaded stage runners using a
+synthetic TaskStages (no pipeline machinery)."""
+
+import pytest
+
+from repro.core.stages import TaskStages, run_sequential, run_threaded
+from repro.sim.kernel import Kernel
+from repro.trace.collector import TraceCollector
+from repro.trace.record import Phase
+
+
+class _MiniCfg:
+    def __init__(self, n_cpis, threaded=False):
+        self.n_cpis = n_cpis
+        self.threaded = threaded
+        self.compute = False
+        self.window = 2
+        self.warmup = 0
+
+
+class _MiniCtx:
+    """Just enough context for the runners."""
+
+    def __init__(self, kernel, n_cpis):
+        self.kernel = kernel
+        self.cfg = _MiniCfg(n_cpis)
+        self.trace = TraceCollector()
+        self.name = "mini"
+        self.local = 0
+
+    @property
+    def now(self):
+        return self.kernel.now
+
+    def record(self, cpi, phase, t_start, t_end=None):
+        self.trace.add("mini", 0, cpi, phase, t_start,
+                       self.now if t_end is None else t_end)
+
+
+class SyntheticStages(TaskStages):
+    """recv 1 s, compute 2 s, send 1 s; logs everything."""
+
+    def __init__(self, ctx, t_recv=1.0, t_comp=2.0, t_send=1.0):
+        super().__init__(ctx)
+        self.t_recv, self.t_comp, self.t_send = t_recv, t_comp, t_send
+        self.log = []
+        self.prologues = []
+
+    def setup(self):
+        return True
+
+    def recv_prologue(self):
+        self.prologues.append("recv")
+        return
+        yield
+
+    def send_prologue(self):
+        self.prologues.append("send")
+        return
+        yield
+
+    def recv(self, k):
+        yield self.ctx.kernel.timeout(self.t_recv)
+        self.log.append(("recv", k, self.ctx.now))
+        return f"in{k}"
+
+    def compute(self, k, inputs):
+        assert inputs == f"in{k}"
+        yield self.ctx.kernel.timeout(self.t_comp)
+        self.log.append(("comp", k, self.ctx.now))
+        return f"out{k}"
+
+    def send(self, k, outputs):
+        assert outputs == f"out{k}"
+        yield self.ctx.kernel.timeout(self.t_send)
+        self.log.append(("send", k, self.ctx.now))
+
+
+def run_with(runner, n_cpis=3, **stage_kw):
+    kernel = Kernel()
+    ctx = _MiniCtx(kernel, n_cpis)
+    stages = SyntheticStages(ctx, **stage_kw)
+    kernel.process(runner(stages))
+    kernel.run()
+    return kernel, ctx, stages
+
+
+class TestSequentialRunner:
+    def test_total_time_is_sum_of_phases(self):
+        kernel, _, _ = run_with(run_sequential, n_cpis=3)
+        assert kernel.now == pytest.approx(3 * (1 + 2 + 1))
+
+    def test_strict_ordering(self):
+        _, _, stages = run_with(run_sequential, n_cpis=2)
+        kinds = [(kind, k) for kind, k, _ in stages.log]
+        assert kinds == [
+            ("recv", 0), ("comp", 0), ("send", 0),
+            ("recv", 1), ("comp", 1), ("send", 1),
+        ]
+
+    def test_prologues_run_once(self):
+        _, _, stages = run_with(run_sequential, n_cpis=2)
+        assert stages.prologues == ["recv", "send"]
+
+    def test_phases_traced(self):
+        _, ctx, _ = run_with(run_sequential, n_cpis=2)
+        assert ctx.trace.phase_time("mini", 1, Phase.RECV) == pytest.approx(1.0)
+        assert ctx.trace.phase_time("mini", 1, Phase.COMPUTE) == pytest.approx(2.0)
+
+    def test_empty_setup_skips(self):
+        kernel = Kernel()
+        ctx = _MiniCtx(kernel, 2)
+        stages = SyntheticStages(ctx)
+        stages.setup = lambda: False
+        kernel.process(run_sequential(stages))
+        kernel.run()
+        assert stages.log == [] and kernel.now == 0.0
+
+    def test_skip_last_send(self):
+        kernel = Kernel()
+        ctx = _MiniCtx(kernel, 2)
+        stages = SyntheticStages(ctx)
+        stages.sends_last_cpi = False
+        kernel.process(run_sequential(stages))
+        kernel.run()
+        sends = [k for kind, k, _ in stages.log if kind == "send"]
+        assert sends == [0]
+
+
+class TestThreadedRunner:
+    def test_cycle_approaches_max_phase(self):
+        """With compute dominating (2 s), N CPIs take ~N*2 s + ramp,
+        not N*4 s."""
+        n = 6
+        kernel, _, _ = run_with(run_threaded, n_cpis=n)
+        sequential_time = n * 4.0
+        ideal = n * 2.0 + (1.0 + 1.0)  # pipeline fill + drain
+        assert kernel.now == pytest.approx(ideal)
+        assert kernel.now < 0.6 * sequential_time
+
+    def test_all_cpis_processed_in_order_per_stage(self):
+        _, _, stages = run_with(run_threaded, n_cpis=4)
+        for kind in ("recv", "comp", "send"):
+            ks = [k for kd, k, _ in stages.log if kd == kind]
+            assert ks == [0, 1, 2, 3]
+
+    def test_phases_overlap(self):
+        """recv of CPI 1 finishes before send of CPI 0 does."""
+        _, _, stages = run_with(run_threaded, n_cpis=3)
+        t_recv1 = next(t for kd, k, t in stages.log if kd == "recv" and k == 1)
+        t_send0 = next(t for kd, k, t in stages.log if kd == "send" and k == 0)
+        assert t_recv1 < t_send0
+
+    def test_bounded_readahead(self):
+        """Depth-1 queues bound the receive thread's lead over completed
+        sends to the pipeline's 5 holding slots (in-recv + q_in +
+        in-compute + q_out + in-send) — never unbounded."""
+        _, _, stages = run_with(run_threaded, n_cpis=8, t_recv=0.1, t_comp=0.1,
+                                t_send=10.0)
+        events = sorted(stages.log, key=lambda e: e[2])
+        max_lead = 0
+        sent = -1
+        for kind, k, _ in events:
+            if kind == "send":
+                sent = k
+            if kind == "recv":
+                max_lead = max(max_lead, k - sent)
+        assert max_lead <= 5
+
+    def test_prologues_run_in_their_threads(self):
+        _, _, stages = run_with(run_threaded, n_cpis=1)
+        assert sorted(stages.prologues) == ["recv", "send"]
+
+    def test_skip_last_send(self):
+        kernel = Kernel()
+        ctx = _MiniCtx(kernel, 3)
+        stages = SyntheticStages(ctx)
+        stages.sends_last_cpi = False
+        kernel.process(run_threaded(stages))
+        kernel.run()
+        sends = [k for kind, k, _ in stages.log if kind == "send"]
+        assert sends == [0, 1]
+
+    def test_empty_setup_skips(self):
+        kernel = Kernel()
+        ctx = _MiniCtx(kernel, 2)
+        stages = SyntheticStages(ctx)
+        stages.setup = lambda: False
+        kernel.process(run_threaded(stages))
+        kernel.run()
+        assert stages.log == []

@@ -1,0 +1,127 @@
+"""Tests for cross-CPI covariance smoothing (forgetting factor)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.machine.presets import paragon
+from repro.stap.analysis import clairvoyant_covariance
+from repro.stap.chain import run_cpi_stream
+from repro.stap.doppler import doppler_process
+from repro.stap.params import STAPParams
+from repro.stap.scenario import Jammer, Scenario, make_cube
+from repro.stap.weights import (
+    CovarianceTracker,
+    compute_weights_easy,
+    sample_covariance,
+)
+
+
+class TestTracker:
+    def test_invalid_memory(self):
+        with pytest.raises(ConfigurationError):
+            CovarianceTracker(1.0)
+        with pytest.raises(ConfigurationError):
+            CovarianceTracker(-0.1)
+
+    def test_zero_memory_is_identity(self):
+        t = CovarianceTracker(0.0)
+        R = np.eye(3, dtype=np.complex64)
+        assert t.smooth(5, R) is R
+
+    def test_recursion(self):
+        t = CovarianceTracker(0.5)
+        a = np.full((2, 2), 4.0, dtype=np.complex128)
+        b = np.zeros((2, 2), dtype=np.complex128)
+        assert np.allclose(t.smooth(0, a), a)        # first: passthrough
+        assert np.allclose(t.smooth(0, b), 0.5 * a)  # 0.5*4 + 0.5*0
+        assert np.allclose(t.smooth(0, b), 0.25 * a)
+
+    def test_bins_tracked_independently(self):
+        t = CovarianceTracker(0.5)
+        a = np.ones((1, 1), dtype=np.complex128)
+        t.smooth(0, a)
+        fresh = t.smooth(1, 3 * a)  # different bin: no blending with bin 0
+        assert np.allclose(fresh, 3 * a)
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            STAPParams(covariance_memory=1.5)
+        assert STAPParams(covariance_memory=0.7).scaled(0.5).covariance_memory == 0.7
+
+
+class TestEstimationQuality:
+    def test_smoothing_converges_to_clairvoyant(self, tiny_params):
+        """More CPIs of memory -> covariance closer to the true one."""
+        params = tiny_params
+        scene = Scenario(targets=(), jammers=(Jammer(0.6, 25.0),), cnr_db=25.0, seed=5)
+        b_label = params.easy_bins[5]
+        row = params.easy_bins.index(b_label)
+        from repro.stap.weights import training_gates
+
+        gates = training_gates(params.n_ranges, params.n_training)
+        true_R = clairvoyant_covariance(params, scene, b_label, hard=False)
+
+        def final_error(memory):
+            tracker = CovarianceTracker(memory)
+            r_used = None
+            for k in range(10):
+                dop = doppler_process(make_cube(params, scene, k), params)
+                r_hat = sample_covariance(dop.easy[row][:, gates].astype(np.complex128))
+                r_used = tracker.smooth(b_label, r_hat) if memory else r_hat
+            return np.linalg.norm(r_used - true_R) / np.linalg.norm(true_R)
+
+        assert final_error(0.8) < 0.6 * final_error(0.0)
+
+    def test_smoothed_weights_more_stable(self, tiny_params):
+        """Weight jitter across CPIs shrinks with memory."""
+        params = tiny_params
+        scene = Scenario(targets=(), jammers=(Jammer(0.6, 25.0),), cnr_db=25.0, seed=3)
+        dops = [
+            doppler_process(make_cube(params, scene, k), params) for k in range(8)
+        ]
+
+        def jitter(memory):
+            tracker = CovarianceTracker(memory) if memory else None
+            ws = [
+                compute_weights_easy(d, params, tracker=tracker).weights for d in dops
+            ]
+            diffs = [np.linalg.norm(a - b) for a, b in zip(ws, ws[1:])]
+            return np.mean(diffs[3:])  # after the tracker warms up
+
+        assert jitter(0.8) < 0.7 * jitter(0.0)
+
+
+class TestPipelineEquivalence:
+    def test_pipeline_matches_chain_with_smoothing(self, small_params):
+        params = replace(small_params, covariance_memory=0.6)
+        scenario = Scenario.standard(params, seed=7)
+        cubes = [make_cube(params, scenario, k) for k in range(4)]
+        serial = sorted(
+            d for r in run_cpi_stream(cubes, params) for d in r.detections
+        )
+        res = PipelineExecutor(
+            build_embedded_pipeline(NodeAssignment.balanced(params, 20)),
+            params, paragon(), FSConfig("pfs", 8),
+            ExecutionConfig(n_cpis=4, warmup=1, compute=True),
+            scenario=scenario,
+        ).run()
+        got = [(d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in res.detections]
+        want = [(d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in serial]
+        assert got == want and len(got) > 0
+
+    def test_memory_zero_identical_to_legacy(self, small_params):
+        """covariance_memory=0 must reproduce the paper's behaviour
+        bit-for-bit (the default path)."""
+        scenario = Scenario.standard(small_params, seed=7)
+        cubes = [make_cube(small_params, scenario, k) for k in range(3)]
+        base = run_cpi_stream(cubes, small_params)
+        explicit = run_cpi_stream(cubes, replace(small_params, covariance_memory=0.0))
+        for a, b in zip(base, explicit):
+            assert np.array_equal(a.weights_easy.weights, b.weights_easy.weights)
+            assert a.detections == b.detections

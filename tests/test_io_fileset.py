@@ -1,0 +1,142 @@
+"""Tests for the round-robin cube file set and the radar writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.fileset import CubeFileSet, CubeSource
+from repro.io.writer import RadarWriter
+from repro.machine.presets import generic_cluster
+from repro.pfs import PFS, DiskSpec
+from repro.sim.kernel import Kernel
+from repro.stap.datacube import DataCube
+from repro.stap.scenario import Scenario, make_cube
+
+
+def make_fs(params, n_io=4):
+    k = Kernel()
+    m = generic_cluster().build(k, n_compute=4, n_io=n_io)
+    fs = PFS(m, 64 * 1024, n_io, DiskSpec(100e6, 1e-4))
+    return k, fs
+
+
+class TestCubeSource:
+    def test_matches_make_cube(self, tiny_params):
+        sc = Scenario.standard(tiny_params)
+        src = CubeSource(tiny_params, sc)
+        direct = make_cube(tiny_params, sc, 5)
+        assert np.array_equal(src.cube(5).data, direct.data)
+
+    def test_cache_hit_same_object(self, tiny_params):
+        src = CubeSource(tiny_params, Scenario.standard(tiny_params))
+        assert src.cube(2) is src.cube(2)
+
+    def test_cache_eviction(self, tiny_params):
+        src = CubeSource(tiny_params, Scenario.standard(tiny_params), cache_size=2)
+        a = src.cube(0)
+        src.cube(1)
+        src.cube(2)  # evicts 0
+        assert src.cube(0) is not a
+
+    def test_invalid_cache_size(self, tiny_params):
+        with pytest.raises(ConfigurationError):
+            CubeSource(tiny_params, Scenario.standard(tiny_params), cache_size=0)
+
+
+class TestCubeFileSet:
+    def test_round_robin_paths(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        fset = CubeFileSet(fs, tiny_params)
+        assert fset.path(0) == "cpi0.dat"
+        assert fset.path(5) == "cpi1.dat"
+        with pytest.raises(ConfigurationError):
+            fset.path(-1)
+
+    def test_phantom_initialize(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        fset = CubeFileSet(fs, tiny_params)
+        fset.initialize()
+        assert fset.phantom
+        for f in range(4):
+            assert fs.file_size(f"cpi{f}.dat") == tiny_params.cube_nbytes
+
+    def test_compute_initialize_holds_first_cubes(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        sc = Scenario.standard(tiny_params)
+        fset = CubeFileSet(fs, tiny_params, source=CubeSource(tiny_params, sc))
+        fset.initialize()
+        raw = fs.backing.read("cpi2.dat", 0, tiny_params.cube_nbytes)
+        expect = make_cube(tiny_params, sc, 2).to_file_bytes()
+        assert raw == expect
+
+    def test_ensure_cpi_rotates_content(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        sc = Scenario.standard(tiny_params)
+        fset = CubeFileSet(fs, tiny_params, source=CubeSource(tiny_params, sc))
+        fset.initialize()
+        fset.ensure_cpi(4)  # overwrites file 0
+        raw = fs.backing.read("cpi0.dat", 0, tiny_params.cube_nbytes)
+        assert raw == make_cube(tiny_params, sc, 4).to_file_bytes()
+
+    def test_ensure_cpi_noop_when_current(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        sc = Scenario.standard(tiny_params)
+        fset = CubeFileSet(fs, tiny_params, source=CubeSource(tiny_params, sc))
+        fset.initialize()
+        before = fs.backing.read("cpi1.dat", 0, 64)
+        fset.ensure_cpi(1)
+        assert fs.backing.read("cpi1.dat", 0, 64) == before
+
+    def test_phantom_ensure_is_noop(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        fset = CubeFileSet(fs, tiny_params)
+        fset.initialize()
+        fset.ensure_cpi(12)  # no error, no content change
+
+    def test_slab_extent_passthrough(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        fset = CubeFileSet(fs, tiny_params)
+        assert fset.slab_extent(2, 5) == DataCube.file_slab_extent(tiny_params, 2, 5)
+
+    def test_needs_at_least_one_file(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        with pytest.raises(ConfigurationError):
+            CubeFileSet(fs, tiny_params, n_files=0)
+
+
+class TestRadarWriter:
+    def test_writes_advance_file_contents(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        sc = Scenario.standard(tiny_params)
+        fset = CubeFileSet(fs, tiny_params, source=CubeSource(tiny_params, sc))
+        fset.initialize()
+        w = RadarWriter(fset, node_id=0, period=0.1, n_cpis=3, start_cpi=4)
+        k.process(w.run(k))
+        k.run()
+        assert w.writes_done == 3
+        raw = fs.backing.read("cpi0.dat", 0, tiny_params.cube_nbytes)
+        assert raw == make_cube(tiny_params, sc, 4).to_file_bytes()
+
+    def test_phantom_writer(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        fset = CubeFileSet(fs, tiny_params)
+        fset.initialize()
+        w = RadarWriter(fset, node_id=0, period=0.05, n_cpis=2)
+        k.process(w.run(k))
+        k.run()
+        assert w.writes_done == 2
+
+    def test_writer_takes_simulated_time(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        fset = CubeFileSet(fs, tiny_params)
+        fset.initialize()
+        w = RadarWriter(fset, node_id=0, period=0.5, n_cpis=2, initial_delay=0.25)
+        k.process(w.run(k))
+        k.run()
+        assert k.now > 1.0  # delay + 2 writes + periods
+
+    def test_invalid_period(self, tiny_params):
+        k, fs = make_fs(tiny_params)
+        fset = CubeFileSet(fs, tiny_params)
+        with pytest.raises(ConfigurationError):
+            RadarWriter(fset, 0, period=0.0, n_cpis=1)

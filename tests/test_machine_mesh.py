@@ -1,0 +1,149 @@
+"""Unit and property tests for the 2-D mesh network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.mesh import MeshNetwork
+from repro.sim.kernel import Kernel
+
+
+def mk(n, cols=None, latency=1e-5, bw=1e8):
+    return MeshNetwork(Kernel(), n, latency, bw, cols=cols)
+
+
+class TestTopology:
+    def test_square_layout(self):
+        net = mk(16)
+        assert net.cols == 4 and net.rows == 4
+
+    def test_non_square_count(self):
+        net = mk(10)
+        assert net.cols == 4 and net.rows == 3  # 12-slot grid, 10 populated
+
+    def test_explicit_cols(self):
+        net = mk(12, cols=6)
+        assert net.cols == 6 and net.rows == 2
+
+    def test_coords_roundtrip(self):
+        net = mk(20, cols=5)
+        for n in range(20):
+            r, c = net.coords(n)
+            assert net.node_at(r, c) == n
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            mk(4).coords(4)
+
+    def test_route_empty_for_self(self):
+        assert mk(9).route(4, 4) == []
+
+    def test_route_x_first(self):
+        net = mk(9, cols=3)
+        # 0 -> 8: (0,0) -> (0,2) -> (2,2)
+        hops = net.route(0, 8)
+        assert hops == [(0, 1), (1, 2), (2, 5), (5, 8)]
+
+    def test_route_negative_directions(self):
+        net = mk(9, cols=3)
+        hops = net.route(8, 0)
+        assert hops == [(8, 7), (7, 6), (6, 3), (3, 0)]
+
+    def test_route_length_is_manhattan_distance(self):
+        net = mk(25, cols=5)
+        for s, d in [(0, 24), (3, 17), (11, 2)]:
+            (sr, sc), (dr, dc) = net.coords(s), net.coords(d)
+            assert len(net.route(s, d)) == abs(sr - dr) + abs(sc - dc)
+
+    @given(
+        st.integers(min_value=2, max_value=36),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_route_hops_are_adjacent_and_reach(self, n, data):
+        net = mk(n)
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        hops = net.route(src, dst)
+        pos = src
+        for a, b in hops:
+            assert a == pos
+            (ar, ac), (br, bc) = divmod(a, net.cols), divmod(b, net.cols)
+            assert abs(ar - br) + abs(ac - bc) == 1
+            pos = b
+        assert pos == dst
+
+
+class TestTransfer:
+    def run_transfers(self, net, jobs):
+        """jobs: list of (src, dst, nbytes); returns completion times."""
+        k = net.kernel
+        times = {}
+
+        def mover(k, net, i, s, d, nb):
+            yield from net.transfer(s, d, nb)
+            times[i] = k.now
+
+        for i, (s, d, nb) in enumerate(jobs):
+            k.process(mover(k, net, i, s, d, nb))
+        k.run()
+        return times
+
+    def test_single_transfer_time(self):
+        net = mk(4, latency=1e-3, bw=1e6)
+        times = self.run_transfers(net, [(0, 3, 1000)])
+        assert times[0] == pytest.approx(1e-3 + 1000 / 1e6)
+
+    def test_local_transfer_is_cheap(self):
+        net = mk(4, latency=1e-3, bw=1e6)
+        times = self.run_transfers(net, [(2, 2, 10**9)])
+        assert times[0] == pytest.approx(0.5e-3)
+
+    def test_disjoint_paths_do_not_contend(self):
+        net = mk(16, cols=4, latency=0.0, bw=1e6)
+        # Row 0 and row 3 transfers share no links.
+        times = self.run_transfers(net, [(0, 3, 1e6), (12, 15, 1e6)])
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(1.0)
+
+    def test_shared_link_serialises(self):
+        net = mk(4, cols=4, latency=0.0, bw=1e6)
+        # Both 0->3 and 1->3 traverse link 1->2 and 2->3.
+        times = self.run_transfers(net, [(0, 3, 1e6), (1, 3, 1e6)])
+        assert min(times.values()) == pytest.approx(1.0)
+        assert max(times.values()) == pytest.approx(2.0)
+
+    def test_many_to_one_serialises_fully(self):
+        net = mk(8, cols=8, latency=0.0, bw=1e6)
+        jobs = [(i, 7, 1e6) for i in range(4)]
+        times = self.run_transfers(net, jobs)
+        assert max(times.values()) == pytest.approx(4.0)
+
+    def test_bidirectional_links_are_independent(self):
+        net = mk(2, cols=2, latency=0.0, bw=1e6)
+        times = self.run_transfers(net, [(0, 1, 1e6), (1, 0, 1e6)])
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(1.0)
+
+    def test_opposing_traffic_no_deadlock(self):
+        net = mk(9, cols=3, latency=0.0, bw=1e7)
+        jobs = [(0, 8, 1e6), (8, 0, 1e6), (2, 6, 1e6), (6, 2, 1e6)]
+        times = self.run_transfers(net, jobs)
+        assert len(times) == 4  # all completed
+
+    def test_invalid_endpoint_rejected(self):
+        net = mk(4)
+        with pytest.raises(ConfigurationError):
+            list(net.transfer(0, 9, 10))
+
+    def test_negative_size_rejected(self):
+        net = mk(4)
+        with pytest.raises(ConfigurationError):
+            list(net.transfer(0, 1, -1))
+
+    def test_allocated_links_grow_lazily(self):
+        net = mk(16)
+        assert net.allocated_links == 0
+        self.run_transfers(net, [(0, 1, 10)])
+        assert net.allocated_links == 1

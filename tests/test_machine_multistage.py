@@ -1,0 +1,71 @@
+"""Unit tests for the multistage (SP switch) network."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.multistage import MultistageNetwork
+from repro.sim.kernel import Kernel
+
+
+def run_transfers(net, jobs):
+    k = net.kernel
+    times = {}
+
+    def mover(k, net, i, s, d, nb):
+        yield from net.transfer(s, d, nb)
+        times[i] = k.now
+
+    for i, (s, d, nb) in enumerate(jobs):
+        k.process(mover(k, net, i, s, d, nb))
+    k.run()
+    return times
+
+
+def mk(n=8, latency=0.0, bw=1e6):
+    return MultistageNetwork(Kernel(), n, latency, bw)
+
+
+class TestMultistage:
+    def test_single_transfer_alpha_beta(self):
+        net = mk(latency=1e-3)
+        t = run_transfers(net, [(0, 5, 1e6)])
+        assert t[0] == pytest.approx(1e-3 + 1.0)
+
+    def test_local_transfer(self):
+        net = mk(latency=1e-3)
+        t = run_transfers(net, [(3, 3, 1e9)])
+        assert t[0] == pytest.approx(0.5e-3)
+
+    def test_disjoint_pairs_overlap(self):
+        net = mk()
+        t = run_transfers(net, [(0, 1, 1e6), (2, 3, 1e6), (4, 5, 1e6)])
+        assert all(v == pytest.approx(1.0) for v in t.values())
+
+    def test_shared_destination_serialises(self):
+        net = mk()
+        t = run_transfers(net, [(0, 7, 1e6), (1, 7, 1e6), (2, 7, 1e6)])
+        assert sorted(t.values()) == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_shared_source_serialises(self):
+        net = mk()
+        t = run_transfers(net, [(0, 5, 1e6), (0, 6, 1e6)])
+        assert sorted(t.values()) == pytest.approx([1.0, 2.0])
+
+    def test_bidirectional_pair_overlaps(self):
+        net = mk()
+        t = run_transfers(net, [(0, 1, 1e6), (1, 0, 1e6)])
+        assert all(v == pytest.approx(1.0) for v in t.values())
+
+    def test_no_deadlock_under_cross_traffic(self):
+        net = mk()
+        jobs = [(i, (i + 3) % 8, 1e5) for i in range(8)]
+        t = run_transfers(net, jobs)
+        assert len(t) == 8
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigurationError):
+            MultistageNetwork(Kernel(), 0, 0.0, 1e6)
+
+    def test_invalid_endpoint(self):
+        with pytest.raises(ConfigurationError):
+            list(mk().transfer(0, 99, 10))

@@ -1,0 +1,54 @@
+"""Unit tests for repro.machine.node."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.node import Node, NodeSpec
+
+
+class TestNodeSpec:
+    def test_rejects_nonpositive_flops(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(flops=0, mem_bw=1e9)
+
+    def test_rejects_nonpositive_mem_bw(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(flops=1e6, mem_bw=0)
+
+    def test_compute_time_flop_bound(self):
+        spec = NodeSpec(flops=1e6, mem_bw=1e12)
+        assert spec.compute_time(2e6) == pytest.approx(2.0)
+
+    def test_compute_time_memory_bound(self):
+        spec = NodeSpec(flops=1e12, mem_bw=1e6)
+        assert spec.compute_time(flops=10, bytes_touched=3e6) == pytest.approx(3.0)
+
+    def test_compute_time_roofline_max(self):
+        spec = NodeSpec(flops=1e6, mem_bw=1e6)
+        # 1 s of flops vs 2 s of memory: memory wins.
+        assert spec.compute_time(1e6, 2e6) == pytest.approx(2.0)
+
+    def test_compute_time_zero_work(self):
+        spec = NodeSpec(flops=1e6, mem_bw=1e6)
+        assert spec.compute_time(0.0) == 0.0
+
+    def test_negative_work_rejected(self):
+        spec = NodeSpec(flops=1e6, mem_bw=1e6)
+        with pytest.raises(ConfigurationError):
+            spec.compute_time(-1.0)
+
+    def test_copy_time(self):
+        spec = NodeSpec(flops=1e6, mem_bw=100e6)
+        assert spec.copy_time(50e6) == pytest.approx(0.5)
+
+    def test_copy_time_negative_rejected(self):
+        spec = NodeSpec(flops=1e6, mem_bw=1e6)
+        with pytest.raises(ConfigurationError):
+            spec.copy_time(-5)
+
+
+class TestNode:
+    def test_identity(self):
+        spec = NodeSpec(flops=1e6, mem_bw=1e6, name="n")
+        node = Node(7, spec)
+        assert node.node_id == 7 and node.spec is spec

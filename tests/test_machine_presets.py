@@ -1,0 +1,71 @@
+"""Tests for machine presets and the Machine container."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.machine import Machine
+from repro.machine.mesh import MeshNetwork
+from repro.machine.multistage import MultistageNetwork
+from repro.machine.network import ContentionFreeNetwork
+from repro.machine.node import NodeSpec
+from repro.machine.presets import generic_cluster, ibm_sp, paragon
+from repro.sim.kernel import Kernel
+
+
+class TestPresets:
+    def test_paragon_is_mesh(self, kernel):
+        m = paragon().build(kernel, n_compute=9, n_io=2)
+        assert isinstance(m.network, MeshNetwork)
+        assert m.n_compute == 9 and m.n_io == 2
+
+    def test_sp_is_multistage(self, kernel):
+        m = ibm_sp().build(kernel, n_compute=4)
+        assert isinstance(m.network, MultistageNetwork)
+
+    def test_generic_is_contention_free(self, kernel):
+        m = generic_cluster().build(kernel, n_compute=4)
+        assert isinstance(m.network, ContentionFreeNetwork)
+
+    def test_sp_cpu_faster_than_paragon(self):
+        assert ibm_sp().node_spec.flops > 3 * paragon().node_spec.flops
+
+    def test_network_covers_io_nodes(self, kernel):
+        m = paragon().build(kernel, n_compute=5, n_io=7)
+        assert m.network.n_nodes >= 12
+
+    def test_unknown_network_kind(self, kernel):
+        from dataclasses import replace
+
+        bad = replace(paragon(), network_kind="quantum")
+        with pytest.raises(ConfigurationError):
+            bad.build(kernel, 4)
+
+
+class TestMachine:
+    def test_io_node_addressing(self, kernel):
+        m = generic_cluster().build(kernel, n_compute=6, n_io=3)
+        assert m.n_total == 9
+        assert m.io_node_id(0) == 6
+        assert m.io_node_id(2) == 8
+        assert m.is_io_node(7) and not m.is_io_node(5)
+
+    def test_io_index_out_of_range(self, kernel):
+        m = generic_cluster().build(kernel, n_compute=4, n_io=2)
+        with pytest.raises(ConfigurationError):
+            m.io_node_id(2)
+
+    def test_node_lookup(self, kernel):
+        m = generic_cluster().build(kernel, n_compute=4)
+        assert m.node(3).node_id == 3
+        with pytest.raises(ConfigurationError):
+            m.node(4)
+
+    def test_undersized_network_rejected(self, kernel):
+        net = ContentionFreeNetwork(kernel, 3, 1e-5, 1e8)
+        with pytest.raises(ConfigurationError):
+            Machine(kernel, 4, NodeSpec(1e6, 1e6), net)
+
+    def test_needs_a_compute_node(self, kernel):
+        net = ContentionFreeNetwork(kernel, 4, 1e-5, 1e8)
+        with pytest.raises(ConfigurationError):
+            Machine(kernel, 0, NodeSpec(1e6, 1e6), net)

@@ -1,0 +1,172 @@
+"""Tests for smaller features: heatmap rendering, the error hierarchy,
+pipeline CFAR-method selection, and public API surface checks."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.errors as errors
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.machine.presets import paragon
+from repro.stap.chain import run_cpi_stream
+from repro.stap.scenario import Scenario, make_cube
+from repro.trace.report import heatmap
+
+
+class TestHeatmap:
+    def test_basic_shape(self):
+        out = heatmap(np.array([[1.0, 10.0], [100.0, 1000.0]]))
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert all(l.startswith(" |") and l.endswith("|") for l in lines)
+
+    def test_peak_gets_brightest_char(self):
+        out = heatmap(np.array([[1e-9, 1.0]]), db_floor=-40.0)
+        assert out.splitlines()[0].rstrip("|")[-1] == "@"
+
+    def test_floor_gets_dimmest(self):
+        out = heatmap(np.array([[1e-12, 1.0]]), db_floor=-40.0)
+        row = out.splitlines()[0]
+        assert row[row.index("|") + 1] == " "
+
+    def test_labels_and_title(self):
+        out = heatmap(
+            np.ones((2, 3)), title="T", row_labels=["aa", "b"], col_label="cols"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("aa |")
+        assert lines[2].startswith(" b |")
+        assert "cols" in lines[-1]
+
+    def test_degenerate_inputs(self):
+        assert "(no data)" in heatmap(np.zeros((0, 0)))
+        assert "(no data)" in heatmap(np.zeros(3))  # 1-D
+        assert "(all-zero" in heatmap(np.zeros((2, 2)))
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_specific_parents(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.PartitionError, errors.ConfigurationError)
+        assert issubclass(errors.TruncationError, errors.MPIError)
+        assert issubclass(errors.AsyncUnsupportedError, errors.FileSystemError)
+        assert issubclass(errors.DependencyError, errors.PipelineError)
+
+    def test_single_except_catches_everything(self):
+        try:
+            raise errors.NoSuchFileError("x")
+        except errors.ReproError:
+            pass
+
+
+class TestPublicAPI:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_all_resolves(self):
+        import repro.core as core
+        import repro.stap as stap
+        import repro.trace as trace
+
+        for mod in (core, stap, trace):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, (mod.__name__, name)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestPipelineCfarMethod:
+    def test_goca_pipeline_matches_goca_chain(self, small_params):
+        """The CFAR method threads through params into the distributed
+        sink task; chain equivalence must hold for every method."""
+        from dataclasses import replace
+
+        params = replace(small_params, cfar_method="goca")
+        scenario = Scenario.standard(params, seed=7)
+        cubes = [make_cube(params, scenario, k) for k in range(3)]
+        serial = sorted(
+            d for r in run_cpi_stream(cubes, params) for d in r.detections
+        )
+        res = PipelineExecutor(
+            build_embedded_pipeline(NodeAssignment.balanced(params, 20)),
+            params, paragon(), FSConfig("pfs", 8),
+            ExecutionConfig(n_cpis=3, warmup=1, compute=True),
+            scenario=scenario,
+        ).run()
+        got = [(d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in res.detections]
+        want = [(d.cpi_index, d.doppler_bin, d.beam, d.range_gate) for d in serial]
+        assert got == want and len(got) > 0
+
+    def test_invalid_method_rejected_at_params(self):
+        from repro.stap.params import STAPParams
+
+        with pytest.raises(errors.ConfigurationError):
+            STAPParams(cfar_method="bogus")
+
+    def test_method_changes_detection_set(self, small_params):
+        """The method knob has an effect (different marginal cells), and
+        every method still finds both injected targets."""
+        from dataclasses import replace
+
+        import numpy as np
+
+        scenario = Scenario.standard(small_params, seed=7)
+        cubes = [make_cube(small_params, scenario, k) for k in range(2)]
+        sets = {}
+        for method in ("ca", "goca", "os"):
+            params = replace(small_params, cfar_method=method)
+            results = run_cpi_stream(cubes, params)
+            sets[method] = {
+                (d.cpi_index, d.doppler_bin, d.beam, d.range_gate)
+                for r in results
+                for d in r.detections
+            }
+            # Both targets present in the adaptive CPI regardless of method.
+            for t in scenario.targets:
+                b = round(t.doppler * params.n_pulses) % params.n_pulses
+                beam = int(np.argmin(np.abs(params.beam_angles - t.angle)))
+                assert (1, b, beam, t.range_gate) in sets[method], method
+        assert sets["ca"] != sets["os"]
+
+
+class TestRobustness:
+    def test_detection_robust_across_seeds(self, small_params):
+        """The validation scene's targets are found for any noise seed —
+        the chain's performance is not a lucky draw."""
+        import numpy as np
+
+        from repro.stap.chain import run_cpi_stream
+
+        for seed in (1, 2, 3, 11, 42):
+            sc = Scenario.standard(small_params, seed=seed)
+            cubes = [make_cube(small_params, sc, k) for k in range(2)]
+            res = run_cpi_stream(cubes, small_params)[1]
+            cells = {(d.doppler_bin, d.beam, d.range_gate) for d in res.detections}
+            for t in sc.targets:
+                b = round(t.doppler * small_params.n_pulses) % small_params.n_pulses
+                beam = int(np.argmin(np.abs(small_params.beam_angles - t.angle)))
+                assert (b, beam, t.range_gate) in cells, (seed, t)
+
+    def test_metrics_stable_across_window_length(self, small_params):
+        """Steady-state throughput must not depend on how long we run."""
+        a = NodeAssignment.balanced(small_params, 20)
+        spec = build_embedded_pipeline(a)
+        thr = {}
+        for n_cpis in (6, 12):
+            res = PipelineExecutor(
+                spec, small_params, paragon(), FSConfig("pfs", 8),
+                ExecutionConfig(n_cpis=n_cpis, warmup=2),
+            ).run()
+            thr[n_cpis] = res.throughput
+        assert thr[12] == pytest.approx(thr[6], rel=0.05)

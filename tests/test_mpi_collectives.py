@@ -1,0 +1,164 @@
+"""Collective-operation tests across communicator sizes and networks."""
+
+import numpy as np
+import pytest
+
+from repro.machine.presets import generic_cluster, ibm_sp, paragon
+from repro.mpi.communicator import Communicator
+from repro.sim.kernel import Kernel
+
+
+def make_comm(size, preset=None):
+    k = Kernel()
+    m = (preset or generic_cluster()).build(k, n_compute=size)
+    return Communicator.world(m)
+
+
+def run_all(comm, body):
+    k = comm.kernel
+    results = {}
+
+    def wrapper(rc):
+        out = yield from body(rc)
+        results[rc.rank] = out
+
+    for r in range(comm.size):
+        k.process(wrapper(comm.view(r)))
+    k.run()
+    return results
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 16])
+class TestBySize:
+    def test_barrier_completes(self, size):
+        comm = make_comm(size)
+
+        def body(rc):
+            yield from rc.barrier()
+            return rc.kernel.now
+
+        res = run_all(comm, body)
+        assert len(res) == size
+
+    def test_bcast(self, size):
+        comm = make_comm(size)
+        root = size // 2
+
+        def body(rc):
+            data = "the-word" if rc.rank == root else None
+            out = yield from rc.bcast(data, root=root)
+            return out
+
+        res = run_all(comm, body)
+        assert all(v == "the-word" for v in res.values())
+
+    def test_gather(self, size):
+        comm = make_comm(size)
+
+        def body(rc):
+            out = yield from rc.gather(rc.rank**2, root=0)
+            return out
+
+        res = run_all(comm, body)
+        assert res[0] == [r**2 for r in range(size)]
+        assert all(res[r] is None for r in range(1, size))
+
+    def test_scatter(self, size):
+        comm = make_comm(size)
+
+        def body(rc):
+            items = [f"item{i}" for i in range(size)] if rc.rank == 0 else None
+            mine = yield from rc.scatter(items, root=0)
+            return mine
+
+        res = run_all(comm, body)
+        assert all(res[r] == f"item{r}" for r in range(size))
+
+    def test_allreduce_sum(self, size):
+        comm = make_comm(size)
+
+        def body(rc):
+            out = yield from rc.allreduce(rc.rank + 1, op=lambda a, b: a + b)
+            return out
+
+        res = run_all(comm, body)
+        expect = size * (size + 1) // 2
+        assert all(v == expect for v in res.values())
+
+
+class TestSemantics:
+    def test_barrier_actually_synchronises(self):
+        comm = make_comm(4)
+        after = {}
+
+        def body(rc):
+            yield rc.kernel.timeout(float(rc.rank))  # staggered arrivals
+            yield from rc.barrier()
+            after[rc.rank] = rc.kernel.now
+            return None
+
+        run_all(comm, body)
+        # Nobody leaves the barrier before the slowest arrival (t=3).
+        assert min(after.values()) >= 3.0
+
+    def test_bcast_numpy(self):
+        comm = make_comm(5)
+
+        def body(rc):
+            data = np.arange(8) if rc.rank == 0 else None
+            out = yield from rc.bcast(data, root=0)
+            return out.sum()
+
+        res = run_all(comm, body)
+        assert all(v == 28 for v in res.values())
+
+    def test_scatter_wrong_length_raises(self):
+        comm = make_comm(3)
+        k = comm.kernel
+
+        def root_body(rc):
+            yield from rc.scatter(["only-one"], root=0)
+
+        k.process(root_body(comm.view(0)))
+        with pytest.raises(Exception):
+            k.run()
+
+    def test_successive_collectives_do_not_cross_talk(self):
+        comm = make_comm(4)
+
+        def body(rc):
+            a = yield from rc.bcast("first" if rc.rank == 0 else None, root=0)
+            b = yield from rc.bcast("second" if rc.rank == 0 else None, root=0)
+            g = yield from rc.gather((a, b), root=0)
+            return g
+
+        res = run_all(comm, body)
+        assert res[0] == [("first", "second")] * 4
+
+    @pytest.mark.parametrize("preset", [paragon, ibm_sp])
+    def test_collectives_on_contended_networks(self, preset):
+        comm = make_comm(9, preset())
+
+        def body(rc):
+            yield from rc.barrier()
+            out = yield from rc.allreduce(rc.rank, op=max)
+            return out
+
+        res = run_all(comm, body)
+        assert all(v == 8 for v in res.values())
+
+    def test_bcast_mixed_with_p2p(self):
+        comm = make_comm(3)
+
+        def body(rc):
+            if rc.rank == 0:
+                rc.isend("direct", 2, tag=4)
+            out = yield from rc.bcast("b" if rc.rank == 0 else None, root=0)
+            extra = None
+            if rc.rank == 2:
+                extra = yield from rc.recv(source=0, tag=4)
+            return (out, extra)
+
+        res = run_all(comm, body)
+        assert res[2] == ("b", "direct")
+        assert res[1] == ("b", None)

@@ -1,0 +1,91 @@
+"""Unit and property tests for payload size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import Phantom, nbytes_of
+
+
+class TestPhantom:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Phantom(-1)
+
+    def test_meta_carried(self):
+        p = Phantom(10, {"cpi": 3})
+        assert p.meta["cpi"] == 3
+
+    def test_split_conserves_bytes(self):
+        p = Phantom(100)
+        parts = p.split(7)
+        assert sum(q.nbytes for q in parts) == 100
+
+    def test_split_sizes_differ_by_at_most_one(self):
+        parts = Phantom(100).split(7)
+        sizes = [q.nbytes for q in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_invalid_parts(self):
+        with pytest.raises(ValueError):
+            Phantom(10).split(0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 64))
+    def test_split_property(self, nbytes, parts):
+        pieces = Phantom(nbytes).split(parts)
+        assert len(pieces) == parts
+        assert sum(q.nbytes for q in pieces) == nbytes
+        sizes = [q.nbytes for q in pieces]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestNbytesOf:
+    def test_none_is_zero(self):
+        assert nbytes_of(None) == 0
+
+    def test_numpy_array(self):
+        a = np.zeros((4, 8), dtype=np.complex64)
+        assert nbytes_of(a) == 4 * 8 * 8
+
+    def test_phantom(self):
+        assert nbytes_of(Phantom(123)) == 123
+
+    def test_bytes(self):
+        assert nbytes_of(b"hello") == 5
+
+    def test_bytearray_and_memoryview(self):
+        assert nbytes_of(bytearray(9)) == 9
+        assert nbytes_of(memoryview(b"abc")) == 3
+
+    def test_scalars(self):
+        assert nbytes_of(3) == 8
+        assert nbytes_of(3.5) == 8
+        assert nbytes_of(1 + 2j) == 8
+        assert nbytes_of(True) == 8
+        assert nbytes_of(np.float32(1.0)) == 8
+
+    def test_string_utf8(self):
+        assert nbytes_of("abc") == 3
+
+    def test_nested_sequence(self):
+        a = np.zeros(10, dtype=np.float64)
+        assert nbytes_of([a, a]) == 160
+
+    def test_mapping(self):
+        assert nbytes_of({"k": np.zeros(2, np.float64)}) == 1 + 16
+
+    def test_tuple_of_mixed(self):
+        assert nbytes_of((Phantom(5), b"xy")) == 7
+
+    def test_unknown_object_charged_flat(self):
+        class Opaque:
+            pass
+
+        assert nbytes_of(Opaque()) == 64
+
+    def test_object_with_nbytes_attr(self):
+        class HasSize:
+            nbytes = 77
+
+        assert nbytes_of(HasSize()) == 77

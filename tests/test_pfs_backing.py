@@ -1,0 +1,138 @@
+"""Tests for the backing store and disk model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NoSuchFileError
+from repro.mpi.datatypes import Phantom
+from repro.pfs.backing import BackingStore
+from repro.pfs.blockdev import DiskSpec
+
+
+class TestDiskSpec:
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            DiskSpec(bandwidth=0, overhead=1e-3)
+
+    def test_invalid_overhead(self):
+        with pytest.raises(ConfigurationError):
+            DiskSpec(bandwidth=1e6, overhead=-1)
+
+    def test_invalid_extra_unit_frac(self):
+        with pytest.raises(ConfigurationError):
+            DiskSpec(1e6, 1e-3, extra_unit_overhead_frac=2.0)
+
+    def test_service_time_single_unit(self):
+        d = DiskSpec(bandwidth=1e6, overhead=0.01)
+        assert d.service_time(1e6) == pytest.approx(1.01)
+
+    def test_multi_unit_extra_seek(self):
+        d = DiskSpec(1e6, 0.01, extra_unit_overhead_frac=0.1)
+        t1 = d.service_time(1000, n_units=1)
+        t5 = d.service_time(1000, n_units=5)
+        assert t5 == pytest.approx(t1 + 4 * 0.001)
+
+    def test_zero_bytes_still_pays_overhead(self):
+        d = DiskSpec(1e6, 0.02)
+        assert d.service_time(0) == pytest.approx(0.02)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiskSpec(1e6, 0.01).service_time(-1)
+
+
+class TestBackingStore:
+    def test_create_and_exists(self):
+        bs = BackingStore()
+        assert not bs.exists("f")
+        bs.create("f")
+        assert bs.exists("f") and bs.size("f") == 0
+
+    def test_write_read_roundtrip(self):
+        bs = BackingStore()
+        bs.create("f")
+        bs.write("f", 0, b"hello world")
+        assert bs.read("f", 0, 5) == b"hello"
+        assert bs.read("f", 6, 5) == b"world"
+
+    def test_write_at_offset_grows_file(self):
+        bs = BackingStore()
+        bs.create("f")
+        bs.write("f", 10, b"xy")
+        assert bs.size("f") == 12
+        assert bs.read("f", 0, 10) == b"\0" * 10
+
+    def test_overwrite_in_place(self):
+        bs = BackingStore()
+        bs.create("f")
+        bs.write("f", 0, b"aaaa")
+        bs.write("f", 1, b"bb")
+        assert bs.read("f", 0, 4) == b"abba"
+
+    def test_numpy_write(self):
+        bs = BackingStore()
+        bs.create("f")
+        arr = np.arange(4, dtype=np.int32)
+        bs.write("f", 0, arr)
+        back = np.frombuffer(bs.read("f", 0, 16), dtype=np.int32)
+        assert np.array_equal(back, arr)
+
+    def test_short_read_past_eof(self):
+        bs = BackingStore()
+        bs.create("f")
+        bs.write("f", 0, b"abc")
+        assert bs.read("f", 2, 10) == b"c"
+
+    def test_read_missing_file_raises(self):
+        with pytest.raises(NoSuchFileError):
+            BackingStore().read("ghost", 0, 1)
+
+    def test_write_missing_file_raises(self):
+        with pytest.raises(NoSuchFileError):
+            BackingStore().write("ghost", 0, b"x")
+
+    def test_remove(self):
+        bs = BackingStore()
+        bs.create("f")
+        bs.remove("f")
+        assert not bs.exists("f")
+        with pytest.raises(NoSuchFileError):
+            bs.remove("f")
+
+    def test_phantom_file_reads_phantom(self):
+        bs = BackingStore()
+        bs.create("p", phantom=True, size=1000)
+        out = bs.read("p", 100, 200)
+        assert isinstance(out, Phantom) and out.nbytes == 200
+
+    def test_phantom_short_read(self):
+        bs = BackingStore()
+        bs.create("p", phantom=True, size=100)
+        out = bs.read("p", 90, 50)
+        assert out.nbytes == 10
+
+    def test_phantom_write_extends_size(self):
+        bs = BackingStore()
+        bs.create("p", phantom=True, size=10)
+        bs.write("p", 50, Phantom(25))
+        assert bs.size("p") == 75
+
+    def test_real_bytes_into_phantom_track_size_only(self):
+        bs = BackingStore()
+        bs.create("p", phantom=True, size=0)
+        bs.write("p", 0, b"abcdef")
+        assert bs.size("p") == 6
+        assert isinstance(bs.read("p", 0, 6), Phantom)
+
+    def test_phantom_write_into_real_file_zero_extends(self):
+        bs = BackingStore()
+        bs.create("f")
+        bs.write("f", 0, Phantom(8))
+        assert bs.size("f") == 8
+        assert bs.read("f", 0, 8) == b"\0" * 8
+
+    def test_recreate_switches_mode(self):
+        bs = BackingStore()
+        bs.create("f", phantom=True, size=10)
+        bs.create("f")  # now real
+        assert not bs.is_phantom("f") and bs.size("f") == 0

@@ -1,0 +1,260 @@
+"""Integration tests for the PFS / PIOFS file systems on a machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AsyncUnsupportedError,
+    ConfigurationError,
+    FileExistsInFSError,
+    FileNotOpenError,
+    NoSuchFileError,
+)
+from repro.machine.presets import generic_cluster, paragon
+from repro.mpi.datatypes import Phantom
+from repro.pfs import PFS, PIOFS, DiskSpec, OpenMode
+from repro.sim.kernel import Kernel
+
+
+def make_fs(cls=PFS, sf=4, n_compute=4, unit=1024, disk=None, preset=None):
+    k = Kernel()
+    m = (preset or generic_cluster()).build(k, n_compute=n_compute, n_io=sf)
+    fs = cls(m, stripe_unit=unit, stripe_factor=sf, disk=disk or DiskSpec(50e6, 1e-3))
+    return k, fs
+
+
+def run(k, gen):
+    out = {}
+
+    def wrapper():
+        out["value"] = yield from gen
+    k.process(wrapper())
+    k.run()
+    return out.get("value")
+
+
+class TestNamespace:
+    def test_create_and_exists(self):
+        _, fs = make_fs()
+        fs.create("a", data=b"xyz")
+        assert fs.exists("a") and fs.file_size("a") == 3
+
+    def test_exclusive_create(self):
+        _, fs = make_fs()
+        fs.create("a")
+        with pytest.raises(FileExistsInFSError):
+            fs.create("a")
+        fs.create("a", exist_ok=True)  # fine
+
+    def test_open_missing_raises(self):
+        _, fs = make_fs()
+        with pytest.raises(NoSuchFileError):
+            fs.open("ghost", 0)
+
+    def test_open_bad_node(self):
+        _, fs = make_fs()
+        fs.create("a")
+        with pytest.raises(ConfigurationError):
+            fs.open("a", node_id=99)
+
+    def test_gopen_gives_every_node_a_handle(self):
+        _, fs = make_fs()
+        fs.create("a")
+        handles = fs.gopen("a", [0, 1, 2])
+        assert len(handles) == 3
+        assert all(h.mode is OpenMode.M_ASYNC for h in handles)
+
+    def test_closed_handle_rejected(self):
+        k, fs = make_fs()
+        fs.create("a", data=b"abc")
+        h = fs.open("a", 0)
+        h.close()
+        with pytest.raises(FileNotOpenError):
+            run(k, fs.read(h, 0, 1))
+
+    def test_requires_io_nodes(self):
+        k = Kernel()
+        m = generic_cluster().build(k, n_compute=2, n_io=0)
+        with pytest.raises(ConfigurationError):
+            PFS(m, 1024, 4, DiskSpec(1e6, 1e-3))
+
+
+class TestReadWrite:
+    def test_roundtrip_bytes(self):
+        k, fs = make_fs()
+        fs.create("f", data=b"0123456789" * 1000)
+        h = fs.open("f", 0)
+        out = run(k, fs.read(h, 5, 10))
+        assert out == b"5678901234"
+
+    def test_striped_write_then_read(self):
+        k, fs = make_fs(sf=4, unit=64)
+        fs.create("f")
+        h = fs.open("f", 0)
+        payload = bytes(range(256)) * 4
+        run(k, fs.write(h, 0, payload))
+        out = run(k, fs.read(h, 0, len(payload)))
+        assert out == payload
+
+    def test_numpy_write(self):
+        k, fs = make_fs()
+        fs.create("f")
+        h = fs.open("f", 1)
+        arr = np.arange(100, dtype=np.complex64)
+        run(k, fs.write(h, 0, arr))
+        out = run(k, fs.read(h, 0, arr.nbytes))
+        assert np.array_equal(np.frombuffer(out, np.complex64), arr)
+
+    def test_phantom_file_read(self):
+        k, fs = make_fs()
+        fs.create("p", phantom_size=10_000)
+        h = fs.open("p", 0)
+        out = run(k, fs.read(h, 0, 500))
+        assert isinstance(out, Phantom) and out.nbytes == 500
+
+    def test_read_takes_disk_time(self):
+        disk = DiskSpec(bandwidth=1e6, overhead=0.01)
+        k, fs = make_fs(sf=1, disk=disk)
+        fs.create("p", phantom_size=10**6)
+        h = fs.open("p", 0)
+        run(k, fs.read(h, 0, 10**6))
+        assert k.now >= 1.0  # at least the media time on one directory
+
+    def test_striping_parallelises_media_time(self):
+        times = {}
+        for sf in (1, 8):
+            disk = DiskSpec(bandwidth=1e6, overhead=0.0)
+            k, fs = make_fs(sf=sf, unit=1024, disk=disk)
+            fs.create("p", phantom_size=8 * 1024)
+            h = fs.open("p", 0)
+            run(k, fs.read(h, 0, 8 * 1024))
+            times[sf] = k.now
+        assert times[8] < times[1] / 4
+
+    def test_concurrent_readers_queue_on_few_directories(self):
+        def elapsed(sf, readers):
+            disk = DiskSpec(bandwidth=1e6, overhead=0.0)
+            k, fs = make_fs(sf=sf, n_compute=readers, unit=1024, disk=disk)
+            fs.create("p", phantom_size=readers * 4096)
+            done = []
+
+            def body(nid):
+                h = fs.open("p", nid)
+                yield from fs.read(h, nid * 4096, 4096)
+                done.append(k.now)
+
+            for nid in range(readers):
+                k.process(body(nid))
+            k.run()
+            return max(done)
+
+        assert elapsed(sf=8, readers=8) < elapsed(sf=1, readers=8) / 3
+
+    def test_m_unix_serialises_accesses(self):
+        def elapsed(mode):
+            disk = DiskSpec(bandwidth=1e6, overhead=0.0)
+            k, fs = make_fs(sf=8, n_compute=4, unit=1024, disk=disk)
+            fs.create("p", phantom_size=4 * 8192)
+            done = []
+
+            def body(nid):
+                h = fs.open("p", nid, mode)
+                yield from fs.read(h, nid * 8192, 8192)
+                done.append(k.now)
+
+            for nid in range(4):
+                k.process(body(nid))
+            k.run()
+            return max(done)
+
+        assert elapsed(OpenMode.M_ASYNC) < elapsed(OpenMode.M_UNIX)
+
+    def test_bytes_served_accounting(self):
+        k, fs = make_fs(sf=2, unit=128)
+        fs.create("p", phantom_size=1024)
+        h = fs.open("p", 0)
+        run(k, fs.read(h, 0, 1024))
+        assert fs.total_bytes_served() == 1024
+
+    def test_negative_read_args_rejected(self):
+        k, fs = make_fs()
+        fs.create("f", data=b"abc")
+        h = fs.open("f", 0)
+        with pytest.raises(ConfigurationError):
+            run(k, fs.read(h, -1, 2))
+
+
+class TestAsync:
+    def test_iread_returns_request_immediately(self):
+        k, fs = make_fs()
+        fs.create("p", phantom_size=4096)
+        h = fs.open("p", 0)
+        req = fs.iread(h, 0, 4096)
+        assert not req.complete
+        out = run(k, PFS.iowait(req))
+        assert out.nbytes == 4096
+
+    def test_iread_overlaps_with_other_work(self):
+        disk = DiskSpec(bandwidth=1e6, overhead=0.0)
+        k, fs = make_fs(sf=1, disk=disk)
+        fs.create("p", phantom_size=10**6)
+        h = fs.open("p", 0)
+        log = {}
+
+        def body():
+            req = fs.iread(h, 0, 10**6)  # 1 s of disk time
+            yield k.timeout(0.9)          # overlapped computation
+            log["compute_done"] = k.now
+            yield from req.wait()
+            log["read_done"] = k.now
+
+        k.process(body())
+        k.run()
+        assert log["compute_done"] == pytest.approx(0.9)
+        # Disk time overlapped the compute: ~1.0 s (+ network shipping),
+        # nowhere near the 1.9 s a sequential read-then-compute would take.
+        assert 1.0 <= log["read_done"] < 1.1
+
+    def test_iwrite(self):
+        k, fs = make_fs()
+        fs.create("f")
+        h = fs.open("f", 0)
+        req = fs.iwrite(h, 0, b"payload")
+        run(k, PFS.iowait(req))
+        assert fs.backing.read("f", 0, 7) == b"payload"
+
+    def test_piofs_has_no_iread(self):
+        _, fs = make_fs(cls=PIOFS)
+        fs.create("p", phantom_size=100)
+        h = fs.open("p", 0)
+        with pytest.raises(AsyncUnsupportedError):
+            fs.iread(h, 0, 10)
+        with pytest.raises(AsyncUnsupportedError):
+            fs.iwrite(h, 0, b"x")
+
+    def test_piofs_sync_read_works(self):
+        k, fs = make_fs(cls=PIOFS)
+        fs.create("f", data=b"piofs-data")
+        h = fs.open("f", 0)
+        assert run(k, fs.read(h, 0, 10)) == b"piofs-data"
+
+    def test_supports_async_flags(self):
+        assert PFS.supports_async and not PIOFS.supports_async
+
+
+class TestOnRealNetworks:
+    def test_read_ships_over_mesh(self):
+        k = Kernel()
+        m = paragon().build(k, n_compute=2, n_io=2)
+        fs = PFS(m, 1024, 2, DiskSpec(50e6, 1e-4))
+        fs.create("p", phantom_size=64 * 1024)
+        h = fs.open("p", 0)
+        out = {}
+
+        def body():
+            out["v"] = yield from fs.read(h, 0, 64 * 1024)
+
+        k.process(body())
+        k.run()
+        assert out["v"].nbytes == 64 * 1024
+        assert k.now > 0

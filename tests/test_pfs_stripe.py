@@ -1,0 +1,101 @@
+"""Unit and property tests for striping arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pfs.stripe import StripeLayout
+
+
+class TestBasics:
+    def test_invalid_unit(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout(0, 4)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout(1024, 0)
+
+    def test_unit_of(self):
+        lay = StripeLayout(100, 4)
+        assert lay.unit_of(0) == 0
+        assert lay.unit_of(99) == 0
+        assert lay.unit_of(100) == 1
+
+    def test_directory_round_robin(self):
+        lay = StripeLayout(10, 3)
+        assert [lay.directory_of(i * 10) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_n_units_ceil(self):
+        lay = StripeLayout(100, 4)
+        assert lay.n_units(0) == 0
+        assert lay.n_units(1) == 1
+        assert lay.n_units(100) == 1
+        assert lay.n_units(101) == 2
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout(10, 2).unit_of(-1)
+
+
+class TestMapRange:
+    def test_empty_range(self):
+        assert StripeLayout(10, 4).map_range(5, 0) == []
+
+    def test_single_unit(self):
+        runs = StripeLayout(100, 4).map_range(10, 50)
+        assert len(runs) == 1
+        assert runs[0].directory == 0 and runs[0].nbytes == 50 and runs[0].n_units == 1
+
+    def test_spans_two_directories(self):
+        runs = StripeLayout(100, 4).map_range(50, 100)
+        assert [(r.directory, r.nbytes) for r in runs] == [(0, 50), (1, 50)]
+
+    def test_wraps_around_directories(self):
+        # 5 units over 2 dirs: units 0,2,4 -> dir0; 1,3 -> dir1.
+        runs = StripeLayout(10, 2).map_range(0, 50)
+        assert [(r.directory, r.nbytes, r.n_units) for r in runs] == [
+            (0, 30, 3),
+            (1, 20, 2),
+        ]
+
+    def test_coalesces_per_directory(self):
+        runs = StripeLayout(10, 2).map_range(0, 100)
+        assert len(runs) == 2  # one run per dir, not per unit
+
+    def test_directories_touched(self):
+        lay = StripeLayout(10, 8)
+        assert lay.directories_touched(0, 10) == 1
+        assert lay.directories_touched(0, 80) == 8
+        assert lay.directories_touched(0, 200) == 8
+
+    @given(
+        st.integers(1, 4096),          # stripe unit
+        st.integers(1, 64),            # stripe factor
+        st.integers(0, 10**6),         # offset
+        st.integers(0, 10**6),         # length
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_runs_conserve_bytes_and_units(self, unit, factor, offset, nbytes):
+        lay = StripeLayout(unit, factor)
+        runs = lay.map_range(offset, nbytes)
+        assert sum(r.nbytes for r in runs) == nbytes
+        total_units = sum(r.n_units for r in runs)
+        if nbytes:
+            first = offset // unit
+            last = (offset + nbytes - 1) // unit
+            assert total_units == last - first + 1
+        dirs = [r.directory for r in runs]
+        assert dirs == sorted(dirs)
+        assert len(set(dirs)) == len(dirs)
+        assert all(0 <= d < factor for d in dirs)
+
+    @given(st.integers(1, 1000), st.integers(1, 32), st.integers(0, 10**5))
+    @settings(max_examples=60, deadline=None)
+    def test_first_run_offset_is_range_start_dir(self, unit, factor, offset):
+        lay = StripeLayout(unit, factor)
+        runs = lay.map_range(offset, unit * factor * 2)
+        start_dir = lay.directory_of(offset)
+        matching = [r for r in runs if r.directory == start_dir]
+        assert matching and matching[0].file_offset == offset

@@ -1,0 +1,154 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Kernel
+
+
+class TestEvent:
+    def test_starts_pending(self, kernel):
+        ev = kernel.event()
+        assert not ev.triggered
+
+    def test_value_before_trigger_raises(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.event().value
+
+    def test_succeed_sets_value(self, kernel):
+        ev = kernel.event()
+        ev.succeed(42)
+        assert ev.triggered and ev.ok and ev.value == 42
+
+    def test_succeed_with_none_still_triggered(self, kernel):
+        ev = kernel.event()
+        ev.succeed()
+        assert ev.triggered and ev.value is None
+
+    def test_double_succeed_raises(self, kernel):
+        ev = kernel.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_then_succeed_raises(self, kernel):
+        ev = kernel.event()
+        ev.fail(ValueError("x"))
+        with pytest.raises(SimulationError):
+            ev.succeed(1)
+
+    def test_fail_requires_exception(self, kernel):
+        ev = kernel.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_sets_not_ok(self, kernel):
+        ev = kernel.event()
+        ev.fail(RuntimeError("boom"))
+        assert ev.triggered and not ev.ok
+        assert isinstance(ev.value, RuntimeError)
+
+    def test_callbacks_run_on_fire(self, kernel):
+        ev = kernel.event()
+        got = []
+        ev.callbacks.append(lambda e: got.append(e.value))
+        ev.succeed("payload")
+        kernel.run()
+        assert got == ["payload"]
+
+    def test_callbacks_fire_in_registration_order(self, kernel):
+        ev = kernel.event()
+        order = []
+        ev.callbacks.append(lambda e: order.append(1))
+        ev.callbacks.append(lambda e: order.append(2))
+        ev.succeed()
+        kernel.run()
+        assert order == [1, 2]
+
+
+class TestTimeout:
+    def test_negative_delay_raises(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.timeout(-1.0)
+
+    def test_zero_delay_fires_at_current_time(self, kernel):
+        t = kernel.timeout(0.0)
+        kernel.run()
+        assert t.triggered and kernel.now == 0.0
+
+    def test_fires_after_delay(self, kernel):
+        t = kernel.timeout(2.5)
+        assert not t.triggered
+        kernel.run()
+        assert t.triggered and kernel.now == 2.5
+
+    def test_carries_value(self, kernel):
+        t = kernel.timeout(1.0, value="done")
+        kernel.run()
+        assert t.value == "done"
+
+    def test_is_pending_until_clock_reaches_it(self, kernel):
+        t = kernel.timeout(5.0)
+        kernel.run(until=3.0)
+        assert not t.triggered
+        kernel.run()
+        assert t.triggered
+
+
+class TestAllOf:
+    def test_empty_fires_immediately(self, kernel):
+        cond = kernel.all_of([])
+        assert cond.triggered and cond.value == []
+
+    def test_waits_for_all(self, kernel):
+        a, b = kernel.timeout(1.0, "a"), kernel.timeout(2.0, "b")
+        cond = kernel.all_of([a, b])
+        kernel.run(until=1.5)
+        assert not cond.triggered
+        kernel.run()
+        assert cond.triggered and cond.value == ["a", "b"]
+
+    def test_value_order_matches_input_order(self, kernel):
+        late = kernel.timeout(3.0, "late")
+        early = kernel.timeout(1.0, "early")
+        cond = kernel.all_of([late, early])
+        kernel.run()
+        assert cond.value == ["late", "early"]
+
+    def test_already_triggered_children(self, kernel):
+        a = kernel.event()
+        a.succeed("x")
+        cond = kernel.all_of([a, kernel.timeout(1.0, "y")])
+        kernel.run()
+        assert cond.value == ["x", "y"]
+
+    def test_child_failure_fails_condition(self, kernel):
+        a = kernel.event()
+        b = kernel.timeout(5.0)
+        cond = kernel.all_of([a, b])
+        a.fail(ValueError("bad"))
+        kernel.run(until=1.0)
+        assert cond.triggered and not cond.ok
+
+
+class TestAnyOf:
+    def test_first_wins(self, kernel):
+        a, b = kernel.timeout(2.0, "slow"), kernel.timeout(1.0, "fast")
+        cond = kernel.any_of([a, b])
+        kernel.run()
+        ev, val = cond.value
+        assert ev is b and val == "fast"
+
+    def test_fires_at_first_event_time(self, kernel):
+        cond = kernel.any_of([kernel.timeout(2.0), kernel.timeout(0.5)])
+        got = []
+        cond.callbacks.append(lambda e: got.append(kernel.now))
+        kernel.run()
+        assert got == [0.5]
+
+    def test_late_events_do_not_retrigger(self, kernel):
+        a, b = kernel.timeout(1.0, "a"), kernel.timeout(2.0, "b")
+        cond = kernel.any_of([a, b])
+        kernel.run()
+        assert cond.value[1] == "a"  # unchanged after b fires

@@ -1,0 +1,90 @@
+"""Property-based tests of the DES kernel's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Kernel
+
+
+@st.composite
+def schedules(draw):
+    """Random (delay, payload) action schedules, possibly with ties."""
+    n = draw(st.integers(1, 40))
+    delays = draw(
+        st.lists(
+            st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n,
+        )
+    )
+    return delays
+
+
+class TestKernelProperties:
+    @given(schedules())
+    @settings(max_examples=80, deadline=None)
+    def test_actions_fire_in_time_order_with_fifo_ties(self, delays):
+        k = Kernel()
+        fired = []
+        for i, d in enumerate(delays):
+            k._push(d, lambda i=i, d=d: fired.append((d, i)))
+        k.run()
+        assert len(fired) == len(delays)
+        # Non-decreasing in time; equal times preserve insertion order.
+        for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+            assert t1 < t2 or (t1 == t2 and i1 < i2)
+
+    @given(schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_clock_is_monotone_and_ends_at_max(self, delays):
+        k = Kernel()
+        stamps = []
+        for d in delays:
+            k._push(d, lambda: stamps.append(k.now))
+        end = k.run()
+        assert stamps == sorted(stamps)
+        assert end == max(delays)
+
+    @given(schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_replay(self, delays):
+        def trial():
+            k = Kernel()
+            log = []
+
+            def proc(k, i, d):
+                yield k.timeout(d)
+                log.append((i, k.now))
+                yield k.timeout(d / 2 + 0.1)
+                log.append((i, k.now))
+
+            for i, d in enumerate(delays):
+                k.process(proc(k, i, d))
+            k.run()
+            return log
+
+        assert trial() == trial()
+
+    @given(
+        st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1, max_size=20),
+        st.floats(0.0, 60.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_never_overshoots(self, delays, until):
+        k = Kernel()
+        fired = []
+        for d in delays:
+            k._push(d, lambda d=d: fired.append(d))
+        k.run(until=until)
+        assert all(d <= until for d in fired)
+        assert k.now == max([until] + [d for d in fired if d <= until]) or k.now == until
+
+    @given(st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_resume_after_until_completes_everything(self, delays):
+        k = Kernel()
+        fired = []
+        for d in delays:
+            k._push(d, lambda d=d: fired.append(d))
+        k.run(until=5.0)
+        k.run()
+        assert sorted(fired) == sorted(delays)

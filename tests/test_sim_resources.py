@@ -1,0 +1,216 @@
+"""Unit tests for repro.sim.resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.resources import PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, kernel):
+        with pytest.raises(SimulationError):
+            Resource(kernel, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self, kernel):
+        r = Resource(kernel, capacity=2)
+        assert r.request().triggered
+        assert r.request().triggered
+        assert r.in_use == 2
+
+    def test_over_capacity_queues(self, kernel):
+        r = Resource(kernel, capacity=1)
+        r.request()
+        ev = r.request()
+        assert not ev.triggered and r.queue_length == 1
+
+    def test_release_grants_next_waiter(self, kernel):
+        r = Resource(kernel, capacity=1)
+        r.request()
+        ev = r.request()
+        r.release()
+        assert ev.triggered
+
+    def test_release_idle_raises(self, kernel):
+        r = Resource(kernel, capacity=1)
+        with pytest.raises(SimulationError):
+            r.release()
+
+    def test_fifo_service_order(self, kernel):
+        r = Resource(kernel, capacity=1)
+        done = []
+
+        def worker(k, r, name):
+            yield from r.using(1.0)
+            done.append((name, k.now))
+
+        for n in "abc":
+            kernel.process(worker(kernel, r, n))
+        kernel.run()
+        assert done == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_using_releases_on_completion(self, kernel):
+        r = Resource(kernel, capacity=1)
+
+        def worker(k, r):
+            yield from r.using(1.0)
+
+        kernel.process(worker(kernel, r))
+        kernel.run()
+        assert r.in_use == 0
+
+    def test_capacity_two_overlaps(self, kernel):
+        r = Resource(kernel, capacity=2)
+        done = []
+
+        def worker(k, r, name):
+            yield from r.using(1.0)
+            done.append((name, k.now))
+
+        for n in "abcd":
+            kernel.process(worker(kernel, r, n))
+        kernel.run()
+        assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0), ("d", 2.0)]
+
+
+class TestPriorityResource:
+    def test_priority_order(self, kernel):
+        r = PriorityResource(kernel, capacity=1)
+        done = []
+
+        def worker(k, r, name, prio):
+            yield r.request(priority=prio)
+            yield k.timeout(1.0)
+            r.release()
+            done.append(name)
+
+        # First grabs immediately; the rest queue with priorities.
+        kernel.process(worker(kernel, r, "first", 0))
+        kernel.process(worker(kernel, r, "low", 5))
+        kernel.process(worker(kernel, r, "high", 1))
+        kernel.run()
+        assert done == ["first", "high", "low"]
+
+    def test_fifo_within_priority(self, kernel):
+        r = PriorityResource(kernel, capacity=1)
+        done = []
+
+        def worker(k, r, name):
+            yield r.request(priority=1)
+            yield k.timeout(1.0)
+            r.release()
+            done.append(name)
+
+        for n in "xyz":
+            kernel.process(worker(kernel, r, n))
+        kernel.run()
+        assert done == ["x", "y", "z"]
+
+    def test_release_idle_raises(self, kernel):
+        r = PriorityResource(kernel)
+        with pytest.raises(SimulationError):
+            r.release()
+
+
+class TestStore:
+    def test_put_never_blocks(self, kernel):
+        s = Store(kernel)
+        for i in range(100):
+            assert s.put(i).triggered
+        assert len(s) == 100
+
+    def test_get_from_buffered(self, kernel):
+        s = Store(kernel)
+        s.put("a")
+        ev = s.get()
+        assert ev.triggered and ev.value == "a"
+
+    def test_get_blocks_until_put(self, kernel):
+        s = Store(kernel)
+        got = []
+
+        def getter(k, s):
+            v = yield s.get()
+            got.append((v, k.now))
+
+        def putter(k, s):
+            yield k.timeout(2.0)
+            s.put("late")
+
+        kernel.process(getter(kernel, s))
+        kernel.process(putter(kernel, s))
+        kernel.run()
+        assert got == [("late", 2.0)]
+
+    def test_fifo_item_order(self, kernel):
+        s = Store(kernel)
+        for i in range(3):
+            s.put(i)
+        assert [s.get().value for _ in range(3)] == [0, 1, 2]
+
+    def test_filtered_get_skips_non_matching(self, kernel):
+        s = Store(kernel)
+        s.put(1)
+        s.put(2)
+        s.put(3)
+        ev = s.get(lambda x: x % 2 == 0)
+        assert ev.value == 2
+        assert s.peek_all() == [1, 3]
+
+    def test_filtered_get_blocks_until_match(self, kernel):
+        s = Store(kernel)
+        s.put("wrong")
+        got = []
+
+        def getter(k, s):
+            v = yield s.get(lambda x: x == "right")
+            got.append(v)
+
+        def putter(k, s):
+            yield k.timeout(1.0)
+            s.put("right")
+
+        kernel.process(getter(kernel, s))
+        kernel.process(putter(kernel, s))
+        kernel.run()
+        assert got == ["right"] and s.peek_all() == ["wrong"]
+
+    def test_put_wakes_first_matching_getter(self, kernel):
+        s = Store(kernel)
+        order = []
+
+        def getter(k, s, name, flt):
+            v = yield s.get(flt)
+            order.append((name, v))
+
+        kernel.process(getter(kernel, s, "evens", lambda x: x % 2 == 0))
+        kernel.process(getter(kernel, s, "odds", lambda x: x % 2 == 1))
+
+        def putter(k, s):
+            yield k.timeout(1.0)
+            s.put(3)
+            s.put(4)
+
+        kernel.process(putter(kernel, s))
+        kernel.run()
+        assert sorted(order) == [("evens", 4), ("odds", 3)]
+
+    def test_getters_fifo_among_equal_filters(self, kernel):
+        s = Store(kernel)
+        order = []
+
+        def getter(k, s, name):
+            v = yield s.get()
+            order.append(name)
+
+        for n in "abc":
+            kernel.process(getter(kernel, s, n))
+
+        def putter(k, s):
+            yield k.timeout(1.0)
+            for _ in range(3):
+                s.put(0)
+
+        kernel.process(putter(kernel, s))
+        kernel.run()
+        assert order == ["a", "b", "c"]

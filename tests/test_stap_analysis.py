@@ -1,0 +1,151 @@
+"""Tests for clairvoyant covariance analysis and SINR loss."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stap.analysis import (
+    clairvoyant_covariance,
+    filter_response,
+    optimal_weights,
+    output_sinr,
+    sinr_loss_curve,
+)
+from repro.stap.doppler import bin_frequency, doppler_process, doppler_window
+from repro.stap.params import STAPParams
+from repro.stap.scenario import Jammer, Scenario, make_cube
+from repro.stap.weights import steering_matrix_easy, steering_matrix_hard
+
+
+@pytest.fixture
+def params():
+    return STAPParams(
+        n_channels=4, n_pulses=16, n_ranges=256, n_beams=4, n_hard_bins=4,
+        n_training=32, pulse_len=8, cfar_window=8, cfar_guard=2,
+    )
+
+
+@pytest.fixture
+def scene():
+    return Scenario(targets=(), jammers=(Jammer(0.6, 25.0),), cnr_db=25.0, seed=5)
+
+
+class TestFilterResponse:
+    def test_on_bin_tone_gets_full_gain(self, params):
+        b = 3
+        h = filter_response(params, b, bin_frequency(b, params.n_pulses))
+        win = doppler_window(params.n_pulses - 1, params.window_kind)
+        assert abs(h) == pytest.approx(float(np.sum(win)), rel=1e-6)
+
+    def test_far_off_bin_is_suppressed(self, params):
+        b = 3
+        on = abs(filter_response(params, b, bin_frequency(b, params.n_pulses)))
+        off = abs(
+            filter_response(
+                params, b, bin_frequency((b + 8) % 16, params.n_pulses)
+            )
+        )
+        assert off < 0.05 * on
+
+    def test_invalid_bin(self, params):
+        with pytest.raises(ConfigurationError):
+            filter_response(params, 99, 0.0)
+
+
+class TestClairvoyantCovariance:
+    def test_hermitian_psd(self, params, scene):
+        for b, hard in [(params.easy_bins[3], False), (params.hard_bins[0], True)]:
+            R = clairvoyant_covariance(params, scene, b, hard)
+            assert np.allclose(R, R.conj().T, atol=1e-9)
+            eig = np.linalg.eigvalsh(R)
+            assert eig.min() > 0  # noise floor keeps it positive definite
+
+    def test_noise_only_easy_is_scaled_identity(self, params):
+        quiet = Scenario(targets=(), jammers=(), cnr_db=float("-inf"))
+        R = clairvoyant_covariance(params, quiet, 5, hard=False)
+        win = doppler_window(params.n_pulses - 1, params.window_kind)
+        e0 = float(np.sum(win**2))
+        assert np.allclose(R, e0 * np.eye(params.n_channels), atol=1e-9)
+
+    def test_noise_only_hard_has_stagger_correlation(self, params):
+        quiet = Scenario(targets=(), jammers=(), cnr_db=float("-inf"))
+        b = params.hard_bins[1]
+        R = clairvoyant_covariance(params, quiet, b, hard=True)
+        J = params.n_channels
+        # Off-diagonal block is c * I with |c| = sum win[n] win[n-1].
+        win = doppler_window(params.n_pulses - 1, params.window_kind)
+        overlap = float(np.sum(win[1:] * win[:-1]))
+        block = R[:J, J:]
+        # (1e-5: the reference overlap accumulates in float32 here.)
+        assert np.allclose(np.abs(np.diag(block)), overlap, rtol=1e-5)
+        assert np.allclose(block - np.diag(np.diag(block)), 0, atol=1e-9)
+
+    @pytest.mark.parametrize("hard", [False, True])
+    def test_matches_monte_carlo(self, params, scene, hard):
+        """The generator's sample covariance converges to the analysis —
+        the strongest consistency check in the STAP layer."""
+        b = params.hard_bins[1] if hard else params.easy_bins[5]
+        snaps = []
+        for k in range(30):
+            dop = doppler_process(make_cube(params, scene, k), params)
+            if hard:
+                X = dop.hard[dop.hard_bins.index(b)]
+            else:
+                X = dop.easy[dop.easy_bins.index(b)]
+            snaps.append(X.astype(np.complex128))
+        X = np.concatenate(snaps, axis=1)
+        Rs = X @ X.conj().T / X.shape[1]
+        Rc = clairvoyant_covariance(params, scene, b, hard)
+        rel = np.linalg.norm(Rs - Rc) / np.linalg.norm(Rc)
+        assert rel < 0.05
+
+
+class TestOptimalWeightsAndSinr:
+    def test_distortionless(self, params, scene):
+        b = params.easy_bins[2]
+        R = clairvoyant_covariance(params, scene, b, hard=False)
+        v = steering_matrix_easy(params)[:, 0].astype(np.complex128)
+        w = optimal_weights(R, v)
+        assert np.vdot(v, w) == pytest.approx(1.0, abs=1e-9)
+
+    def test_optimal_beats_quiescent(self, params, scene):
+        b = params.easy_bins[2]
+        R = clairvoyant_covariance(params, scene, b, hard=False)
+        v = steering_matrix_easy(params)[:, 1].astype(np.complex128)
+        w_opt = optimal_weights(R, v)
+        w_q = v / np.vdot(v, v)
+        assert output_sinr(w_opt, R, v) > output_sinr(w_q, R, v)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            optimal_weights(np.eye(4), np.ones(3))
+
+
+class TestSinrLoss:
+    def test_curve_shape(self, params, scene):
+        loss = sinr_loss_curve(params, scene, beam=1)
+        assert loss.shape == (params.n_doppler_bins,)
+        assert np.all(loss > 0) and np.all(loss <= 1.0 + 1e-9)
+
+    def test_notch_at_beam_aligned_clutter_doppler(self, params, scene):
+        """The deepest loss sits where clutter Doppler matches the
+        beam's angle: f = 0.5 sin(angle)."""
+        for beam in range(params.n_beams):
+            loss = sinr_loss_curve(params, scene, beam=beam)
+            f_clutter = 0.5 * np.sin(params.beam_angles[beam])
+            expected_bin = round(f_clutter * params.n_pulses) % params.n_pulses
+            worst = int(np.argmin(loss))
+            d = min(
+                abs(worst - expected_bin),
+                params.n_pulses - abs(worst - expected_bin),
+            )
+            assert d <= 1, (beam, worst, expected_bin)
+
+    def test_quiet_environment_has_no_loss(self, params):
+        quiet = Scenario(targets=(), jammers=(), cnr_db=float("-inf"))
+        loss = sinr_loss_curve(params, quiet, beam=0)
+        assert np.allclose(loss, 1.0, atol=1e-6)
+
+    def test_invalid_beam(self, params, scene):
+        with pytest.raises(ConfigurationError):
+            sinr_loss_curve(params, scene, beam=99)

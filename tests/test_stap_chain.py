@@ -1,0 +1,96 @@
+"""End-to-end tests for the serial golden chain."""
+
+import numpy as np
+import pytest
+
+from repro.stap.chain import assemble_bins, run_cpi_stream, stap_chain
+from repro.stap.scenario import Scenario, Target, make_cube
+
+
+def expected_cells(params, scenario):
+    """(bin, beam, range) cells where each target should appear."""
+    out = []
+    for t in scenario.targets:
+        b = round(t.doppler * params.n_pulses) % params.n_pulses
+        beam = int(np.argmin(np.abs(params.beam_angles - t.angle)))
+        out.append((b, beam, t.range_gate))
+    return out
+
+
+class TestAssembleBins:
+    def test_interleaves_by_label(self):
+        easy = np.full((3, 2), 1.0)
+        hard = np.full((2, 2), 2.0)
+        out = assemble_bins(easy, hard, (0, 2, 4), (1, 3), 5)
+        assert out[:, 0].tolist() == [1.0, 2.0, 1.0, 2.0, 1.0]
+
+    def test_shape(self):
+        easy = np.zeros((3, 4, 8))
+        hard = np.zeros((2, 4, 8))
+        out = assemble_bins(easy, hard, (0, 1, 2), (3, 4), 5)
+        assert out.shape == (5, 4, 8)
+
+
+class TestChain:
+    def test_detects_both_targets_steady_state(self, small_params):
+        sc = Scenario.standard(small_params, seed=7)
+        cubes = [make_cube(small_params, sc, k) for k in range(3)]
+        results = run_cpi_stream(cubes, small_params)
+        for res in results[1:]:  # steady state (adaptive weights)
+            cells = {(d.doppler_bin, d.beam, d.range_gate) for d in res.detections}
+            for cell in expected_cells(small_params, sc):
+                assert cell in cells, f"missing target at {cell} in CPI {res.cpi_index}"
+
+    def test_false_alarms_are_rare(self, small_params):
+        sc = Scenario.standard(small_params, seed=7)
+        cubes = [make_cube(small_params, sc, k) for k in range(3)]
+        results = run_cpi_stream(cubes, small_params)
+        expect = set(expected_cells(small_params, sc))
+        for res in results[1:]:
+            spurious = [
+                d
+                for d in res.detections
+                if all(
+                    abs(d.doppler_bin - b) > 2
+                    or abs(d.beam - k) > 1
+                    or abs(d.range_gate - r) > 2
+                    for b, k, r in expect
+                )
+            ]
+            # CFAR design rate allows the occasional isolated exceedance.
+            assert len(spurious) <= 2
+
+    def test_first_cpi_uses_quiescent_weights(self, small_params):
+        sc = Scenario.standard(small_params, seed=7)
+        cube = make_cube(small_params, sc, 0)
+        res = stap_chain(cube, small_params, prev_doppler=None)
+        assert res.weights_easy.from_cpi == -1
+        assert res.weights_hard.from_cpi == -1
+
+    def test_adaptive_beats_quiescent_under_jamming(self, small_params):
+        """The whole point of STAP: adaptive weights recover targets the
+        quiescent beamformer loses under jamming + clutter."""
+        sc = Scenario.standard(small_params, seed=11)
+        cubes = [make_cube(small_params, sc, k) for k in range(2)]
+        res0 = stap_chain(cubes[0], small_params, prev_doppler=None)
+        res1 = stap_chain(cubes[1], small_params, prev_doppler=res0.doppler)
+        cells0 = {(d.doppler_bin, d.beam, d.range_gate) for d in res0.detections}
+        cells1 = {(d.doppler_bin, d.beam, d.range_gate) for d in res1.detections}
+        expect = set(expected_cells(small_params, sc))
+        assert expect <= cells1
+        assert len(expect & cells1) > len(expect & cells0)
+
+    def test_intermediates_shapes(self, small_params):
+        p = small_params
+        sc = Scenario.standard(p)
+        res = stap_chain(make_cube(p, sc, 0), p)
+        assert res.beams.shape == (p.n_doppler_bins, p.n_beams, p.n_ranges)
+        assert res.compressed.shape == res.beams.shape
+
+    def test_stream_threads_temporal_dependency(self, small_params):
+        sc = Scenario.standard(small_params)
+        cubes = [make_cube(small_params, sc, k) for k in range(3)]
+        results = run_cpi_stream(cubes, small_params)
+        assert results[0].weights_easy.from_cpi == -1
+        assert results[1].weights_easy.from_cpi == 0
+        assert results[2].weights_easy.from_cpi == 1

@@ -1,0 +1,129 @@
+"""Tests for detection clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stap.cfar import Detection
+from repro.stap.cluster import ClusteredReport, cluster_detections, _wrapped_span
+
+
+def det(b, k, r, snr=10.0, cpi=0):
+    return Detection(doppler_bin=b, beam=k, range_gate=r, snr_db=snr, cpi_index=cpi)
+
+
+class TestWrappedSpan:
+    def test_single(self):
+        assert _wrapped_span([5], 16) == 0
+
+    def test_contiguous(self):
+        assert _wrapped_span([3, 4, 5], 16) == 2
+
+    def test_wrapping(self):
+        assert _wrapped_span([15, 0, 1], 16) == 2
+
+    def test_opposite(self):
+        assert _wrapped_span([0, 8], 16) == 8
+
+
+class TestClustering:
+    def test_empty(self):
+        assert cluster_detections([], 16) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            cluster_detections([det(0, 0, 0)], 0)
+        with pytest.raises(ConfigurationError):
+            cluster_detections([det(0, 0, 0)], 16, max_gap=(-1, 0, 0))
+
+    def test_single_detection(self):
+        reps = cluster_detections([det(3, 1, 100, snr=12.0)], 16)
+        assert len(reps) == 1
+        r = reps[0]
+        assert (r.doppler_bin, r.beam, r.range_gate) == (3, 1, 100)
+        assert r.n_cells == 1 and r.extent == (0, 0, 0)
+
+    def test_straddle_merges_to_strongest(self):
+        dets = [
+            det(3, 1, 100, snr=18.0),
+            det(4, 1, 100, snr=21.0),   # strongest
+            det(5, 1, 100, snr=17.0),
+            det(4, 2, 100, snr=15.0),
+            det(4, 1, 101, snr=14.0),
+        ]
+        reps = cluster_detections(dets, 32)
+        assert len(reps) == 1
+        r = reps[0]
+        assert (r.doppler_bin, r.beam, r.range_gate) == (4, 1, 100)
+        assert r.snr_db == 21.0 and r.n_cells == 5
+        assert r.extent == (2, 1, 1)
+
+    def test_distant_targets_stay_separate(self):
+        dets = [det(2, 0, 50), det(20, 3, 200)]
+        reps = cluster_detections(dets, 32)
+        assert len(reps) == 2
+
+    def test_doppler_wraparound_merges(self):
+        dets = [det(31, 0, 50), det(0, 0, 50)]
+        reps = cluster_detections(dets, 32)
+        assert len(reps) == 1 and reps[0].extent[0] == 1
+
+    def test_range_gap_respected(self):
+        a, b = det(0, 0, 50), det(0, 0, 53)
+        assert len(cluster_detections([a, b], 16, max_gap=(1, 1, 2))) == 2
+        assert len(cluster_detections([a, b], 16, max_gap=(1, 1, 3))) == 1
+
+    def test_chained_merging(self):
+        """Transitive closure: a-b close, b-c close => one cluster."""
+        dets = [det(0, 0, 50), det(0, 0, 52), det(0, 0, 54)]
+        reps = cluster_detections(dets, 16, max_gap=(0, 0, 2))
+        assert len(reps) == 1 and reps[0].n_cells == 3
+
+    def test_cpis_never_merge(self):
+        dets = [det(0, 0, 50, cpi=0), det(0, 0, 50, cpi=1)]
+        assert len(cluster_detections(dets, 16)) == 2
+
+    def test_reports_sorted(self):
+        dets = [det(9, 0, 10, cpi=1), det(1, 0, 10, cpi=0), det(5, 0, 10, cpi=0)]
+        reps = cluster_detections(dets, 32)
+        keys = [(r.cpi_index, r.doppler_bin) for r in reps]
+        assert keys == sorted(keys)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 3), st.integers(0, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, cells):
+        """Clusters partition the detections: sizes sum to the input."""
+        dets = [det(b, k, r) for b, k, r in cells]
+        reps = cluster_detections(dets, 16)
+        assert sum(r.n_cells for r in reps) == len(dets)
+        assert 1 <= len(reps) <= len(dets)
+
+    def test_end_to_end_one_report_per_target(self, small_params):
+        """The standard scene's straddle collapses to one report per
+        target per CPI."""
+        import numpy as np
+
+        from repro.stap.chain import run_cpi_stream
+        from repro.stap.scenario import Scenario, make_cube
+
+        sc = Scenario.standard(small_params, seed=7)
+        cubes = [make_cube(small_params, sc, k) for k in range(3)]
+        results = run_cpi_stream(cubes, small_params)
+        for res in results[1:]:
+            reps = cluster_detections(res.detections, small_params.n_doppler_bins)
+            # Exactly the two injected targets (no spurious clusters
+            # within a couple of cells of them, and few elsewhere).
+            target_reps = [
+                r
+                for r in reps
+                for t in sc.targets
+                if abs(r.range_gate - t.range_gate) <= 2
+            ]
+            assert len(target_reps) == 2

@@ -1,0 +1,67 @@
+"""Tests for the analytic cost models."""
+
+import pytest
+
+from repro.stap.costs import STAPCosts
+from repro.stap.params import STAPParams
+
+
+@pytest.fixture
+def costs():
+    return STAPCosts(STAPParams())
+
+
+class TestFlops:
+    def test_all_tasks_positive(self, costs):
+        for i in range(7):
+            assert costs.task_flops(i) > 0
+
+    def test_hard_weights_dearer_than_easy_per_bin(self, costs):
+        p = costs.params
+        easy_per_bin = costs.easy_weight_flops() / p.n_easy_bins
+        hard_per_bin = costs.hard_weight_flops() / p.n_hard_bins
+        # 2J DoF: covariance is 4x, Cholesky 8x per bin.
+        assert hard_per_bin > 3.5 * easy_per_bin
+
+    def test_doppler_scales_linearly_with_ranges(self):
+        a = STAPCosts(STAPParams(n_ranges=512, n_training=96))
+        b = STAPCosts(STAPParams(n_ranges=1024, n_training=96))
+        assert b.doppler_flops() == pytest.approx(2 * a.doppler_flops())
+
+    def test_beamform_scales_with_beams(self):
+        a = STAPCosts(STAPParams(n_beams=4))
+        b = STAPCosts(STAPParams(n_beams=8))
+        assert b.easy_beamform_flops() == pytest.approx(2 * a.easy_beamform_flops())
+
+    def test_pc_cost_matches_overlap_save_structure(self, costs):
+        from repro.stap.pulse import segment_length
+
+        p = costs.params
+        L = segment_length(p.pulse_len)
+        per_profile = costs.pulse_compression_flops() / (p.n_doppler_bins * p.n_beams)
+        # At least one segment FFT pair per profile.
+        assert per_profile >= 2 * 5 * L * (L.bit_length() - 1)
+
+    def test_cfar_is_cheapest(self, costs):
+        others = [costs.task_flops(i) for i in range(6)]
+        assert costs.cfar_flops() < min(others)
+
+
+class TestBytes:
+    def test_cube_bytes(self, costs):
+        assert costs.cube_bytes() == 16 * 1024 * 1024
+
+    def test_doppler_output_partition(self, costs):
+        p = costs.params
+        assert costs.doppler_easy_bytes() == p.n_easy_bins * p.n_channels * p.n_ranges * 8
+        assert costs.doppler_hard_bytes() == p.n_hard_bins * 2 * p.n_channels * p.n_ranges * 8
+
+    def test_beams_bytes_sum(self, costs):
+        assert costs.beams_all_bytes() == costs.beams_easy_bytes() + costs.beams_hard_bytes()
+
+    def test_weights_smaller_than_data(self, costs):
+        assert costs.weights_easy_bytes() < costs.doppler_easy_bytes()
+        assert costs.weights_hard_bytes() < costs.doppler_hard_bytes()
+
+    def test_detections_tiny(self, costs):
+        assert costs.detections_bytes() < 4096

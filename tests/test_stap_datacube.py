@@ -1,0 +1,115 @@
+"""Tests for the CPI data cube container and file layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mpi.datatypes import Phantom
+from repro.stap.datacube import DataCube
+from repro.stap.params import STAPParams
+
+
+def tiny(J=4, N=8, R=32):
+    return STAPParams(
+        n_channels=J, n_pulses=N, n_ranges=R, n_beams=2, n_hard_bins=2,
+        n_training=R // 2 if R // 2 >= 2 * J else 2 * J, pulse_len=4,
+        cfar_window=4, cfar_guard=1,
+    )
+
+
+def random_cube(params, seed=0):
+    rng = np.random.default_rng(seed)
+    data = (
+        rng.standard_normal(params.cube_shape) + 1j * rng.standard_normal(params.cube_shape)
+    ).astype(params.dtype)
+    return DataCube(data, cpi_index=3)
+
+
+class TestContainer:
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            DataCube(np.zeros((4, 4), np.complex64))
+
+    def test_rejects_real_dtype(self):
+        with pytest.raises(ConfigurationError):
+            DataCube(np.zeros((2, 2, 2), np.float32))
+
+    def test_shape_accessors(self):
+        c = random_cube(tiny())
+        assert (c.n_channels, c.n_pulses, c.n_ranges) == (4, 8, 32)
+        assert c.nbytes == 4 * 8 * 32 * 8
+
+    def test_range_slab_view(self):
+        c = random_cube(tiny())
+        slab = c.range_slab(4, 10)
+        assert slab.shape == (4, 8, 6)
+        assert np.shares_memory(slab, c.data)
+
+    def test_range_slab_bounds_check(self):
+        c = random_cube(tiny())
+        with pytest.raises(ConfigurationError):
+            c.range_slab(10, 4)
+
+
+class TestSerialisation:
+    def test_to_bytes_roundtrip(self):
+        p = tiny()
+        c = random_cube(p)
+        back = DataCube.from_bytes(c.to_bytes(), p, cpi_index=3)
+        assert np.array_equal(back.data, c.data)
+        assert back.cpi_index == 3
+
+    def test_from_bytes_size_check(self):
+        p = tiny()
+        with pytest.raises(ConfigurationError):
+            DataCube.from_bytes(b"short", p)
+
+    def test_from_bytes_phantom_passthrough(self):
+        out = DataCube.from_bytes(Phantom(99), tiny())
+        assert isinstance(out, Phantom)
+
+    def test_file_layout_roundtrip_full(self):
+        p = tiny()
+        c = random_cube(p)
+        raw = c.to_file_bytes()
+        slab = DataCube.slab_from_file_bytes(raw, p, 0, p.n_ranges)
+        assert np.array_equal(slab, c.data)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_file_slab_matches_cube_slice(self, a, b):
+        lo, hi = min(a, b), max(a, b) + 1
+        p = tiny()
+        c = random_cube(p, seed=7)
+        raw = c.to_file_bytes()
+        off, ln = DataCube.file_slab_extent(p, lo, hi)
+        slab = DataCube.slab_from_file_bytes(raw[off : off + ln], p, lo, hi)
+        assert np.array_equal(slab, c.data[:, :, lo:hi])
+
+    def test_slab_extents_tile_the_file(self):
+        p = tiny()
+        parts = 5
+        from repro.core.partition import BlockPartition
+
+        bp = BlockPartition(p.n_ranges, parts)
+        extents = [DataCube.file_slab_extent(p, *bp.bounds(i)) for i in range(parts)]
+        pos = 0
+        for off, ln in extents:
+            assert off == pos
+            pos += ln
+        assert pos == p.cube_nbytes
+
+    def test_slab_bytes_size_check(self):
+        p = tiny()
+        with pytest.raises(ConfigurationError):
+            DataCube.slab_from_file_bytes(b"x", p, 0, 4)
+
+    def test_slab_extent_bounds_check(self):
+        with pytest.raises(ConfigurationError):
+            DataCube.file_slab_extent(tiny(), 5, 2)
+
+    def test_slab_phantom_passthrough(self):
+        out = DataCube.slab_from_file_bytes(Phantom(10), tiny(), 0, 4)
+        assert isinstance(out, Phantom)

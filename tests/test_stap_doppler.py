@@ -1,0 +1,116 @@
+"""Tests for Doppler filter processing with PRI stagger."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stap.datacube import DataCube
+from repro.stap.doppler import (
+    bin_frequency,
+    doppler_filter_arrays,
+    doppler_process,
+    doppler_window,
+)
+from repro.stap.scenario import Scenario, Target, make_cube, temporal_steering
+
+
+class TestWindow:
+    def test_hann_endpoints_zero(self):
+        w = doppler_window(8)
+        assert w[0] == pytest.approx(0.0) and w[-1] == pytest.approx(0.0)
+
+    def test_hann_peak_in_middle(self):
+        w = doppler_window(9)
+        assert w[4] == pytest.approx(1.0)
+
+    def test_length_one(self):
+        assert doppler_window(1).tolist() == [1.0]
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            doppler_window(0)
+
+
+class TestBinFrequency:
+    def test_dc(self):
+        assert bin_frequency(0, 16) == 0.0
+
+    def test_wraps_to_negative(self):
+        assert bin_frequency(15, 16) == pytest.approx(-1 / 16)
+
+    def test_range(self):
+        for b in range(32):
+            f = bin_frequency(b, 32)
+            assert -0.5 <= f < 0.5
+
+
+class TestDopplerProcess:
+    def test_output_shapes(self, tiny_params):
+        p = tiny_params
+        cube = make_cube(p, Scenario.standard(p), 0)
+        out = doppler_process(cube, p)
+        assert out.easy.shape == (p.n_easy_bins, p.n_channels, p.n_ranges)
+        assert out.hard.shape == (p.n_hard_bins, 2 * p.n_channels, p.n_ranges)
+        assert out.cpi_index == 0
+
+    def test_shape_mismatch_rejected(self, tiny_params):
+        bad = DataCube(np.zeros((2, 4, 8), np.complex64))
+        with pytest.raises(ConfigurationError):
+            doppler_process(bad, tiny_params)
+
+    def test_target_energy_peaks_in_its_bin(self, tiny_params):
+        p = tiny_params
+        b_target = p.easy_bins[len(p.easy_bins) // 2]
+        f = bin_frequency(b_target, p.n_pulses)
+        sc = Scenario(
+            targets=(Target(range_gate=10, doppler=f, angle=0.0, snr_db=20.0),),
+            jammers=(),
+            cnr_db=float("-inf"),
+        )
+        cube = make_cube(p, sc, 0)
+        out = doppler_process(cube, p)
+        # Energy per bin over the target's range extent.
+        all_bins = np.zeros(p.n_pulses)
+        for row, b in enumerate(out.easy_bins):
+            all_bins[b] = np.sum(np.abs(out.easy[row][:, 10 : 10 + p.pulse_len]) ** 2)
+        for row, b in enumerate(out.hard_bins):
+            all_bins[b] = np.sum(
+                np.abs(out.hard[row][: p.n_channels, 10 : 10 + p.pulse_len]) ** 2
+            )
+        assert np.argmax(all_bins) == b_target
+
+    def test_stagger_phase_relation(self, tiny_params):
+        """Second sub-CPI equals the first advanced by one PRI of phase."""
+        p = tiny_params
+        J, N, R = p.cube_shape
+        f = bin_frequency(p.hard_bins[1], N)
+        # Pure tone at an exact bin frequency, constant across channels/ranges.
+        tone = temporal_steering(f, N)
+        data = np.broadcast_to(tone[None, :, None], (J, N, R)).astype(np.complex64)
+        out = doppler_process(DataCube(data.copy()), p)
+        row = out.hard_bins.index(p.hard_bins[1])
+        xa = out.hard[row][:J]
+        xb = out.hard[row][J:]
+        expect = np.exp(2j * np.pi * f)
+        ratio = xb[np.abs(xa) > 1e-3] / xa[np.abs(xa) > 1e-3]
+        assert np.allclose(ratio, expect, atol=1e-3)
+
+    def test_slab_equals_full_columns(self, tiny_params):
+        p = tiny_params
+        cube = make_cube(p, Scenario.standard(p), 1)
+        full_easy, full_hard = doppler_filter_arrays(cube.data, p)
+        lo, hi = 7, 21
+        slab_easy, slab_hard = doppler_filter_arrays(cube.data[:, :, lo:hi], p)
+        assert np.allclose(slab_easy, full_easy[:, :, lo:hi], atol=1e-5)
+        assert np.allclose(slab_hard, full_hard[:, :, lo:hi], atol=1e-5)
+
+    def test_slab_shape_validation(self, tiny_params):
+        with pytest.raises(ConfigurationError):
+            doppler_filter_arrays(np.zeros((1, 2, 3), np.complex64), tiny_params)
+
+    def test_nbytes(self, tiny_params):
+        p = tiny_params
+        cube = make_cube(p, Scenario.standard(p), 0)
+        out = doppler_process(cube, p)
+        assert out.nbytes == out.easy.nbytes + out.hard.nbytes
+        assert out.n_ranges == p.n_ranges

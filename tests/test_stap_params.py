@@ -1,0 +1,86 @@
+"""Tests for STAP parameter validation and derived dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stap.params import STAPParams
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        p = STAPParams()
+        assert p.n_channels == 16 and p.n_pulses == 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_channels": 1},
+            {"n_pulses": 2},
+            {"n_ranges": 4},
+            {"n_hard_bins": 0},
+            {"n_hard_bins": 128},
+            {"n_beams": 0},
+            {"n_training": 8},          # < 2*J
+            {"n_training": 2000},       # > n_ranges
+            {"pulse_len": 0},
+            {"pulse_len": 5000},
+            {"cfar_window": 0},
+            {"cfar_guard": -1},
+            {"pfa": 0.0},
+            {"pfa": 1.0},
+            {"dtype": np.dtype(np.float32)},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            STAPParams(**kwargs)
+
+
+class TestDerived:
+    def test_bin_partition_is_complete_and_disjoint(self):
+        p = STAPParams()
+        hard, easy = set(p.hard_bins), set(p.easy_bins)
+        assert hard | easy == set(range(p.n_pulses))
+        assert not (hard & easy)
+        assert len(p.hard_bins) == p.n_hard_bins
+        assert len(p.easy_bins) == p.n_easy_bins
+
+    def test_hard_bins_centred_on_dc(self):
+        p = STAPParams(n_hard_bins=4)
+        # Two on each side of DC, wrapping: {126, 127, 0, 1}.
+        assert set(p.hard_bins) == {126, 127, 0, 1}
+
+    def test_bin_lists_sorted(self):
+        p = STAPParams()
+        assert list(p.hard_bins) == sorted(p.hard_bins)
+        assert list(p.easy_bins) == sorted(p.easy_bins)
+
+    def test_dof(self):
+        p = STAPParams()
+        assert p.easy_dof == 16 and p.hard_dof == 32
+
+    def test_cube_size_is_16mib(self):
+        p = STAPParams()
+        assert p.cube_nbytes == 16 * 1024 * 1024
+
+    def test_beam_angles_count_and_symmetry(self):
+        p = STAPParams()
+        angles = p.beam_angles
+        assert len(angles) == p.n_beams
+        assert np.allclose(np.sin(angles), -np.sin(angles[::-1]))
+
+    def test_scaled_shrinks_ranges(self):
+        p = STAPParams()
+        q = p.scaled(0.25)
+        assert q.n_ranges == 256
+        assert q.n_training <= q.n_ranges
+        assert q.n_channels == p.n_channels
+
+    def test_scaled_keeps_validity(self):
+        STAPParams().scaled(0.01)  # must not raise
+
+    def test_frozen(self):
+        p = STAPParams()
+        with pytest.raises(Exception):
+            p.n_channels = 3  # type: ignore[misc]

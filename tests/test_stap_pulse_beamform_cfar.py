@@ -1,0 +1,204 @@
+"""Tests for beamforming, pulse compression, and CFAR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stap.beamform import beamform
+from repro.stap.cfar import Detection, ca_cfar, cfar_threshold_factor
+from repro.stap.pulse import (
+    lfm_replica,
+    pulse_compress,
+    pulse_compress_direct,
+    segment_length,
+)
+from repro.stap.weights import WeightSet
+
+
+class TestBeamform:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((5, 8, 64)).astype(np.complex64)
+        w = WeightSet(rng.standard_normal((5, 8, 3)).astype(np.complex64), tuple(range(5)), 0)
+        y = beamform(data, w)
+        assert y.shape == (5, 3, 64) and y.dtype == np.complex64
+
+    def test_matches_manual_loop(self):
+        rng = np.random.default_rng(1)
+        data = (rng.standard_normal((2, 4, 8)) + 1j * rng.standard_normal((2, 4, 8))).astype(np.complex64)
+        wts = (rng.standard_normal((2, 4, 3)) + 1j * rng.standard_normal((2, 4, 3))).astype(np.complex64)
+        y = beamform(data, WeightSet(wts, (0, 1), 0))
+        for b in range(2):
+            for k in range(3):
+                manual = wts[b, :, k].conj() @ data[b]
+                assert np.allclose(y[b, k], manual, atol=1e-5)
+
+    def test_bin_count_mismatch(self):
+        data = np.zeros((3, 4, 8), np.complex64)
+        w = WeightSet(np.zeros((2, 4, 1), np.complex64), (0, 1), 0)
+        with pytest.raises(ConfigurationError):
+            beamform(data, w)
+
+    def test_dof_mismatch(self):
+        data = np.zeros((2, 4, 8), np.complex64)
+        w = WeightSet(np.zeros((2, 6, 1), np.complex64), (0, 1), 0)
+        with pytest.raises(ConfigurationError):
+            beamform(data, w)
+
+    def test_non_3d_rejected(self):
+        w = WeightSet(np.zeros((2, 4, 1), np.complex64), (0, 1), 0)
+        with pytest.raises(ConfigurationError):
+            beamform(np.zeros((4, 8), np.complex64), w)
+
+
+class TestReplica:
+    def test_unit_energy(self):
+        for L in (1, 8, 32, 100):
+            c = lfm_replica(L)
+            assert np.sum(np.abs(c) ** 2) == pytest.approx(1.0, rel=1e-5)
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            lfm_replica(0)
+
+    def test_segment_length_pow2_and_big_enough(self):
+        for L in (1, 3, 8, 32, 100):
+            seg = segment_length(L)
+            assert seg >= 4 * L
+            assert seg & (seg - 1) == 0
+
+
+class TestPulseCompress:
+    def test_point_target_focuses(self):
+        Lp = 16
+        x = np.zeros((1, 256), np.complex64)
+        x[0, 50 : 50 + Lp] = 3.0 * lfm_replica(Lp)
+        y = pulse_compress(x, Lp)
+        assert np.argmax(np.abs(y[0])) == 50
+        assert abs(y[0, 50]) == pytest.approx(3.0, rel=1e-4)
+
+    def test_gain_over_noise(self):
+        rng = np.random.default_rng(0)
+        Lp = 32
+        n = (rng.standard_normal((1, 4096)) + 1j * rng.standard_normal((1, 4096))) / np.sqrt(2)
+        y = pulse_compress(n.astype(np.complex64), Lp)
+        # Unit-energy replica: noise power is preserved.
+        assert np.mean(np.abs(y) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_target_near_end_no_wraparound(self):
+        Lp = 8
+        x = np.zeros((1, 64), np.complex64)
+        x[0, 60:64] = lfm_replica(Lp)[:4]
+        y = pulse_compress(x, Lp)
+        # Peak (partial correlation) at 60; nothing aliases to the front.
+        assert np.abs(y[0, :8]).max() < 0.2
+
+    def test_pulse_longer_than_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pulse_compress(np.zeros((1, 8), np.complex64), 16)
+        with pytest.raises(ConfigurationError):
+            pulse_compress_direct(np.zeros((1, 8), np.complex64), 16)
+
+    @given(
+        st.integers(1, 48),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_save_equals_direct(self, pulse_len, seed):
+        rng = np.random.default_rng(seed)
+        n_ranges = pulse_len + rng.integers(1, 200)
+        x = (
+            rng.standard_normal((2, n_ranges)) + 1j * rng.standard_normal((2, n_ranges))
+        ).astype(np.complex64)
+        a = pulse_compress(x, pulse_len)
+        b = pulse_compress_direct(x, pulse_len)
+        assert np.allclose(a, b, atol=1e-4)
+
+    def test_multidim_batch(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((3, 4, 100)).astype(np.complex64)
+        y = pulse_compress(x, 8)
+        assert y.shape == x.shape
+        assert np.allclose(y[1, 2], pulse_compress(x[1, 2][None], 8)[0], atol=1e-5)
+
+
+class TestCFARThreshold:
+    def test_exact_formula(self):
+        assert cfar_threshold_factor(10, 0.01) == pytest.approx(10 * (0.01 ** (-0.1) - 1))
+
+    def test_monotone_in_pfa(self):
+        assert cfar_threshold_factor(16, 1e-8) > cfar_threshold_factor(16, 1e-4)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            cfar_threshold_factor(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            cfar_threshold_factor(4, 1.5)
+
+
+class TestCACFAR:
+    def _noise(self, shape, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2)
+        ).astype(np.complex64)
+
+    def test_detects_strong_cell(self):
+        x = self._noise((1, 1, 256))
+        x[0, 0, 100] = 30.0
+        dets = ca_cfar(x, [7], window=16, guard=2, pfa=1e-6)
+        assert any(d.range_gate == 100 and d.doppler_bin == 7 for d in dets)
+
+    def test_reports_sorted(self):
+        x = self._noise((2, 2, 256))
+        x[1, 0, 50] = 30.0
+        x[0, 1, 60] = 30.0
+        dets = ca_cfar(x, [3, 9], window=16, guard=2, pfa=1e-6)
+        assert dets == sorted(dets)
+
+    def test_false_alarm_rate_calibrated(self):
+        # Large homogeneous noise field: empirical Pfa ~ design Pfa.
+        x = self._noise((8, 8, 2048), seed=42)
+        pfa = 1e-3
+        dets = ca_cfar(x, list(range(8)), window=32, guard=2, pfa=pfa)
+        n_cells = 8 * 8 * 2048
+        observed = len(dets) / n_cells
+        assert observed == pytest.approx(pfa, rel=0.5)
+
+    def test_target_masks_do_not_alarm_neighbours_excessively(self):
+        x = self._noise((1, 1, 512), seed=3)
+        x[0, 0, 200] = 100.0
+        dets = ca_cfar(x, [0], window=16, guard=4, pfa=1e-6)
+        gates = {d.range_gate for d in dets}
+        assert 200 in gates
+        assert all(abs(g - 200) <= 1 for g in gates)
+
+    def test_edge_cells_use_one_sided_window(self):
+        x = self._noise((1, 1, 128), seed=5)
+        x[0, 0, 0] = 40.0
+        x[0, 0, 127] = 40.0
+        dets = ca_cfar(x, [0], window=8, guard=2, pfa=1e-6)
+        gates = {d.range_gate for d in dets}
+        assert {0, 127} <= gates
+
+    def test_snr_estimate_reasonable(self):
+        x = self._noise((1, 1, 256), seed=6)
+        x[0, 0, 64] = 31.6  # ~30 dB over unit noise
+        dets = ca_cfar(x, [0], window=16, guard=2, pfa=1e-6)
+        d = next(d for d in dets if d.range_gate == 64)
+        assert d.snr_db == pytest.approx(30.0, abs=2.0)
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ca_cfar(np.zeros((2, 1, 64), np.complex64), [0], 8, 1, 1e-3)
+
+    def test_too_small_range_extent(self):
+        with pytest.raises(ConfigurationError):
+            ca_cfar(np.zeros((1, 1, 10), np.complex64), [0], 8, 2, 1e-3)
+
+    def test_detection_ordering_dataclass(self):
+        a = Detection(0, 0, 5, 10.0)
+        b = Detection(0, 0, 6, 9.0)
+        assert a < b

@@ -1,0 +1,128 @@
+"""Tests for the synthetic radar scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stap.params import STAPParams
+from repro.stap.scenario import (
+    Jammer,
+    Scenario,
+    Target,
+    make_cube,
+    spatial_steering,
+    temporal_steering,
+)
+
+
+class TestSteering:
+    def test_spatial_unit_modulus(self):
+        a = spatial_steering(0.3, 8)
+        assert np.allclose(np.abs(a), 1.0)
+        assert a[0] == 1.0 + 0j
+
+    def test_spatial_broadside_is_ones(self):
+        assert np.allclose(spatial_steering(0.0, 8), 1.0)
+
+    def test_temporal_frequency(self):
+        b = temporal_steering(0.25, 8)
+        # Quarter-cycle advance per pulse: period 4.
+        assert np.allclose(b[4], b[0])
+        assert np.allclose(b[1], 1j, atol=1e-6)
+
+    def test_dtype(self):
+        assert spatial_steering(0.1, 4).dtype == np.complex64
+        assert temporal_steering(0.1, 4).dtype == np.complex64
+
+
+class TestMakeCube:
+    def test_deterministic(self, tiny_params):
+        sc = Scenario.standard(tiny_params)
+        c1 = make_cube(tiny_params, sc, 2)
+        c2 = make_cube(tiny_params, sc, 2)
+        assert np.array_equal(c1.data, c2.data)
+
+    def test_cpis_differ(self, tiny_params):
+        sc = Scenario.standard(tiny_params)
+        c1 = make_cube(tiny_params, sc, 0)
+        c2 = make_cube(tiny_params, sc, 1)
+        assert not np.array_equal(c1.data, c2.data)
+
+    def test_dtype_matches_params(self, tiny_params):
+        sc = Scenario.standard(tiny_params)
+        assert make_cube(tiny_params, sc, 0).data.dtype == tiny_params.dtype
+
+    def test_noise_only_power_is_unit(self, tiny_params):
+        sc = Scenario(targets=(), jammers=(), cnr_db=float("-inf"))
+        c = make_cube(tiny_params, sc, 0)
+        power = np.mean(np.abs(c.data) ** 2)
+        assert power == pytest.approx(1.0, rel=0.05)
+
+    def test_cnr_sets_clutter_power(self, tiny_params):
+        sc = Scenario(targets=(), jammers=(), cnr_db=20.0)
+        c = make_cube(tiny_params, sc, 0)
+        power = np.mean(np.abs(c.data) ** 2)
+        # noise (1) + clutter (100)
+        assert power == pytest.approx(101.0, rel=0.15)
+
+    def test_jammer_power(self, tiny_params):
+        sc = Scenario(targets=(), jammers=(Jammer(0.5, jnr_db=20.0),), cnr_db=float("-inf"))
+        c = make_cube(tiny_params, sc, 0)
+        power = np.mean(np.abs(c.data) ** 2)
+        assert power == pytest.approx(101.0, rel=0.15)
+
+    def test_jammer_is_directional(self, tiny_params):
+        sc = Scenario(targets=(), jammers=(Jammer(0.5, jnr_db=30.0),), cnr_db=float("-inf"))
+        c = make_cube(tiny_params, sc, 0)
+        a = spatial_steering(0.5, tiny_params.n_channels)
+        # Beamforming toward the jammer collects coherent power ~ J * JNR;
+        # the channel-space covariance must be rank-1 dominated.
+        snap = c.data.reshape(tiny_params.n_channels, -1)
+        R = snap @ snap.conj().T / snap.shape[1]
+        toward = np.real(a.conj() @ R @ a) / tiny_params.n_channels
+        away = np.real(
+            spatial_steering(-0.5, tiny_params.n_channels).conj()
+            @ R
+            @ spatial_steering(-0.5, tiny_params.n_channels)
+        ) / tiny_params.n_channels
+        assert toward > 50 * away
+
+    def test_target_out_of_range_rejected(self, tiny_params):
+        sc = Scenario(targets=(Target(10**6, 0.1, 0.0),))
+        with pytest.raises(ConfigurationError):
+            make_cube(tiny_params, sc, 0)
+
+    def test_target_near_edge_truncates(self, tiny_params):
+        sc = Scenario(
+            targets=(Target(tiny_params.n_ranges - 2, 0.1, 0.0, snr_db=20.0),),
+            jammers=(),
+            cnr_db=float("-inf"),
+        )
+        c = make_cube(tiny_params, sc, 0)  # must not raise
+        assert c.n_ranges == tiny_params.n_ranges
+
+    def test_zero_patches_rejected(self, tiny_params):
+        sc = Scenario(n_clutter_patches=0)
+        with pytest.raises(ConfigurationError):
+            make_cube(tiny_params, sc, 0)
+
+    def test_standard_scenario_has_easy_and_hard_target(self, tiny_params):
+        sc = Scenario.standard(tiny_params)
+        bins = [
+            round(t.doppler * tiny_params.n_pulses) % tiny_params.n_pulses
+            for t in sc.targets
+        ]
+        hard = set(tiny_params.hard_bins)
+        assert any(b in hard for b in bins)
+        assert any(b not in hard for b in bins)
+
+    def test_clutter_covariance_stationary_across_cpis(self, tiny_params):
+        sc = Scenario(targets=(), jammers=(), cnr_db=30.0, seed=5)
+        covs = []
+        for k in range(2):
+            c = make_cube(tiny_params, sc, k).data
+            snap = c.reshape(tiny_params.n_channels, -1)
+            covs.append(snap @ snap.conj().T / snap.shape[1])
+        # Same patch geometry, fresh amplitudes: covariances agree closely.
+        rel = np.linalg.norm(covs[0] - covs[1]) / np.linalg.norm(covs[0])
+        assert rel < 0.2

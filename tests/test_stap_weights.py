@@ -1,0 +1,162 @@
+"""Tests for adaptive weight computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stap.doppler import doppler_process
+from repro.stap.params import STAPParams
+from repro.stap.scenario import Jammer, Scenario, make_cube, spatial_steering
+from repro.stap.weights import (
+    compute_weights_easy,
+    compute_weights_hard,
+    initial_weights,
+    solve_mvdr,
+    steering_matrix_easy,
+    steering_matrix_hard,
+    training_gates,
+)
+
+
+class TestTrainingGates:
+    def test_count(self):
+        assert len(training_gates(100, 10)) == 10
+
+    def test_span(self):
+        g = training_gates(100, 10)
+        assert g[0] == 0 and g[-1] == 99
+
+    def test_monotone_unique(self):
+        g = training_gates(1024, 96)
+        assert np.all(np.diff(g) > 0)
+
+    def test_full_coverage(self):
+        g = training_gates(8, 8)
+        assert list(g) == list(range(8))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            training_gates(10, 0)
+        with pytest.raises(ConfigurationError):
+            training_gates(10, 11)
+
+
+class TestSteering:
+    def test_easy_shape(self, tiny_params):
+        v = steering_matrix_easy(tiny_params)
+        assert v.shape == (tiny_params.n_channels, tiny_params.n_beams)
+
+    def test_hard_shape_and_phase(self, tiny_params):
+        p = tiny_params
+        b = p.hard_bins[0]
+        v = steering_matrix_hard(p, b)
+        assert v.shape == (2 * p.n_channels, p.n_beams)
+        top, bottom = v[: p.n_channels], v[p.n_channels :]
+        from repro.stap.doppler import bin_frequency
+
+        phase = np.exp(2j * np.pi * bin_frequency(b, p.n_pulses))
+        assert np.allclose(bottom, phase * top, atol=1e-6)
+
+
+class TestSolveMVDR:
+    def _noise_snapshots(self, dof, n, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            (rng.standard_normal((dof, n)) + 1j * rng.standard_normal((dof, n)))
+            / np.sqrt(2)
+        ).astype(np.complex64)
+
+    def test_distortionless_constraint(self):
+        X = self._noise_snapshots(8, 100)
+        v = np.stack([spatial_steering(a, 8) for a in (0.0, 0.3)], axis=1)
+        w = solve_mvdr(X, v, diagonal_load=0.05)
+        gains = np.sum(v.conj() * w, axis=0)
+        assert np.allclose(gains, 1.0, atol=1e-4)
+
+    def test_white_noise_gives_scaled_steering(self):
+        X = self._noise_snapshots(8, 5000)
+        v = spatial_steering(0.2, 8)[:, None]
+        w = solve_mvdr(X, v, diagonal_load=0.01)
+        # R ~ I: w ~ v / (v^H v) = v / 8.
+        assert np.allclose(w[:, 0], v[:, 0] / 8.0, atol=0.02)
+
+    def test_jammer_is_nulled(self):
+        rng = np.random.default_rng(1)
+        dof, n = 8, 500
+        a_j = spatial_steering(0.5, dof)
+        noise = self._noise_snapshots(dof, n, seed=2)
+        jam = a_j[:, None] * (
+            (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            * np.sqrt(1000 / 2)
+        )[None, :]
+        X = (noise + jam).astype(np.complex64)
+        v = spatial_steering(-0.3, dof)[:, None]
+        w = solve_mvdr(X, v, diagonal_load=0.01)
+        # Response toward the jammer is crushed relative to the look direction.
+        jammer_gain = abs(np.vdot(w[:, 0], a_j))
+        look_gain = abs(np.vdot(w[:, 0], v[:, 0]))
+        assert jammer_gain < 0.02 * look_gain
+
+    def test_dof_mismatch_rejected(self):
+        X = self._noise_snapshots(8, 50)
+        v = spatial_steering(0.1, 4)[:, None]
+        with pytest.raises(ConfigurationError):
+            solve_mvdr(X, v, 0.05)
+
+    def test_output_dtype(self):
+        X = self._noise_snapshots(4, 40)
+        v = spatial_steering(0.0, 4)[:, None]
+        assert solve_mvdr(X, v, 0.05).dtype == np.complex64
+
+
+class TestWeightGroups:
+    @pytest.fixture
+    def dop(self, tiny_params):
+        cube = make_cube(tiny_params, Scenario.standard(tiny_params), 0)
+        return doppler_process(cube, tiny_params)
+
+    def test_easy_shapes(self, dop, tiny_params):
+        ws = compute_weights_easy(dop, tiny_params)
+        p = tiny_params
+        assert ws.weights.shape == (p.n_easy_bins, p.easy_dof, p.n_beams)
+        assert ws.bins == p.easy_bins
+        assert ws.from_cpi == 0
+
+    def test_hard_shapes(self, dop, tiny_params):
+        ws = compute_weights_hard(dop, tiny_params)
+        p = tiny_params
+        assert ws.weights.shape == (p.n_hard_bins, p.hard_dof, p.n_beams)
+        assert ws.bins == p.hard_bins
+
+    def test_subset_matches_full(self, dop, tiny_params):
+        full = compute_weights_easy(dop, tiny_params)
+        sub = compute_weights_easy(dop, tiny_params, bin_subset=[2, 5])
+        assert np.allclose(sub.weights[0], full.weights[2])
+        assert np.allclose(sub.weights[1], full.weights[5])
+        assert sub.bins == (tiny_params.easy_bins[2], tiny_params.easy_bins[5])
+
+    def test_empty_subset(self, dop, tiny_params):
+        sub = compute_weights_hard(dop, tiny_params, bin_subset=[])
+        assert sub.weights.shape[0] == 0 and sub.bins == ()
+
+    def test_nbytes(self, dop, tiny_params):
+        ws = compute_weights_easy(dop, tiny_params)
+        assert ws.nbytes == ws.weights.nbytes
+
+
+class TestInitialWeights:
+    def test_easy_is_normalised_steering(self, tiny_params):
+        p = tiny_params
+        w = initial_weights(p, hard=False, bins=p.easy_bins)
+        v = steering_matrix_easy(p)
+        gains = np.sum(v.conj()[None] * w, axis=1)
+        assert np.allclose(gains, 1.0, atol=1e-5)
+
+    def test_hard_shape(self, tiny_params):
+        p = tiny_params
+        w = initial_weights(p, hard=True, bins=p.hard_bins)
+        assert w.shape == (p.n_hard_bins, p.hard_dof, p.n_beams)
+
+    def test_empty_bins(self, tiny_params):
+        w = initial_weights(tiny_params, hard=False, bins=())
+        assert w.shape[0] == 0

@@ -1,0 +1,135 @@
+"""Tests for trace records, the collector, and reporting."""
+
+import pytest
+
+from repro.trace.collector import TraceCollector
+from repro.trace.gantt import render_gantt
+from repro.trace.record import Phase, PhaseRecord
+from repro.trace.report import bar_chart, format_table, grouped_bar_chart
+
+
+class TestPhaseRecord:
+    def test_duration(self):
+        r = PhaseRecord("t", 0, 0, Phase.RECV, 1.0, 3.5)
+        assert r.duration == 2.5
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseRecord("t", 0, 0, Phase.RECV, 2.0, 1.0)
+
+
+class TestCollector:
+    @pytest.fixture
+    def trace(self):
+        tc = TraceCollector()
+        # Two tasks, two nodes, two CPIs.
+        for cpi in (0, 1):
+            base = cpi * 10.0
+            for node in (0, 1):
+                tc.add("a", node, cpi, Phase.RECV, base, base + 1 + node)
+                tc.add("a", node, cpi, Phase.COMPUTE, base + 2, base + 4)
+                tc.add("a", node, cpi, Phase.SEND, base + 4, base + 4.5)
+                tc.add("a", node, cpi, Phase.CREDIT, base + 5, base + 6)
+            tc.add("b", 0, cpi, Phase.COMPUTE, base + 5, base + 7)
+            tc.add("b", 0, cpi, Phase.DONE, base + 7, base + 7)
+        return tc
+
+    def test_tasks_first_seen_order(self, trace):
+        assert trace.tasks() == ["a", "b"]
+
+    def test_cpis(self, trace):
+        assert trace.cpis() == [0, 1]
+        assert trace.cpis("b") == [0, 1]
+
+    def test_negative_cpis_hidden(self):
+        tc = TraceCollector()
+        tc.add("w", 0, -1, Phase.SEND, 0, 1)
+        assert tc.cpis() == []
+
+    def test_phase_time_max_over_nodes(self, trace):
+        assert trace.phase_time("a", 0, Phase.RECV) == 2.0  # node 1 is slower
+
+    def test_phase_time_mean(self, trace):
+        assert trace.phase_time("a", 0, Phase.RECV, agg="mean") == 1.5
+
+    def test_phase_time_missing_is_zero(self, trace):
+        assert trace.phase_time("b", 0, Phase.RECV) == 0.0
+
+    def test_service_time_excludes_credit(self, trace):
+        # node1: recv 2 + compute 2 + send 0.5 = 4.5; credit not counted.
+        assert trace.service_time("a", 0) == 4.5
+
+    def test_completion_time(self, trace):
+        assert trace.completion_time("a", 1) == 16.0
+        with pytest.raises(KeyError):
+            trace.completion_time("a", 9)
+
+    def test_start_time_excludes_credit(self, trace):
+        assert trace.start_time("a", 0) == 0.0
+        assert trace.start_time("b", 0) == 5.0
+
+    def test_len(self, trace):
+        assert len(trace) == 2 * (2 * 4 + 2)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "x"], [["alpha", 1.5], ["b", 22.25]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "x" in lines[0]
+        assert "1.5000" in out and "22.2500" in out
+
+    def test_format_table_title(self):
+        out = format_table(["c"], [[1.0]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_bar_chart_scales_to_max(self):
+        out = bar_chart({"big": 10.0, "small": 1.0}, width=20)
+        lines = out.splitlines()
+        big = next(l for l in lines if "big" in l)
+        small = next(l for l in lines if "small" in l)
+        assert big.count("#") == 20
+        assert 1 <= small.count("#") <= 3
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in bar_chart({}, title="t")
+
+    def test_bar_chart_zero_values(self):
+        out = bar_chart({"z": 0.0})
+        assert "0" in out
+
+    def test_grouped_chart_shares_scale(self):
+        out = grouped_bar_chart(
+            {"g1": {"a": 10.0}, "g2": {"b": 5.0}}, width=20
+        )
+        a_line = next(l for l in out.splitlines() if "a |" in l)
+        b_line = next(l for l in out.splitlines() if "b |" in l)
+        assert a_line.count("#") == 2 * b_line.count("#")
+
+    def test_grouped_chart_empty(self):
+        assert "(no data)" in grouped_bar_chart({}, title="x")
+
+
+class TestGantt:
+    def test_empty(self):
+        assert "(empty trace)" in render_gantt(TraceCollector())
+
+    def test_renders_rows_per_node(self):
+        tc = TraceCollector()
+        tc.add("task", 0, 0, Phase.COMPUTE, 0.0, 1.0)
+        tc.add("task", 1, 0, Phase.RECV, 0.0, 0.5)
+        out = render_gantt(tc, width=40)
+        assert out.count("task[") == 2
+        assert "C" in out and "r" in out
+
+    def test_time_header(self):
+        tc = TraceCollector()
+        tc.add("t", 0, 0, Phase.SEND, 0.0, 2.0)
+        assert "0 .. 2.0" in render_gantt(tc).splitlines()[0]
+
+    def test_task_filter(self):
+        tc = TraceCollector()
+        tc.add("a", 0, 0, Phase.COMPUTE, 0.0, 1.0)
+        tc.add("b", 0, 0, Phase.COMPUTE, 0.0, 1.0)
+        out = render_gantt(tc, tasks=["b"])
+        assert "b[" in out and "a[" not in out

@@ -1,0 +1,132 @@
+"""Tests for traffic accounting, recv truncation, and latency percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TruncationError
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.machine.presets import generic_cluster, paragon
+from repro.mpi.communicator import Communicator
+from repro.stap.costs import STAPCosts
+
+
+class TestRecvTruncation:
+    def test_oversized_message_raises(self, ideal_machine):
+        comm = Communicator.world(ideal_machine)
+        outcome = {}
+
+        def sender(rc):
+            yield from rc.send(np.zeros(1000, np.float64), dest=1, tag=0)
+
+        def receiver(rc):
+            try:
+                yield from rc.recv(source=0, tag=0, max_bytes=100)
+            except TruncationError as e:
+                outcome["err"] = str(e)
+
+        k = comm.kernel
+        k.process(sender(comm.view(0)))
+        k.process(receiver(comm.view(1)))
+        k.run()
+        assert "8000 bytes" in outcome["err"]
+
+    def test_fitting_message_passes(self, ideal_machine):
+        comm = Communicator.world(ideal_machine)
+        got = {}
+
+        def sender(rc):
+            yield from rc.send(b"abc", dest=1, tag=0)
+
+        def receiver(rc):
+            got["v"] = yield from rc.recv(source=0, tag=0, max_bytes=3)
+
+        k = comm.kernel
+        k.process(sender(comm.view(0)))
+        k.process(receiver(comm.view(1)))
+        k.run()
+        assert got["v"] == b"abc"
+
+
+class TestTrafficAccounting:
+    def test_comm_counts_messages_and_bytes(self, ideal_machine):
+        comm = Communicator.world(ideal_machine)
+
+        def sender(rc):
+            yield from rc.send(np.zeros(100, np.float64), dest=2, tag=0)
+            yield from rc.send(np.zeros(50, np.float64), dest=2, tag=0)
+
+        def receiver(rc):
+            yield from rc.recv(source=0, tag=0)
+            yield from rc.recv(source=0, tag=0)
+
+        k = comm.kernel
+        k.process(sender(comm.view(0)))
+        k.process(receiver(comm.view(2)))
+        k.run()
+        assert comm.traffic[(0, 2)] == [2, 1200]
+
+    @pytest.fixture
+    def result(self, small_params):
+        a = NodeAssignment.balanced(small_params, 20)
+        return PipelineExecutor(
+            build_embedded_pipeline(a), small_params, paragon(),
+            FSConfig("pfs", 8), ExecutionConfig(n_cpis=4, warmup=1),
+        ).run()
+
+    def test_task_traffic_structure(self, result):
+        tt = result.task_traffic()
+        # The pipeline's spatial edges all carry traffic...
+        for edge in [
+            ("doppler", "easy_bf"), ("doppler", "hard_bf"),
+            ("doppler", "easy_weight"), ("doppler", "hard_weight"),
+            ("easy_weight", "easy_bf"), ("hard_weight", "hard_bf"),
+            ("easy_bf", "pulse_compr"), ("hard_bf", "pulse_compr"),
+            ("pulse_compr", "cfar"),
+        ]:
+            assert edge in tt and tt[edge][0] > 0, edge
+        # ...and acks flow backwards along them.
+        assert ("cfar", "pulse_compr") in tt
+
+    def test_data_volumes_match_cost_model(self, result, small_params):
+        """Doppler -> BF bytes equal the cost model's stream size times
+        the CPI count (acks are tiny and flow the other way)."""
+        costs = STAPCosts(small_params)
+        tt = result.task_traffic()
+        n_cpis = result.cfg.n_cpis
+        assert tt[("doppler", "easy_bf")][1] == costs.doppler_easy_bytes() * n_cpis
+        assert tt[("doppler", "hard_bf")][1] == costs.doppler_hard_bytes() * n_cpis
+        assert tt[("pulse_compr", "cfar")][1] == costs.beams_all_bytes() * n_cpis
+
+    def test_no_traffic_between_unrelated_tasks(self, result):
+        tt = result.task_traffic()
+        assert ("easy_weight", "hard_weight") not in tt
+        assert ("cfar", "doppler") not in tt
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_from_run(self, small_params):
+        a = NodeAssignment.balanced(small_params, 20)
+        res = PipelineExecutor(
+            build_embedded_pipeline(a), small_params, paragon(),
+            FSConfig("pfs", 8), ExecutionConfig(n_cpis=8, warmup=2),
+        ).run()
+        m = res.measurement
+        assert len(m.latencies) == 6  # steady CPIs
+        p0, p50, p100 = (m.latency_percentile(q) for q in (0, 50, 100))
+        assert p0 <= p50 <= p100
+        assert p0 <= m.latency <= p100
+
+    def test_percentile_validation(self):
+        from repro.core.metrics import PipelineMeasurement
+
+        m = PipelineMeasurement({}, 1.0, 1.0, 1.0, 1.0, latencies=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            m.latency_percentile(120)
+
+    def test_percentile_empty_falls_back_to_mean(self):
+        from repro.core.metrics import PipelineMeasurement
+
+        m = PipelineMeasurement({}, 1.0, 3.5, 1.0, 1.0)
+        assert m.latency_percentile(95) == 3.5
