@@ -16,7 +16,9 @@ import pathlib
 
 import pytest
 
+from repro.bench.engine import SweepRunner
 from repro.bench.experiments import run_table1, run_table2, run_table3
+from repro.bench.store import ResultStore
 from repro.core.context import ExecutionConfig
 
 #: Simulation depth for every benchmark sweep.
@@ -72,15 +74,34 @@ def cached(cache, key, producer):
 
 
 @pytest.fixture(scope="session")
-def table1(sweep_cache):
-    return cached(sweep_cache, "t1", lambda: run_table1(cfg=BENCH_CFG))
+def engine_runner(tmp_path_factory):
+    """Serial engine runner with a session-scoped result store.
+
+    Explicit ``jobs=1`` keeps the timing benchmarks comparable (no pool
+    startup noise), and pointing the content-addressed store at a temp
+    directory keeps benchmark runs hermetic — nothing leaks into the
+    repository's ``.cache/`` and nothing stale is read from it.
+    """
+    store = ResultStore(tmp_path_factory.mktemp("experiment-cache"))
+    return SweepRunner(jobs=1, store=store)
 
 
 @pytest.fixture(scope="session")
-def table2(sweep_cache):
-    return cached(sweep_cache, "t2", lambda: run_table2(cfg=BENCH_CFG))
+def table1(sweep_cache, engine_runner):
+    return cached(
+        sweep_cache, "t1", lambda: run_table1(cfg=BENCH_CFG, runner=engine_runner)
+    )
 
 
 @pytest.fixture(scope="session")
-def table3(sweep_cache):
-    return cached(sweep_cache, "t3", lambda: run_table3(cfg=BENCH_CFG))
+def table2(sweep_cache, engine_runner):
+    return cached(
+        sweep_cache, "t2", lambda: run_table2(cfg=BENCH_CFG, runner=engine_runner)
+    )
+
+
+@pytest.fixture(scope="session")
+def table3(sweep_cache, engine_runner):
+    return cached(
+        sweep_cache, "t3", lambda: run_table3(cfg=BENCH_CFG, runner=engine_runner)
+    )

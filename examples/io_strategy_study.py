@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""The paper's I/O strategy study, condensed.
+"""The paper's I/O strategy study, condensed — on the experiment engine.
 
 Compares, at the 100-node case:
 
@@ -9,6 +9,11 @@ Compares, at the 100-node case:
    latency (one extra additive term in Eq. 4);
 3. a stripe-factor sweep locating the throughput knee.
 
+Every cell is a declarative :class:`repro.ExperimentSpec` executed
+through one :class:`repro.SweepRunner` batch — cells shared between the
+comparisons (e.g. embedded sf=64) are simulated exactly once, and the
+whole batch parallelizes with ``SweepRunner(jobs=N)``.
+
 Each comparison prints the paper-style numbers.  Takes ~15 s.
 
 Run:  python examples/io_strategy_study.py
@@ -16,36 +21,51 @@ Run:  python examples/io_strategy_study.py
 
 from repro import (
     ExecutionConfig,
+    ExperimentSpec,
     FSConfig,
     NodeAssignment,
-    PipelineExecutor,
     STAPParams,
-    build_embedded_pipeline,
-    build_separate_io_pipeline,
-    paragon,
+    SweepRunner,
 )
 from repro.trace.report import bar_chart, format_table
 
 CFG = ExecutionConfig(n_cpis=8, warmup=2)
 PARAMS = STAPParams()
+ASSIGNMENT = NodeAssignment.case(3, PARAMS)  # 100 nodes
+SWEEP_FACTORS = (4, 8, 16, 32, 64, 128)
 
 
-def run(spec, sf):
-    return PipelineExecutor(
-        spec, PARAMS, paragon(), FSConfig("pfs", stripe_factor=sf), CFG
-    ).run()
+def cell(pipeline: str, sf: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        assignment=ASSIGNMENT,
+        pipeline=pipeline,
+        machine="paragon",
+        fs=FSConfig("pfs", stripe_factor=sf),
+        params=PARAMS,
+        cfg=CFG,
+    )
 
 
 def main() -> None:
-    assignment = NodeAssignment.case(3, PARAMS)  # 100 nodes
-    embedded = build_embedded_pipeline(assignment)
+    # One declarative batch; the runner dedups repeated cells (embedded
+    # sf=16/64 appear in both comparison 1 and the sweep) by spec hash.
+    specs = {
+        ("embedded", sf): cell("embedded", sf) for sf in SWEEP_FACTORS
+    }
+    specs[("separate", 64)] = cell("separate", 64)
+    runner = SweepRunner(jobs=1)
+    results = dict(zip(specs, runner.run(list(specs.values()))))
+    print(
+        f"[engine] {len(specs)} cells requested, "
+        f"{runner.executed} simulated\n"
+    )
 
     # -- 1: stripe factor 16 vs 64 -------------------------------------
     print("=" * 64)
     print("1. Stripe factor at 100 nodes (embedded I/O)")
     rows = []
     for sf in (16, 64):
-        r = run(embedded, sf)
+        r = results[("embedded", sf)]
         d = r.measurement.task_stats["doppler"]
         rows.append([f"sf={sf}", r.throughput, r.latency, d.recv, d.compute])
     print(
@@ -63,13 +83,13 @@ def main() -> None:
     print("=" * 64)
     print("2. Embedded I/O vs separate read task (sf=64)")
     rows = []
-    for spec, label in (
-        (embedded, "embedded (7 tasks)"),
-        (build_separate_io_pipeline(assignment), "separate (8 tasks)"),
+    for key, label in (
+        (("embedded", 64), "embedded (7 tasks)"),
+        (("separate", 64), "separate (8 tasks)"),
     ):
-        r = run(spec, 64)
+        r = results[key]
         rows.append([label, r.throughput, r.latency])
-        formula = spec.graph.latency_terms()
+        formula = r.spec.graph.latency_terms()
         print(f"   {label}: latency = {formula}")
     print(format_table(["design", "throughput", "latency (s)"], rows))
     print(
@@ -80,9 +100,10 @@ def main() -> None:
     # -- 3: stripe sweep ---------------------------------------------------
     print("=" * 64)
     print("3. Where is the knee? (embedded I/O, 100 nodes)")
-    series = {}
-    for sf in (4, 8, 16, 32, 64, 128):
-        series[f"sf={sf:<3d}"] = run(embedded, sf).throughput
+    series = {
+        f"sf={sf:<3d}": results[("embedded", sf)].throughput
+        for sf in SWEEP_FACTORS
+    }
     print(bar_chart(series, title="throughput (CPIs/s) vs stripe factor"))
     print(
         "-> returns diminish once the aggregate disk service is faster\n"

@@ -10,18 +10,24 @@ Part B constructs the case the paper only analyses (Eq. 15): when one of
 the combined tasks *is* the pipeline bottleneck, combining improves
 throughput AND latency simultaneously.
 
+Every cell is a declarative :class:`repro.ExperimentSpec` (the 6-task
+variants differ only in ``pipeline="combined"``) run through one
+:class:`repro.SweepRunner` batch, so the whole grid can be parallelized
+or served from a warm result store.
+
 Run:  python examples/task_combination_study.py
 """
+
+from dataclasses import replace
 
 from repro import (
     CombinationAnalysis,
     ExecutionConfig,
+    ExperimentSpec,
     FSConfig,
     NodeAssignment,
-    PipelineExecutor,
     STAPParams,
-    build_embedded_pipeline,
-    combine_pulse_cfar,
+    SweepRunner,
     paragon,
 )
 from repro.stap.costs import STAPCosts
@@ -32,18 +38,41 @@ PARAMS = STAPParams()
 FS = FSConfig("pfs", stripe_factor=64)
 
 
-def run(spec):
-    return PipelineExecutor(spec, PARAMS, paragon(), FS, CFG).run()
+def cell(assignment: NodeAssignment, pipeline: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        assignment=assignment,
+        pipeline=pipeline,
+        machine="paragon",
+        fs=FS,
+        params=PARAMS,
+        cfg=CFG,
+    )
 
 
 def main() -> None:
+    # Declare the full grid up front: (case 1..3 + the starved layout)
+    # x (7-task embedded, 6-task combined), then run it as one batch.
+    starved = NodeAssignment(
+        doppler=8, easy_weight=2, hard_weight=2, easy_bf=5, hard_bf=4,
+        pulse_compr=1, cfar=1,
+    )
+    layouts = {1: NodeAssignment.case(1, PARAMS),
+               2: NodeAssignment.case(2, PARAMS),
+               3: NodeAssignment.case(3, PARAMS),
+               "starved": starved}
+    specs = {}
+    for key, assignment in layouts.items():
+        specs[(key, 7)] = cell(assignment, "embedded")
+        specs[(key, 6)] = replace(specs[(key, 7)], pipeline="combined")
+    runner = SweepRunner(jobs=1)
+    results = dict(zip(specs, runner.run(list(specs.values()))))
+    print(f"[engine] {runner.executed} cells simulated\n")
+
     print("=" * 68)
     print("A. Combining pulse compression + CFAR (the paper's Table 3/4)")
     rows = []
     for case in (1, 2, 3):
-        a = NodeAssignment.case(case, PARAMS)
-        r7 = run(build_embedded_pipeline(a))
-        r6 = run(combine_pulse_cfar(build_embedded_pipeline(a)))
+        r7, r6 = results[(case, 7)], results[(case, 6)]
         imp = (r7.latency - r6.latency) / r7.latency * 100
         rows.append(
             [f"case {case} ({r7.spec.total_nodes} nodes)",
@@ -66,12 +95,7 @@ def main() -> None:
     print("=" * 68)
     print("B. Eq. 15: combining a *bottleneck* task helps both metrics")
     # Deliberately starve pulse compression: one node for ~22% of the work.
-    starved = NodeAssignment(
-        doppler=8, easy_weight=2, hard_weight=2, easy_bf=5, hard_bf=4,
-        pulse_compr=1, cfar=1,
-    )
-    r7 = run(build_embedded_pipeline(starved))
-    r6 = run(combine_pulse_cfar(build_embedded_pipeline(starved)))
+    r7, r6 = results[("starved", 7)], results[("starved", 6)]
     print(
         format_table(
             ["pipeline", "throughput", "latency (s)", "bottleneck"],

@@ -38,6 +38,8 @@ Quick start::
     print(result.throughput, "CPIs/s,", result.latency, "s latency")
 """
 
+from repro.bench.engine import ExperimentSpec, SweepRunner, run_spec
+from repro.bench.store import ResultStore
 from repro.core.context import ExecutionConfig
 from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
 from repro.core.model import CombinationAnalysis, IOModel, PipelineModel
@@ -58,6 +60,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ExecutionConfig",
+    "ExperimentSpec",
+    "SweepRunner",
+    "ResultStore",
+    "run_spec",
     "FSConfig",
     "PipelineExecutor",
     "PipelineResult",

@@ -11,7 +11,16 @@ from a plain Python session::
 """
 
 from repro.bench.cases import PAPER_CASES, BenchCase, paper_cases, paper_filesystems
+from repro.bench.engine import (
+    DiskFault,
+    ExperimentSpec,
+    NodeFault,
+    SweepRunner,
+    WriterLoad,
+    run_spec,
+)
 from repro.bench.experiments import (
+    CellResult,
     ExperimentResult,
     run_ablation_async,
     run_ablation_combination_analysis,
@@ -26,12 +35,21 @@ from repro.bench.experiments import (
     run_table3,
     run_table4,
 )
+from repro.bench.store import ResultStore
 
 __all__ = [
     "BenchCase",
     "PAPER_CASES",
     "paper_cases",
     "paper_filesystems",
+    "ExperimentSpec",
+    "SweepRunner",
+    "ResultStore",
+    "run_spec",
+    "DiskFault",
+    "NodeFault",
+    "WriterLoad",
+    "CellResult",
     "ExperimentResult",
     "run_single",
     "run_table1",

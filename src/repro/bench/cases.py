@@ -9,7 +9,7 @@ previous — paper §5) crossed with three file-system configurations
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import List, Tuple
 
 from repro.core.executor import FSConfig
 from repro.core.pipeline import NodeAssignment

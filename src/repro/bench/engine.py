@@ -1,0 +1,411 @@
+"""Declarative experiment engine: spec'd runs, parallel sweeps, caching.
+
+The paper's evaluation is an experiment *grid* — pipeline structures x
+file systems x node-assignment cases plus ablations.  This module makes
+each grid cell a first-class, serializable value:
+
+* :class:`ExperimentSpec` fully describes one cell — pipeline builder,
+  node assignment, machine preset, :class:`~repro.core.executor.FSConfig`,
+  :class:`~repro.stap.params.STAPParams`,
+  :class:`~repro.core.context.ExecutionConfig`, a seed, and optional
+  fault injections (straggler disk/node, concurrent radar writer).  A
+  spec is deterministically hashable (:meth:`ExperimentSpec.spec_hash`),
+  so any result can be content-addressed by the spec that produced it.
+* :func:`run_spec` executes one cell and returns the
+  :class:`~repro.core.executor.PipelineResult`.
+* :class:`SweepRunner` executes a list of specs — in-process at
+  ``jobs=1`` (debuggable), or across a ``ProcessPoolExecutor`` at
+  ``jobs>1`` (the DES is single-threaded pure Python, so cells are
+  embarrassingly parallel) — consulting an optional
+  :class:`~repro.bench.store.ResultStore` so previously-computed cells
+  are never re-simulated.
+
+The simulation is deterministic, so ``run_spec(spec)`` is a pure
+function of the spec: equal specs yield bit-identical results, which is
+what makes the content-addressed cache sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
+from repro.core.pipeline import (
+    NodeAssignment,
+    PipelineSpec,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+    combine_pulse_cfar,
+)
+from repro.errors import ConfigurationError
+from repro.machine.presets import MachinePreset, generic_cluster, ibm_sp, paragon
+from repro.stap.params import STAPParams
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "PIPELINES",
+    "MACHINES",
+    "machine_key",
+    "DiskFault",
+    "NodeFault",
+    "WriterLoad",
+    "ExperimentSpec",
+    "build_executor",
+    "run_spec",
+    "SweepRunner",
+]
+
+#: Bump when the spec's serialized shape changes; part of the hash, so
+#: old cache entries are invalidated rather than silently misread.
+SPEC_SCHEMA = 1
+
+#: Pipeline builders addressable from a spec, by name.
+PIPELINES: Dict[str, Callable[[NodeAssignment], PipelineSpec]] = {
+    "embedded": build_embedded_pipeline,
+    "separate": build_separate_io_pipeline,
+    "combined": lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
+}
+
+#: Machine presets addressable from a spec, by name.
+MACHINES: Dict[str, Callable[[], MachinePreset]] = {
+    "paragon": paragon,
+    "sp": ibm_sp,
+    "generic": generic_cluster,
+}
+
+_PRESET_KEYS = {
+    "Intel Paragon": "paragon",
+    "IBM SP": "sp",
+    "generic cluster": "generic",
+}
+
+
+def machine_key(preset: MachinePreset) -> str:
+    """Engine key of a named preset (inverse of :data:`MACHINES`)."""
+    try:
+        return _PRESET_KEYS[preset.name]
+    except KeyError:
+        raise ConfigurationError(
+            f"preset {preset.name!r} is not addressable by the engine; "
+            f"known presets: {sorted(_PRESET_KEYS.values())}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """Degrade one stripe directory's disk by ``slow_factor``."""
+
+    server: int = 0
+    slow_factor: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {"server": self.server, "slow_factor": self.slow_factor}
+
+    @staticmethod
+    def from_dict(d: dict) -> "DiskFault":
+        return DiskFault(**d)
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """Degrade one compute node's flop rate by ``slow_factor``."""
+
+    node: int = 0
+    slow_factor: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {"node": self.node, "slow_factor": self.slow_factor}
+
+    @staticmethod
+    def from_dict(d: dict) -> "NodeFault":
+        return NodeFault(**d)
+
+
+@dataclass(frozen=True)
+class WriterLoad:
+    """A concurrent radar writer streaming future CPIs into the files."""
+
+    period: float
+    n_cpis: int
+    start_cpi: int = 0
+    initial_delay: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "period": self.period,
+            "n_cpis": self.n_cpis,
+            "start_cpi": self.start_cpi,
+            "initial_delay": self.initial_delay,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "WriterLoad":
+        return WriterLoad(**d)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to (re)run one experiment cell.
+
+    The spec is a pure value: hashable, serializable, and sufficient to
+    reproduce the cell bit-for-bit.  ``pipeline`` and ``machine`` name
+    entries of :data:`PIPELINES` / :data:`MACHINES` so that a spec never
+    holds live callables or machine objects.
+    """
+
+    assignment: NodeAssignment
+    pipeline: str = "embedded"
+    machine: str = "paragon"
+    fs: FSConfig = field(default_factory=FSConfig)
+    params: STAPParams = field(default_factory=STAPParams)
+    cfg: ExecutionConfig = field(default_factory=ExecutionConfig)
+    seed: int = 0
+    disk_fault: Optional[DiskFault] = None
+    node_fault: Optional[NodeFault] = None
+    writer: Optional[WriterLoad] = None
+
+    def __post_init__(self) -> None:
+        if self.pipeline not in PIPELINES:
+            raise ConfigurationError(
+                f"unknown pipeline {self.pipeline!r}; "
+                f"choose from {sorted(PIPELINES)}"
+            )
+        if self.machine not in MACHINES:
+            raise ConfigurationError(
+                f"unknown machine {self.machine!r}; choose from {sorted(MACHINES)}"
+            )
+
+    # -- construction sugar -------------------------------------------------
+    @staticmethod
+    def for_case(
+        pipeline: str,
+        case,
+        params: Optional[STAPParams] = None,
+        cfg: Optional[ExecutionConfig] = None,
+        seed: int = 0,
+    ) -> "ExperimentSpec":
+        """Spec for one :class:`~repro.bench.cases.BenchCase` grid cell."""
+        return ExperimentSpec(
+            assignment=case.assignment,
+            pipeline=pipeline,
+            machine=machine_key(case.preset),
+            fs=case.fs,
+            params=params or STAPParams(),
+            cfg=cfg or ExecutionConfig(),
+            seed=seed,
+        )
+
+    def label(self) -> str:
+        """Human-readable one-liner for listings."""
+        n = self.assignment.total_without_io
+        extras = []
+        if self.disk_fault:
+            extras.append(f"disk[{self.disk_fault.server}] x{self.disk_fault.slow_factor:g}")
+        if self.node_fault:
+            extras.append(f"node[{self.node_fault.node}] x{self.node_fault.slow_factor:g}")
+        if self.writer:
+            extras.append("writer on")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return (
+            f"{self.pipeline} | {self.machine} | {self.fs.label()} | "
+            f"{n} nodes | {self.cfg.n_cpis} CPIs{suffix}"
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-able form."""
+        return {
+            "pipeline": self.pipeline,
+            "assignment": self.assignment.to_dict(),
+            "machine": self.machine,
+            "fs": self.fs.to_dict(),
+            "params": self.params.to_dict(),
+            "cfg": self.cfg.to_dict(),
+            "seed": self.seed,
+            "disk_fault": self.disk_fault.to_dict() if self.disk_fault else None,
+            "node_fault": self.node_fault.to_dict() if self.node_fault else None,
+            "writer": self.writer.to_dict() if self.writer else None,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`."""
+        return ExperimentSpec(
+            assignment=NodeAssignment.from_dict(d["assignment"]),
+            pipeline=d["pipeline"],
+            machine=d["machine"],
+            fs=FSConfig.from_dict(d["fs"]),
+            params=STAPParams.from_dict(d["params"]),
+            cfg=ExecutionConfig.from_dict(d["cfg"]),
+            seed=d["seed"],
+            disk_fault=DiskFault.from_dict(d["disk_fault"]) if d["disk_fault"] else None,
+            node_fault=NodeFault.from_dict(d["node_fault"]) if d["node_fault"] else None,
+            writer=WriterLoad.from_dict(d["writer"]) if d["writer"] else None,
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical serialized form the hash is computed over."""
+        return json.dumps(
+            {"schema": SPEC_SCHEMA, **self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def spec_hash(self) -> str:
+        """Content address: SHA-256 of the canonical JSON form."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def short_hash(self) -> str:
+        """First 12 hex digits of :meth:`spec_hash`, for display."""
+        return self.spec_hash()[:12]
+
+    def build_pipeline(self) -> PipelineSpec:
+        """Instantiate the named pipeline on this spec's assignment."""
+        return PIPELINES[self.pipeline](self.assignment)
+
+
+def build_executor(spec: ExperimentSpec) -> PipelineExecutor:
+    """Instantiate the cell's executor, with fault injections applied."""
+    ex = PipelineExecutor(
+        spec.build_pipeline(),
+        spec.params,
+        MACHINES[spec.machine](),
+        spec.fs,
+        spec.cfg,
+        seed=spec.seed,
+    )
+    if spec.disk_fault is not None and spec.disk_fault.slow_factor != 1.0:
+        from repro.pfs.blockdev import DiskSpec
+
+        f = spec.disk_fault.slow_factor
+        healthy = ex.fs.servers[spec.disk_fault.server].disk
+        ex.fs.servers[spec.disk_fault.server].disk = DiskSpec(
+            bandwidth=healthy.bandwidth / f,
+            overhead=healthy.overhead * f,
+            extra_unit_overhead_frac=healthy.extra_unit_overhead_frac,
+        )
+    if spec.node_fault is not None and spec.node_fault.slow_factor != 1.0:
+        from repro.machine.node import Node, NodeSpec
+
+        f = spec.node_fault.slow_factor
+        healthy = ex.machine.node(spec.node_fault.node).spec
+        ex.machine.nodes[spec.node_fault.node] = Node(
+            spec.node_fault.node,
+            NodeSpec(
+                flops=healthy.flops / f,
+                mem_bw=healthy.mem_bw,
+                name=f"{healthy.name}-slow{f:g}x",
+            ),
+        )
+    return ex
+
+
+def run_spec(spec: ExperimentSpec) -> PipelineResult:
+    """Execute one cell.  Pure function of the spec (the DES is
+    deterministic), which is what makes result caching sound."""
+    ex = build_executor(spec)
+    if spec.writer is not None:
+        from repro.io.writer import RadarWriter
+
+        writer = RadarWriter(
+            ex.fileset,
+            node_id=ex.machine.io_node_id(0),
+            period=spec.writer.period,
+            n_cpis=spec.writer.n_cpis,
+            start_cpi=spec.writer.start_cpi,
+            initial_delay=spec.writer.initial_delay,
+        )
+        ex.kernel.process(writer.run(ex.kernel), name="radar-writer")
+    return ex.run()
+
+
+def _run_payload(payload: dict) -> dict:
+    """Pool worker: spec dict in, result dict out (both picklable)."""
+    return run_spec(ExperimentSpec.from_dict(payload)).to_dict()
+
+
+class SweepRunner:
+    """Execute experiment specs with caching and process parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs in-process — same
+        results, synchronous and debuggable.  ``>1`` fans uncached cells
+        out over a ``ProcessPoolExecutor``; results return via the
+        lossless JSON layer, so they are identical to in-process runs.
+    store:
+        Optional :class:`~repro.bench.store.ResultStore`.  When set,
+        cells already present are returned from disk (counted in
+        :attr:`cache_hits`) and newly computed cells are written back.
+
+    Attributes
+    ----------
+    cache_hits / cache_misses:
+        Store lookups that did / did not avoid a simulation.
+    executed:
+        Cells actually simulated by this runner (including duplicates
+        resolved in-memory: a spec appearing twice in one ``run()`` call
+        is simulated once).
+    """
+
+    def __init__(self, jobs: int = 1, store=None) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.store = store
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.executed = 0
+
+    def run_one(self, spec: ExperimentSpec) -> PipelineResult:
+        """Execute (or fetch) a single cell."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[PipelineResult]:
+        """Execute (or fetch) every cell, preserving input order."""
+        specs = list(specs)
+        results: List[Optional[PipelineResult]] = [None] * len(specs)
+
+        # Partition into cache hits and distinct cells to simulate.
+        to_run: List[int] = []          # first index of each distinct cell
+        aliases: Dict[int, int] = {}    # duplicate index -> first index
+        first_by_hash: Dict[str, int] = {}
+        for i, spec in enumerate(specs):
+            h = spec.spec_hash()
+            if h in first_by_hash:
+                aliases[i] = first_by_hash[h]
+                continue
+            cached = self.store.get(spec) if self.store is not None else None
+            if cached is not None:
+                self.cache_hits += 1
+                results[i] = cached
+                first_by_hash[h] = i
+                continue
+            self.cache_misses += 1
+            first_by_hash[h] = i
+            to_run.append(i)
+
+        if to_run:
+            self.executed += len(to_run)
+            if self.jobs > 1 and len(to_run) > 1:
+                payloads = [specs[i].to_dict() for i in to_run]
+                workers = min(self.jobs, len(to_run))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for i, rd in zip(to_run, pool.map(_run_payload, payloads)):
+                        results[i] = PipelineResult.from_dict(rd)
+            else:
+                for i in to_run:
+                    results[i] = run_spec(specs[i])
+            if self.store is not None:
+                for i in to_run:
+                    self.store.put(specs[i], results[i])
+
+        for dup, first in aliases.items():
+            results[dup] = results[first]
+        return results

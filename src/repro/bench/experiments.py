@@ -4,26 +4,35 @@ Every driver returns an :class:`ExperimentResult` holding per-cell
 measurements and knows how to ``render()`` itself in the paper's format
 (per-task time tables like Tables 1-3, the improvement table of Table 4,
 and grouped bar charts standing in for Figures 5-8).
+
+All drivers run on the declarative engine
+(:mod:`repro.bench.engine`): each cell is an
+:class:`~repro.bench.engine.ExperimentSpec` executed through a
+:class:`~repro.bench.engine.SweepRunner`.  Pass a shared runner (with a
+:class:`~repro.bench.store.ResultStore` and/or ``jobs > 1``) to cache
+cells across drivers and to parallelize sweeps; by default each driver
+uses a private serial, uncached runner — the seed behavior.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
-from repro.bench.cases import BenchCase, paper_cases, paper_filesystems
+from repro.bench.cases import BenchCase, paper_cases
+from repro.bench.engine import (
+    DiskFault,
+    ExperimentSpec,
+    NodeFault,
+    SweepRunner,
+    WriterLoad,
+    machine_key,
+)
 from repro.core.context import ExecutionConfig
 from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
 from repro.core.model import CombinationAnalysis
-from repro.core.pipeline import (
-    NodeAssignment,
-    PipelineSpec,
-    build_embedded_pipeline,
-    build_separate_io_pipeline,
-    combine_pulse_cfar,
-)
-from repro.io.writer import RadarWriter
-from repro.machine.presets import MachinePreset, ibm_sp, paragon
+from repro.core.pipeline import NodeAssignment, PipelineSpec
+from repro.machine.presets import MachinePreset, ibm_sp
 from repro.stap.params import STAPParams
 from repro.trace.report import format_table, grouped_bar_chart
 
@@ -48,6 +57,11 @@ __all__ = [
 DEFAULT_CFG = ExecutionConfig(n_cpis=8, warmup=2)
 
 
+def _runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    """The driver's runner: caller-provided, or private serial/uncached."""
+    return runner if runner is not None else SweepRunner(jobs=1)
+
+
 @dataclass
 class CellResult:
     """One (case, file system) cell's outcome."""
@@ -63,6 +77,34 @@ class CellResult:
     def latency(self) -> float:
         return self.result.latency
 
+    def to_dict(self) -> dict:
+        """Lossless JSON-able form (machine preset stored by key)."""
+        return {
+            "case": {
+                "case_number": self.case.case_number,
+                "total_nodes": self.case.total_nodes,
+                "assignment": self.case.assignment.to_dict(),
+                "machine": machine_key(self.case.preset),
+                "fs": self.case.fs.to_dict(),
+            },
+            "result": self.result.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "CellResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.bench.engine import MACHINES
+
+        c = d["case"]
+        case = BenchCase(
+            case_number=c["case_number"],
+            total_nodes=c["total_nodes"],
+            assignment=NodeAssignment.from_dict(c["assignment"]),
+            preset=MACHINES[c["machine"]](),
+            fs=FSConfig.from_dict(c["fs"]),
+        )
+        return CellResult(case, PipelineResult.from_dict(d["result"]))
+
 
 @dataclass
 class ExperimentResult:
@@ -76,7 +118,13 @@ class ExperimentResult:
         for c in self.cells:
             if c.case.fs.label() == fs_label and c.case.case_number == case_number:
                 return c
-        raise KeyError((fs_label, case_number))
+        available = sorted(
+            {(c.case.fs.label(), c.case.case_number) for c in self.cells}
+        )
+        raise KeyError(
+            f"no cell ({fs_label!r}, case {case_number}) in experiment "
+            f"{self.name!r}; available (fs, case) cells: {available}"
+        )
 
     def fs_labels(self) -> List[str]:
         seen: List[str] = []
@@ -85,6 +133,24 @@ class ExperimentResult:
             if lab not in seen:
                 seen.append(lab)
         return seen
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-able form (``extra`` must be JSON-able)."""
+        return {
+            "name": self.name,
+            "cells": [c.to_dict() for c in self.cells],
+            "extra": dict(self.extra),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        return ExperimentResult(
+            name=d["name"],
+            cells=[CellResult.from_dict(c) for c in d["cells"]],
+            extra=dict(d.get("extra", {})),
+        )
 
     # -- rendering ------------------------------------------------------
     def render(self) -> str:
@@ -146,44 +212,66 @@ def run_single(
     params: Optional[STAPParams] = None,
     cfg: ExecutionConfig = DEFAULT_CFG,
 ) -> PipelineResult:
-    """Run one pipeline configuration (timing mode)."""
+    """Run one already-built pipeline configuration (timing mode).
+
+    This is the non-declarative escape hatch for ad-hoc pipeline
+    objects; grid sweeps go through :class:`ExperimentSpec` and a
+    :class:`SweepRunner` instead.
+    """
     params = params or STAPParams()
     return PipelineExecutor(spec, params, preset, fs, cfg).run()
 
 
 def _sweep(
     name: str,
-    build: Callable[[NodeAssignment], PipelineSpec],
+    pipeline: str,
     params: Optional[STAPParams] = None,
     cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> ExperimentResult:
+    """Run the paper's 3x3 grid for one pipeline structure."""
     params = params or STAPParams()
+    cases = paper_cases(params)
+    specs = [
+        ExperimentSpec.for_case(pipeline, case, params, cfg, seed=seed)
+        for case in cases
+    ]
+    results = _runner(runner).run(specs)
     out = ExperimentResult(name=name)
-    for case in paper_cases(params):
-        spec = build(case.assignment)
-        res = run_single(spec, case.preset, case.fs, params, cfg)
+    for case, res in zip(cases, results):
         out.cells.append(CellResult(case, res))
     return out
 
 
-def run_table1(params: Optional[STAPParams] = None, cfg: ExecutionConfig = DEFAULT_CFG) -> ExperimentResult:
+def run_table1(
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
     """Table 1 / Figure 5: I/O embedded in the Doppler task."""
-    return _sweep("Table 1: embedded I/O", build_embedded_pipeline, params, cfg)
+    return _sweep("Table 1: embedded I/O", "embedded", params, cfg, runner, seed)
 
 
-def run_table2(params: Optional[STAPParams] = None, cfg: ExecutionConfig = DEFAULT_CFG) -> ExperimentResult:
+def run_table2(
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
     """Table 2 / Figure 6: separate parallel-read task."""
-    return _sweep("Table 2: separate I/O task", build_separate_io_pipeline, params, cfg)
+    return _sweep("Table 2: separate I/O task", "separate", params, cfg, runner, seed)
 
 
-def run_table3(params: Optional[STAPParams] = None, cfg: ExecutionConfig = DEFAULT_CFG) -> ExperimentResult:
+def run_table3(
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> ExperimentResult:
     """Table 3 / Figure 7: pulse compression + CFAR combined."""
-    return _sweep(
-        "Table 3: PC+CFAR combined",
-        lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
-        params,
-        cfg,
-    )
+    return _sweep("Table 3: PC+CFAR combined", "combined", params, cfg, runner, seed)
 
 
 @dataclass
@@ -214,10 +302,18 @@ def run_table4(
     cfg: ExecutionConfig = DEFAULT_CFG,
     table1: Optional[ExperimentResult] = None,
     table3: Optional[ExperimentResult] = None,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Table4Result:
-    """Table 4: latency improvement of combining, per FS x case."""
-    t1 = table1 or run_table1(params, cfg)
-    t3 = table3 or run_table3(params, cfg)
+    """Table 4: latency improvement of combining, per FS x case.
+
+    Derived from Tables 1 and 3.  Pass those results directly, or pass a
+    store-backed ``runner`` — a warm store serves their cells without
+    re-simulating anything.
+    """
+    runner = _runner(runner)
+    t1 = table1 or run_table1(params, cfg, runner, seed)
+    t3 = table3 or run_table3(params, cfg, runner, seed)
     improvements: Dict[str, Dict[int, float]] = {}
     for fs in t1.fs_labels():
         improvements[fs] = {}
@@ -262,10 +358,17 @@ def run_fig8(
     cfg: ExecutionConfig = DEFAULT_CFG,
     table1: Optional[ExperimentResult] = None,
     table3: Optional[ExperimentResult] = None,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Fig8Result:
-    """Figure 8's comparison series, derived from Tables 1 and 3."""
-    t1 = table1 or run_table1(params, cfg)
-    t3 = table3 or run_table3(params, cfg)
+    """Figure 8's comparison series, derived from Tables 1 and 3.
+
+    As with :func:`run_table4`, a store-backed ``runner`` reuses the
+    tables' cells instead of recomputing them.
+    """
+    runner = _runner(runner)
+    t1 = table1 or run_table1(params, cfg, runner, seed)
+    t3 = table3 or run_table3(params, cfg, runner, seed)
     series: Dict[str, Dict[str, Dict[int, float]]] = {"throughput": {}, "latency": {}}
     for fs in t1.fs_labels():
         for variant, exp in (("7 tasks", t1), ("6 tasks", t3)):
@@ -290,21 +393,26 @@ def run_ablation_stripe_sweep(
     case_number: int = 3,
     params: Optional[STAPParams] = None,
     cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Dict[int, PipelineResult]:
     """Locate the stripe-factor knee: case-3 throughput vs stripe factor."""
     params = params or STAPParams()
     a = NodeAssignment.case(case_number, params)
-    out: Dict[int, PipelineResult] = {}
-    for sf in stripe_factors:
-        res = run_single(
-            build_embedded_pipeline(a),
-            paragon(),
-            FSConfig(kind="pfs", stripe_factor=sf),
-            params,
-            cfg,
+    specs = [
+        ExperimentSpec(
+            assignment=a,
+            pipeline="embedded",
+            machine="paragon",
+            fs=FSConfig(kind="pfs", stripe_factor=sf),
+            params=params,
+            cfg=cfg,
+            seed=seed,
         )
-        out[sf] = res
-    return out
+        for sf in stripe_factors
+    ]
+    results = _runner(runner).run(specs)
+    return dict(zip(stripe_factors, results))
 
 
 def run_ablation_async(
@@ -313,6 +421,8 @@ def run_ablation_async(
     params: Optional[STAPParams] = None,
     cfg: ExecutionConfig = DEFAULT_CFG,
     preset: Optional[MachinePreset] = None,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Dict[str, PipelineResult]:
     """Isolate the async-I/O effect: identical hardware, PFS vs PIOFS.
 
@@ -327,21 +437,28 @@ def run_ablation_async(
     """
     params = params or STAPParams()
     a = NodeAssignment.case(case_number, params)
-    spec = build_embedded_pipeline(a)
-    out = {}
-    for kind in ("pfs", "piofs"):
-        out[kind] = run_single(
-            spec,
-            preset or ibm_sp(),
-            FSConfig(kind=kind, stripe_factor=stripe_factor),
-            params,
-            cfg,
+    machine = machine_key(preset or ibm_sp())
+    kinds = ("pfs", "piofs")
+    specs = [
+        ExperimentSpec(
+            assignment=a,
+            pipeline="embedded",
+            machine=machine,
+            fs=FSConfig(kind=kind, stripe_factor=stripe_factor),
+            params=params,
+            cfg=cfg,
+            seed=seed,
         )
-    return out
+        for kind in kinds
+    ]
+    results = _runner(runner).run(specs)
+    return dict(zip(kinds, results))
 
 
 def run_ablation_combination_analysis(
     params: Optional[STAPParams] = None,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Dict[str, object]:
     """§6 algebra checks, including the both-improve case (Eq. 15).
 
@@ -350,6 +467,7 @@ def run_ablation_combination_analysis(
     deliberately starves pulse compression so T5 is the pipeline max,
     then verifies combining improves throughput *and* latency.
     """
+    from repro.machine.presets import paragon
     from repro.stap.costs import STAPCosts
 
     params = params or STAPParams()
@@ -359,11 +477,12 @@ def run_ablation_combination_analysis(
         doppler=8, easy_weight=2, hard_weight=2, easy_bf=5, hard_bf=4,
         pulse_compr=1, cfar=1,
     )
-    spec7 = build_embedded_pipeline(a)
-    spec6 = combine_pulse_cfar(spec7)
     fs = FSConfig(kind="pfs", stripe_factor=64)
-    r7 = run_single(spec7, paragon(), fs, params)
-    r6 = run_single(spec6, paragon(), fs, params)
+    base = ExperimentSpec(
+        assignment=a, pipeline="embedded", machine="paragon",
+        fs=fs, params=params, seed=seed,
+    )
+    r7, r6 = _runner(runner).run([base, replace(base, pipeline="combined")])
     flops = paragon().node_spec.flops
     stats7 = r7.measurement.task_stats
     analysis = CombinationAnalysis(
@@ -389,6 +508,8 @@ def run_ablation_straggler_disk(
     stripe_factor: int = 64,
     params: Optional[STAPParams] = None,
     cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Dict[float, PipelineResult]:
     """Fault injection: one degraded stripe directory among many.
 
@@ -399,28 +520,23 @@ def run_ablation_straggler_disk(
     ``slow_factor`` and measures the pipeline at an otherwise healthy
     configuration (case 3, stripe factor 64).
     """
-    from repro.pfs.blockdev import DiskSpec
-
     params = params or STAPParams()
     a = NodeAssignment.case(case_number, params)
-    spec = build_embedded_pipeline(a)
-    out: Dict[float, PipelineResult] = {}
-    for slow in slow_factors:
-        ex = PipelineExecutor(
-            spec,
-            params,
-            paragon(),
-            FSConfig(kind="pfs", stripe_factor=stripe_factor),
-            cfg,
+    specs = [
+        ExperimentSpec(
+            assignment=a,
+            pipeline="embedded",
+            machine="paragon",
+            fs=FSConfig(kind="pfs", stripe_factor=stripe_factor),
+            params=params,
+            cfg=cfg,
+            seed=seed,
+            disk_fault=DiskFault(server=0, slow_factor=slow),
         )
-        healthy = ex.fs.servers[0].disk
-        ex.fs.servers[0].disk = DiskSpec(
-            bandwidth=healthy.bandwidth / slow,
-            overhead=healthy.overhead * slow,
-            extra_unit_overhead_frac=healthy.extra_unit_overhead_frac,
-        )
-        out[slow] = ex.run()
-    return out
+        for slow in slow_factors
+    ]
+    results = _runner(runner).run(specs)
+    return dict(zip(slow_factors, results))
 
 
 def run_ablation_straggler_node(
@@ -428,6 +544,8 @@ def run_ablation_straggler_node(
     case_number: int = 1,
     params: Optional[STAPParams] = None,
     cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Dict[float, PipelineResult]:
     """Fault injection: one degraded *compute* node in the Doppler task.
 
@@ -437,27 +555,24 @@ def run_ablation_straggler_node(
     task has.  The dual of the disk straggler: tail latency in compute
     instead of I/O.
     """
-    from repro.machine.node import Node, NodeSpec
-
     params = params or STAPParams()
     a = NodeAssignment.case(case_number, params)
-    spec = build_embedded_pipeline(a)
-    out: Dict[float, PipelineResult] = {}
-    for slow in slow_factors:
-        ex = PipelineExecutor(
-            spec, params, paragon(), FSConfig(kind="pfs", stripe_factor=64), cfg
+    specs = [
+        ExperimentSpec(
+            assignment=a,
+            pipeline="embedded",
+            machine="paragon",
+            fs=FSConfig(kind="pfs", stripe_factor=64),
+            params=params,
+            cfg=cfg,
+            seed=seed,
+            # Node 0 belongs to the Doppler task.
+            node_fault=NodeFault(node=0, slow_factor=slow),
         )
-        healthy = ex.machine.node(0).spec  # node 0 belongs to the Doppler task
-        ex.machine.nodes[0] = Node(
-            0,
-            NodeSpec(
-                flops=healthy.flops / slow,
-                mem_bw=healthy.mem_bw,
-                name=f"{healthy.name}-slow{slow:g}x",
-            ),
-        )
-        out[slow] = ex.run()
-    return out
+        for slow in slow_factors
+    ]
+    results = _runner(runner).run(specs)
+    return dict(zip(slow_factors, results))
 
 
 def run_ablation_writer_interference(
@@ -465,30 +580,41 @@ def run_ablation_writer_interference(
     stripe_factor: int = 16,
     params: Optional[STAPParams] = None,
     cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
 ) -> Dict[str, PipelineResult]:
     """Read/write interference: pipeline alone vs with a live radar writer.
 
     The paper stages reads and writes "at different times" to minimise
     interference; this ablation quantifies what happens when the radar
     writes future CPIs into the same stripe directories while the
-    pipeline reads.
+    pipeline reads.  The writer's period is locked to the quiet run's
+    measured throughput, so the noisy spec is fully declarative (and
+    cacheable) once the quiet cell is known.
     """
     params = params or STAPParams()
+    runner = _runner(runner)
     a = NodeAssignment.case(case_number, params)
-    spec = build_embedded_pipeline(a)
-    fs = FSConfig(kind="pfs", stripe_factor=stripe_factor)
-    quiet = run_single(spec, paragon(), fs, params, cfg)
-
-    ex = PipelineExecutor(spec, params, paragon(), fs, cfg)
-    period = 1.0 / max(quiet.throughput, 1e-9)
-    writer = RadarWriter(
-        ex.fileset,
-        node_id=ex.machine.io_node_id(0),
-        period=period,
-        n_cpis=cfg.n_cpis,
-        start_cpi=cfg.n_cpis,       # writes future CPIs
-        initial_delay=period / 2.0,  # staggered from the reads
+    quiet_spec = ExperimentSpec(
+        assignment=a,
+        pipeline="embedded",
+        machine="paragon",
+        fs=FSConfig(kind="pfs", stripe_factor=stripe_factor),
+        params=params,
+        cfg=cfg,
+        seed=seed,
     )
-    ex.kernel.process(writer.run(ex.kernel), name="radar-writer")
-    noisy = ex.run()
+    quiet = runner.run_one(quiet_spec)
+    period = 1.0 / max(quiet.throughput, 1e-9)
+    noisy = runner.run_one(
+        replace(
+            quiet_spec,
+            writer=WriterLoad(
+                period=period,
+                n_cpis=cfg.n_cpis,
+                start_cpi=cfg.n_cpis,        # writes future CPIs
+                initial_delay=period / 2.0,  # staggered from the reads
+            ),
+        )
+    )
     return {"quiet": quiet, "with_writer": noisy}

@@ -1,0 +1,133 @@
+"""Content-addressed on-disk store for experiment results.
+
+Each cached cell lives at ``<root>/<spec-hash>.json`` — the SHA-256 of
+the spec's canonical JSON (see
+:meth:`~repro.bench.engine.ExperimentSpec.spec_hash`) names the file, so
+a result can only ever be found by the exact spec that produced it.
+Entries embed the full spec alongside the result, making every cached
+cell a self-describing, diffable reproduction artifact; lookups verify
+the embedded spec to rule out hash collisions and schema drift.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent sweep
+workers and interrupted runs never leave a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.executor import PipelineResult
+
+__all__ = ["ResultStore", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path(".cache") / "experiments"
+
+#: On-disk entry schema; bump on incompatible layout changes.
+STORE_SCHEMA = 1
+
+
+class ResultStore:
+    """A directory of ``<spec-hash>.json`` experiment results."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec_hash: str) -> Path:
+        """File that does / would hold the given spec hash's result."""
+        return self.root / f"{spec_hash}.json"
+
+    def __contains__(self, spec) -> bool:
+        return self.load(spec.spec_hash()) is not None
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+    def hashes(self) -> List[str]:
+        """Spec hashes present, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def load(self, spec_hash: str) -> Optional[dict]:
+        """Raw entry payload for a hash, or None if absent/corrupt."""
+        path = self.path_for(spec_hash)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != STORE_SCHEMA:
+            return None
+        return payload
+
+    def get(self, spec) -> Optional[PipelineResult]:
+        """The stored result of ``spec``, or None on a miss.
+
+        The embedded spec must match exactly — a hash collision or a
+        serialization-schema drift reads as a miss, never as a wrong
+        result.
+        """
+        payload = self.load(spec.spec_hash())
+        if payload is None or payload.get("spec") != spec.to_dict():
+            return None
+        try:
+            return PipelineResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, spec, result: PipelineResult) -> Path:
+        """Store ``result`` under ``spec``'s hash (atomically)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        spec_hash = spec.spec_hash()
+        target = self.path_for(spec_hash)
+        payload = {
+            "schema": STORE_SCHEMA,
+            "spec_hash": spec_hash,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(target)
+        return target
+
+    def entries(self) -> List[dict]:
+        """One summary dict per stored cell (for listings)."""
+        out = []
+        for spec_hash in self.hashes():
+            payload = self.load(spec_hash)
+            if payload is None:
+                continue
+            spec = payload.get("spec", {})
+            result = payload.get("result", {})
+            meas = result.get("measurement", {})
+            out.append(
+                {
+                    "hash": spec_hash,
+                    "pipeline": spec.get("pipeline"),
+                    "machine": spec.get("machine"),
+                    "fs": result.get("fs_label"),
+                    "nodes": result.get("spec", {}).get("tasks") and sum(
+                        t["n_nodes"] for t in result["spec"]["tasks"]
+                    ),
+                    "n_cpis": spec.get("cfg", {}).get("n_cpis"),
+                    "seed": spec.get("seed"),
+                    "throughput": meas.get("throughput"),
+                    "latency": meas.get("latency"),
+                }
+            )
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for spec_hash in self.hashes():
+            try:
+                self.path_for(spec_hash).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -6,9 +6,19 @@ Examples::
     python -m repro run --case 3 --fs pfs --stripe-factor 16
     python -m repro run --pipeline separate --machine sp --fs piofs
     python -m repro table 1
-    python -m repro table 4
+    python -m repro table 4 --jobs 4
     python -m repro detect --cpis 4
     python -m repro sweep-stripe --factors 4,8,16,32,64
+    python -m repro reproduce --jobs 4
+    python -m repro results list
+    python -m repro results show <hash-prefix>
+    python -m repro results clear
+
+Sweep commands run their cells through the declarative experiment
+engine: ``--jobs N`` simulates cells in N worker processes, and results
+are cached content-addressed under ``--cache-dir`` (default
+``.cache/experiments``) so re-runs and derived tables reuse identical
+cells; ``--no-cache`` opts out.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.bench.engine import ExperimentSpec, SweepRunner
 from repro.bench.experiments import (
     run_ablation_stripe_sweep,
     run_table1,
@@ -24,15 +35,12 @@ from repro.bench.experiments import (
     run_table3,
     run_table4,
 )
+from repro.bench.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.core.context import ExecutionConfig
+from repro.errors import ReproError
 from repro.core.executor import FSConfig, PipelineExecutor
-from repro.core.pipeline import (
-    NodeAssignment,
-    build_embedded_pipeline,
-    build_separate_io_pipeline,
-    combine_pulse_cfar,
-)
-from repro.machine.presets import ibm_sp, paragon
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.machine.presets import paragon
 from repro.stap.costs import STAPCosts
 from repro.stap.params import STAPParams
 from repro.stap.scenario import Scenario
@@ -40,12 +48,24 @@ from repro.trace.report import bar_chart, format_table
 
 __all__ = ["main", "build_parser"]
 
-_PIPELINES = {
-    "embedded": build_embedded_pipeline,
-    "separate": build_separate_io_pipeline,
-    "combined": lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
-}
-_MACHINES = {"paragon": paragon, "sp": ibm_sp}
+_PIPELINE_CHOICES = ("combined", "embedded", "separate")
+_MACHINE_CHOICES = ("paragon", "sp")
+
+
+def _add_engine_opts(p: argparse.ArgumentParser) -> None:
+    """Experiment-engine knobs shared by run/table/reproduce/sweep-stripe."""
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for simulation cells (default 1)")
+    p.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="neither read nor write the result cache")
+
+
+def _make_runner(args) -> SweepRunner:
+    """A SweepRunner configured from the engine CLI options."""
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    return SweepRunner(jobs=args.jobs, store=store)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,21 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one pipeline configuration")
-    p_run.add_argument("--pipeline", choices=sorted(_PIPELINES), default="embedded")
+    p_run.add_argument("--pipeline", choices=_PIPELINE_CHOICES, default="embedded")
     p_run.add_argument("--case", type=int, choices=(1, 2, 3), default=1,
                        help="paper node-assignment case (25/50/100 nodes)")
-    p_run.add_argument("--machine", choices=sorted(_MACHINES), default="paragon")
+    p_run.add_argument("--machine", choices=_MACHINE_CHOICES, default="paragon")
     p_run.add_argument("--fs", choices=("pfs", "piofs"), default="pfs")
     p_run.add_argument("--stripe-factor", type=int, default=64)
     p_run.add_argument("--cpis", type=int, default=8)
     p_run.add_argument("--warmup", type=int, default=2)
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="experiment seed (part of the cache key)")
     p_run.add_argument("--threaded", action="store_true",
                        help="SMP phase-threaded nodes (IPPS'99 design)")
+    _add_engine_opts(p_run)
 
     p_table = sub.add_parser("table", help="regenerate a paper table (1-4)")
     p_table.add_argument("number", type=int, choices=(1, 2, 3, 4))
     p_table.add_argument("--cpis", type=int, default=8)
     p_table.add_argument("--warmup", type=int, default=2)
+    _add_engine_opts(p_table)
 
     p_det = sub.add_parser("detect", help="compute-mode detection demo")
     p_det.add_argument("--cpis", type=int, default=3)
@@ -84,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated stripe factors")
     p_sw.add_argument("--case", type=int, choices=(1, 2, 3), default=3)
     p_sw.add_argument("--cpis", type=int, default=8)
+    _add_engine_opts(p_sw)
 
     p_rep = sub.add_parser(
         "reproduce",
@@ -92,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", default="results", help="output directory")
     p_rep.add_argument("--cpis", type=int, default=8)
     p_rep.add_argument("--warmup", type=int, default=2)
+    _add_engine_opts(p_rep)
+
+    p_res = sub.add_parser(
+        "results", help="list/inspect/clear the cached experiment results"
+    )
+    p_res.add_argument("action", choices=("list", "show", "clear"))
+    p_res.add_argument("hash", nargs="?", default=None,
+                       help="spec hash (any unique prefix) for 'show'")
+    p_res.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help="content-addressed result cache directory")
 
     p_sp = sub.add_parser(
         "spectrum", help="render the angle-Doppler spectrum of a synthetic scene"
@@ -107,17 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args) -> int:
     params = STAPParams()
-    spec = _PIPELINES[args.pipeline](NodeAssignment.case(args.case, params))
     cfg = ExecutionConfig(
         n_cpis=args.cpis, warmup=args.warmup, threaded=args.threaded
     )
-    result = PipelineExecutor(
-        spec,
-        params,
-        _MACHINES[args.machine](),
-        FSConfig(kind=args.fs, stripe_factor=args.stripe_factor),
-        cfg,
-    ).run()
+    exp = ExperimentSpec(
+        assignment=NodeAssignment.case(args.case, params),
+        pipeline=args.pipeline,
+        machine=args.machine,
+        fs=FSConfig(kind=args.fs, stripe_factor=args.stripe_factor),
+        params=params,
+        cfg=cfg,
+        seed=args.seed,
+    )
+    runner = _make_runner(args)
+    result = runner.run_one(exp)
+    spec = result.spec
     m = result.measurement
     rows = [
         (name, s.recv, s.compute, s.send, s.total)
@@ -137,19 +176,22 @@ def _cmd_run(args) -> int:
     print(f"\nthroughput : {result.throughput:.4f} CPIs/s")
     print(f"latency    : {result.latency:.4f} s")
     print(f"bottleneck : {m.bottleneck_task}")
+    if runner.cache_hits:
+        print(f"(cell {exp.short_hash()} served from cache)")
     return 0
 
 
 def _cmd_table(args) -> int:
     cfg = ExecutionConfig(n_cpis=args.cpis, warmup=args.warmup)
+    runner = _make_runner(args)
     if args.number == 1:
-        print(run_table1(cfg=cfg).render())
+        print(run_table1(cfg=cfg, runner=runner).render())
     elif args.number == 2:
-        print(run_table2(cfg=cfg).render())
+        print(run_table2(cfg=cfg, runner=runner).render())
     elif args.number == 3:
-        print(run_table3(cfg=cfg).render())
+        print(run_table3(cfg=cfg, runner=runner).render())
     else:
-        print(run_table4(cfg=cfg).render())
+        print(run_table4(cfg=cfg, runner=runner).render())
     return 0
 
 
@@ -196,6 +238,7 @@ def _cmd_sweep_stripe(args) -> int:
         stripe_factors=factors,
         case_number=args.case,
         cfg=ExecutionConfig(n_cpis=args.cpis, warmup=2),
+        runner=_make_runner(args),
     )
     print(
         bar_chart(
@@ -253,6 +296,7 @@ def _cmd_reproduce(args) -> int:
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     cfg = ExecutionConfig(n_cpis=args.cpis, warmup=args.warmup)
+    runner = _make_runner(args)
 
     def save(name: str, text: str) -> None:
         path = out_dir / f"{name}.txt"
@@ -260,25 +304,86 @@ def _cmd_reproduce(args) -> int:
         print(f"wrote {path}")
 
     print("running Table 1 (embedded I/O) ...")
-    t1 = run_table1(cfg=cfg)
+    t1 = run_table1(cfg=cfg, runner=runner)
     save("table1_embedded_io", t1.render())
     save("fig5_embedded_charts", t1.render_charts())
 
     print("running Table 2 (separate I/O task) ...")
-    t2 = run_table2(cfg=cfg)
+    t2 = run_table2(cfg=cfg, runner=runner)
     save("table2_separate_io", t2.render())
     save("fig6_separate_charts", t2.render_charts())
 
     print("running Table 3 (PC+CFAR combined) ...")
-    t3 = run_table3(cfg=cfg)
+    t3 = run_table3(cfg=cfg, runner=runner)
     save("table3_task_combination", t3.render())
     save("fig7_combined_charts", t3.render_charts())
 
-    t4 = run_table4(table1=t1, table3=t3)
+    t4 = run_table4(table1=t1, table3=t3, runner=runner)
     save("table4_latency_improvement", t4.render())
-    f8 = run_fig8(table1=t1, table3=t3)
+    f8 = run_fig8(table1=t1, table3=t3, runner=runner)
     save("fig8_combination_comparison", f8.render())
+    print(
+        f"engine: {runner.executed} cells simulated, "
+        f"{runner.cache_hits} served from cache"
+        + ("" if args.no_cache else f" ({args.cache_dir})")
+    )
     print("done — compare against EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_results(args) -> int:
+    """List, inspect, or clear the content-addressed result cache."""
+    import json
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    if args.action == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"no cached results in {store.root}")
+            return 0
+        rows = [
+            [e["hash"][:12], e["pipeline"], e["machine"], e["fs"],
+             e["nodes"], e["n_cpis"], e["throughput"], e["latency"]]
+            for e in entries
+        ]
+        print(
+            format_table(
+                ["hash", "pipeline", "machine", "file system",
+                 "nodes", "CPIs", "throughput", "latency (s)"],
+                rows,
+                title=f"{len(entries)} cached cell(s) in {store.root}",
+            )
+        )
+        return 0
+    # show
+    if not args.hash:
+        print("error: 'results show' needs a spec hash (see 'results list')",
+              file=sys.stderr)
+        return 2
+    matches = [h for h in store.hashes() if h.startswith(args.hash)]
+    if len(matches) != 1:
+        what = "no" if not matches else f"{len(matches)} ambiguous"
+        print(f"error: {what} cached result(s) match {args.hash!r}",
+              file=sys.stderr)
+        return 2
+    payload = store.load(matches[0])
+    if payload is None:
+        print(f"error: entry {matches[0]} is unreadable", file=sys.stderr)
+        return 2
+    meas = payload["result"]["measurement"]
+    print(f"hash      : {payload['spec_hash']}")
+    print(f"file      : {store.path_for(matches[0])}")
+    print(f"spec      : {json.dumps(payload['spec'], indent=2, sort_keys=True)}")
+    print(f"throughput: {meas['throughput']:.4f} CPIs/s")
+    print(f"latency   : {meas['latency']:.4f} s")
+    per_task = {s["task"]: s["recv"] + s["compute"] + s["send"]
+                for s in meas["task_stats"]}
+    bottleneck = max(per_task, key=per_task.get)
+    print(f"bottleneck: {bottleneck} ({per_task[bottleneck]:.4f} s)")
     return 0
 
 
@@ -314,10 +419,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "detect": _cmd_detect,
         "sweep-stripe": _cmd_sweep_stripe,
         "reproduce": _cmd_reproduce,
+        "results": _cmd_results,
         "spectrum": _cmd_spectrum,
         "info": _cmd_info,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

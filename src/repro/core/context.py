@@ -8,8 +8,8 @@ credit-window flow control.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.plan import PipelinePlan
 from repro.core.task import TaskInstance
@@ -77,6 +77,23 @@ class ExecutionConfig:
             raise ValueError("warmup must be in [0, n_cpis)")
         if self.window < 1:
             raise ValueError("window must be >= 1")
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-able form."""
+        return {
+            "n_cpis": self.n_cpis,
+            "warmup": self.warmup,
+            "window": self.window,
+            "compute": self.compute,
+            "threaded": self.threaded,
+            "write_reports": self.write_reports,
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "ExecutionConfig":
+        """Inverse of :meth:`to_dict`."""
+        return ExecutionConfig(**d)
 
 
 class TaskContext:

@@ -16,10 +16,10 @@ semantics (``"pfs"`` async-capable, ``"piofs"`` synchronous-only) and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.errors import ConfigurationError, PipelineError
+from repro.errors import ConfigurationError
 from repro.core.bodies import body_for
 from repro.core.context import ExecutionConfig, TaskContext
 from repro.core.metrics import PipelineMeasurement, measure
@@ -58,6 +58,23 @@ class FSConfig:
             return self.name
         return f"{self.kind.upper()} sf={self.stripe_factor}"
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-able form."""
+        return {
+            "kind": self.kind,
+            "stripe_factor": self.stripe_factor,
+            "stripe_unit": self.stripe_unit,
+            "disk_bw": self.disk_bw,
+            "disk_overhead": self.disk_overhead,
+            "name": self.name,
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "FSConfig":
+        """Inverse of :meth:`to_dict`."""
+        return FSConfig(**d)
+
 
 @dataclass
 class PipelineResult:
@@ -93,6 +110,64 @@ class PipelineResult:
         busy = self.disk_stats["busy_time_per_server"]
         return sum(busy) / (len(busy) * self.elapsed_sim_time)
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-able form of the whole run.
+
+        Tuple-keyed maps (``rank_traffic``) are encoded with
+        ``"src->dst"`` string keys; integer-keyed maps (``rank_task``)
+        with stringified keys, both reversed by :meth:`from_dict`.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "cfg": self.cfg.to_dict(),
+            "fs_label": self.fs_label,
+            "machine_name": self.machine_name,
+            "trace": self.trace.to_dict(),
+            "measurement": self.measurement.to_dict(),
+            "detections": [d.to_dict() for d in self.detections],
+            "elapsed_sim_time": self.elapsed_sim_time,
+            "disk_stats": self.disk_stats,
+            "rank_traffic": (
+                None
+                if self.rank_traffic is None
+                else {
+                    f"{src}->{dst}": list(counts)
+                    for (src, dst), counts in self.rank_traffic.items()
+                }
+            ),
+            "rank_task": (
+                None
+                if self.rank_task is None
+                else {str(rank): task for rank, task in self.rank_task.items()}
+            ),
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "PipelineResult":
+        """Inverse of :meth:`to_dict`."""
+        result = PipelineResult(
+            spec=PipelineSpec.from_dict(d["spec"]),
+            cfg=ExecutionConfig.from_dict(d["cfg"]),
+            fs_label=d["fs_label"],
+            machine_name=d["machine_name"],
+            trace=TraceCollector.from_dict(d["trace"]),
+            measurement=PipelineMeasurement.from_dict(d["measurement"]),
+            detections=[Detection.from_dict(x) for x in d["detections"]],
+            elapsed_sim_time=d["elapsed_sim_time"],
+        )
+        result.disk_stats = d["disk_stats"]
+        if d["rank_traffic"] is not None:
+            result.rank_traffic = {
+                tuple(int(r) for r in key.split("->")): tuple(counts)
+                for key, counts in d["rank_traffic"].items()
+            }
+        if d["rank_task"] is not None:
+            result.rank_task = {
+                int(rank): task for rank, task in d["rank_task"].items()
+            }
+        return result
+
     def task_traffic(self) -> "dict":
         """Aggregate network traffic between tasks.
 
@@ -123,6 +198,7 @@ class PipelineExecutor:
         fs_config: FSConfig,
         cfg: Optional[ExecutionConfig] = None,
         scenario: Optional[Scenario] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.spec = spec
         self.params = params
@@ -130,7 +206,12 @@ class PipelineExecutor:
         self.fs_config = fs_config
         self.cfg = cfg or ExecutionConfig()
         if self.cfg.compute and scenario is None:
-            raise ConfigurationError("compute mode needs a scenario for cube content")
+            if seed is None:
+                raise ConfigurationError(
+                    "compute mode needs a scenario (or a seed) for cube content"
+                )
+            scenario = Scenario.standard(params, seed=seed)
+        self.seed = seed
         self.scenario = scenario
 
         self.kernel = Kernel()

@@ -41,6 +41,20 @@ class TaskPhaseStats:
         """The task's service time T_i."""
         return self.recv + self.compute + self.send
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-able form."""
+        return {
+            "task": self.task,
+            "recv": self.recv,
+            "compute": self.compute,
+            "send": self.send,
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "TaskPhaseStats":
+        """Inverse of :meth:`to_dict`."""
+        return TaskPhaseStats(**d)
+
 
 @dataclass
 class PipelineMeasurement:
@@ -73,6 +87,33 @@ class PipelineMeasurement:
     def times(self) -> Dict[str, float]:
         """Measured T_i by task name."""
         return {name: s.total for name, s in self.task_stats.items()}
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-able form (task order preserved)."""
+        return {
+            "task_stats": [s.to_dict() for s in self.task_stats.values()],
+            "throughput": self.throughput,
+            "latency": self.latency,
+            "model_throughput": self.model_throughput,
+            "model_latency": self.model_latency,
+            "steady_cpis": list(self.steady_cpis),
+            "latencies": list(self.latencies),
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "PipelineMeasurement":
+        """Inverse of :meth:`to_dict`."""
+        stats = [TaskPhaseStats.from_dict(s) for s in d["task_stats"]]
+        return PipelineMeasurement(
+            task_stats={s.task: s for s in stats},
+            throughput=d["throughput"],
+            latency=d["latency"],
+            model_throughput=d["model_throughput"],
+            model_latency=d["model_latency"],
+            steady_cpis=list(d["steady_cpis"]),
+            latencies=list(d["latencies"]),
+        )
 
     def utilization(self) -> Dict[str, float]:
         """Fraction of the pipeline beat each task spends in service.

@@ -16,7 +16,7 @@ Canonical task names used across the package::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError, PipelineError
@@ -81,6 +81,25 @@ class NodeAssignment:
             + self.pulse_compr
             + self.cfar
         )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Optional[int]]:
+        """Lossless JSON-able form."""
+        return {
+            "doppler": self.doppler,
+            "easy_weight": self.easy_weight,
+            "hard_weight": self.hard_weight,
+            "easy_bf": self.easy_bf,
+            "hard_bf": self.hard_bf,
+            "pulse_compr": self.pulse_compr,
+            "cfar": self.cfar,
+            "io_nodes": self.io_nodes,
+        }
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Optional[int]]) -> "NodeAssignment":
+        """Inverse of :meth:`to_dict`."""
+        return NodeAssignment(**dict(d))
 
     @staticmethod
     def balanced(params, total: int, io_nodes: Optional[int] = None) -> "NodeAssignment":
@@ -222,6 +241,33 @@ class PipelineSpec:
 
     def task_names(self) -> List[str]:
         return [t.name for t in self.tasks]
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-able form (task kinds and edge kinds by value)."""
+        return {
+            "name": self.name,
+            "tasks": [
+                {"name": t.name, "kind": t.kind.value, "n_nodes": t.n_nodes}
+                for t in self.tasks
+            ],
+            "edges": [
+                {"src": e.src, "dst": e.dst, "kind": e.kind.value}
+                for e in self.edges
+            ],
+        }
+
+    @staticmethod
+    def from_dict(d: Mapping[str, object]) -> "PipelineSpec":
+        """Inverse of :meth:`to_dict`."""
+        tasks = [
+            TaskSpec(t["name"], TaskKind(t["kind"]), t["n_nodes"])
+            for t in d["tasks"]
+        ]
+        edges = [
+            Edge(e["src"], e["dst"], DependencyKind(e["kind"])) for e in d["edges"]
+        ]
+        return PipelineSpec(tasks, edges, name=d["name"])
 
 
 def _processing_tasks(a: NodeAssignment, doppler_kind: TaskKind) -> List[TaskSpec]:

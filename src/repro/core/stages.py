@@ -24,7 +24,7 @@ identical in all modes.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any
 
 from repro.core.context import TaskContext
 from repro.sim.resources import Resource, Store

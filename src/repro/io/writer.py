@@ -11,7 +11,6 @@ read service times (exercised in the ablation benches).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.io.fileset import CubeFileSet

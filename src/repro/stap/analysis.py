@@ -21,7 +21,7 @@ params' taper and evaluated at bin frequency ``b/N``.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.linalg as sla

@@ -49,6 +49,21 @@ class Detection:
     snr_db: float
     cpi_index: int = 0
 
+    def to_dict(self) -> dict:
+        """Lossless JSON-able form."""
+        return {
+            "doppler_bin": int(self.doppler_bin),
+            "beam": int(self.beam),
+            "range_gate": int(self.range_gate),
+            "snr_db": float(self.snr_db),
+            "cpi_index": int(self.cpi_index),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "Detection":
+        """Inverse of :meth:`to_dict`."""
+        return Detection(**d)
+
 
 #: CFAR estimator variants supported by :func:`ca_cfar`.
 CFAR_METHODS = ("ca", "goca", "soca", "os")

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.stap.cfar import Detection

@@ -176,6 +176,34 @@ class STAPParams:
         sines = np.linspace(-0.6, 0.6, self.n_beams)
         return np.arcsin(sines)
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-able form (dtype stored by name)."""
+        return {
+            "n_channels": self.n_channels,
+            "n_pulses": self.n_pulses,
+            "n_ranges": self.n_ranges,
+            "n_beams": self.n_beams,
+            "n_hard_bins": self.n_hard_bins,
+            "n_training": self.n_training,
+            "diagonal_load": self.diagonal_load,
+            "covariance_memory": self.covariance_memory,
+            "pulse_len": self.pulse_len,
+            "cfar_window": self.cfar_window,
+            "cfar_guard": self.cfar_guard,
+            "pfa": self.pfa,
+            "cfar_method": self.cfar_method,
+            "window_kind": self.window_kind,
+            "dtype": np.dtype(self.dtype).name,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "STAPParams":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(d)
+        kwargs["dtype"] = np.dtype(kwargs["dtype"])
+        return STAPParams(**kwargs)
+
     def scaled(self, factor: float) -> "STAPParams":
         """A smaller/larger copy for tests: scales ranges and training."""
         n_ranges = max(8, 2 * self.n_channels, int(self.n_ranges * factor))

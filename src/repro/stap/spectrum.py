@@ -19,7 +19,7 @@ Two estimators:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.linalg as sla

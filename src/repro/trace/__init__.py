@@ -9,7 +9,12 @@ table and bar-chart formats.
 
 from repro.trace.record import PhaseRecord, Phase
 from repro.trace.collector import TraceCollector
-from repro.trace.export import to_chrome_trace, write_chrome_trace
+from repro.trace.export import (
+    to_chrome_trace,
+    to_result_json,
+    write_chrome_trace,
+    write_result_json,
+)
 from repro.trace.gantt import render_gantt
 from repro.trace.report import bar_chart, format_table, grouped_bar_chart, heatmap
 
@@ -20,6 +25,8 @@ __all__ = [
     "render_gantt",
     "to_chrome_trace",
     "write_chrome_trace",
+    "to_result_json",
+    "write_result_json",
     "bar_chart",
     "format_table",
     "grouped_bar_chart",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.trace.record import Phase, PhaseRecord
 
@@ -34,6 +34,24 @@ class TraceCollector:
 
     def __len__(self) -> int:
         return len(self.records)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, list]:
+        """Lossless JSON-able form: one row per phase record."""
+        return {
+            "records": [
+                [r.task, r.node, r.cpi, r.phase.value, r.t_start, r.t_end]
+                for r in self.records
+            ]
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, list]) -> "TraceCollector":
+        """Inverse of :meth:`to_dict`."""
+        out = TraceCollector()
+        for task, node, cpi, phase, t_start, t_end in d["records"]:
+            out.add(task, node, cpi, Phase(phase), t_start, t_end)
+        return out
 
     # -- queries ---------------------------------------------------------
     def tasks(self) -> List[str]:

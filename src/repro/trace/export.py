@@ -1,25 +1,40 @@
-"""Trace export to the Chrome tracing (Perfetto) JSON format.
+"""Trace and result export: Chrome tracing JSON + structured results.
 
-``chrome://tracing`` / https://ui.perfetto.dev consume a JSON array of
-"complete" events (``ph: "X"``) with microsecond timestamps.  Mapping:
+Two export paths:
 
-* each pipeline task becomes a *process* (``pid``);
-* each task-local node becomes a *thread* (``tid``) within it;
-* each phase record becomes a complete event named
+* **Chrome tracing** — ``chrome://tracing`` / https://ui.perfetto.dev
+  consume a JSON array of "complete" events (``ph: "X"``) with
+  microsecond timestamps.  Mapping: each pipeline task becomes a
+  *process* (``pid``); each task-local node becomes a *thread* (``tid``)
+  within it; each phase record becomes a complete event named
   ``"<phase> cpi=<k>"``, categorised by phase so the UI can filter.
-
-This turns any :class:`~repro.trace.collector.TraceCollector` into an
-interactively zoomable timeline of the whole simulated machine.
+  This turns any :class:`~repro.trace.collector.TraceCollector` into an
+  interactively zoomable timeline of the whole simulated machine.
+* **Structured results** — :func:`write_result_json` serializes any
+  result object exposing lossless ``to_dict()`` (a
+  :class:`~repro.core.executor.PipelineResult`, a
+  :class:`~repro.bench.experiments.ExperimentResult`, an
+  :class:`~repro.bench.engine.ExperimentSpec`, ...) into a
+  machine-readable, diffable JSON artifact — the recomputable experiment
+  record the text tables are rendered from.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.trace.collector import TraceCollector
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_result_json",
+    "write_result_json",
+]
+
+#: Structured-result envelope schema; bump on incompatible changes.
+RESULT_SCHEMA = 1
 
 
 def to_chrome_trace(trace: TraceCollector) -> List[dict]:
@@ -58,3 +73,35 @@ def write_chrome_trace(trace: TraceCollector, path: str) -> int:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(events, fh)
     return len(events)
+
+
+def to_result_json(result, kind: str = "") -> Dict[str, object]:
+    """Wrap a result object's lossless dict form in a typed envelope.
+
+    ``result`` is anything with a lossless ``to_dict()`` —
+    ``PipelineResult``, ``ExperimentResult``, ``ExperimentSpec``, ...
+    ``kind`` defaults to the object's class name.
+    """
+    to_dict = getattr(result, "to_dict", None)
+    if to_dict is None:
+        raise TypeError(
+            f"{type(result).__name__} has no to_dict(); structured export "
+            "needs a losslessly serializable result object"
+        )
+    return {
+        "schema": RESULT_SCHEMA,
+        "kind": kind or type(result).__name__,
+        "data": to_dict(),
+    }
+
+
+def write_result_json(result, path: str, kind: str = "", indent: int = 0) -> str:
+    """Write a structured result JSON artifact to ``path``.
+
+    Returns the path written.  ``indent > 0`` pretty-prints (diffable);
+    the default compact form is what the result store uses.
+    """
+    payload = to_result_json(result, kind=kind)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=indent or None, sort_keys=False)
+    return path

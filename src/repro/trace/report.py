@@ -8,7 +8,7 @@ mirror Tables 1–4's per-task rows, and :func:`bar_chart` /
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 __all__ = ["format_table", "bar_chart", "grouped_bar_chart", "heatmap"]
 

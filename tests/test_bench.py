@@ -1,6 +1,5 @@
 """Tests for the experiment harness (small configurations)."""
 
-import pytest
 
 from repro.bench.cases import PAPER_CASES, paper_cases, paper_filesystems
 from repro.bench.experiments import (
@@ -12,7 +11,6 @@ from repro.core.context import ExecutionConfig
 from repro.core.executor import FSConfig
 from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
 from repro.machine.presets import paragon
-from repro.stap.params import STAPParams
 
 FAST = ExecutionConfig(n_cpis=4, warmup=1)
 

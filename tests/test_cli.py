@@ -5,6 +5,14 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Run every CLI test in a temp dir: the default result cache
+    (``.cache/experiments``) is cwd-relative and must not leak into the
+    repository when tests exercise cache-enabled commands."""
+    monkeypatch.chdir(tmp_path)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -24,6 +32,31 @@ class TestParser:
         )
         assert args.pipeline == "combined" and args.machine == "sp"
         assert args.threaded
+
+    def test_engine_defaults(self):
+        for argv in (["run"], ["table", "1"], ["sweep-stripe"],
+                     ["reproduce"]):
+            args = build_parser().parse_args(argv)
+            assert args.jobs == 1
+            assert args.cache_dir.endswith("experiments")
+            assert not args.no_cache
+
+    def test_engine_options(self):
+        args = build_parser().parse_args(
+            ["reproduce", "--jobs", "4", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4 and args.cache_dir == "/tmp/x" and args.no_cache
+
+    def test_run_seed_option(self):
+        assert build_parser().parse_args(["run", "--seed", "5"]).seed == 5
+
+    def test_results_actions(self):
+        args = build_parser().parse_args(["results", "list"])
+        assert args.action == "list" and args.hash is None
+        args = build_parser().parse_args(["results", "show", "abc123"])
+        assert args.action == "show" and args.hash == "abc123"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["results", "frobnicate"])
 
     def test_invalid_case_rejected(self):
         with pytest.raises(SystemExit):
@@ -81,6 +114,58 @@ class TestCommands:
 
     def test_sweep_stripe_nonpositive(self, capsys):
         assert main(["sweep-stripe", "--factors", "0,4"]) == 2
+
+
+class TestResultCache:
+    RUN = ["run", "--case", "1", "--cpis", "3", "--warmup", "1"]
+
+    def test_second_run_served_from_cache(self, capsys):
+        assert main(self.RUN) == 0
+        first = capsys.readouterr().out
+        assert "served from cache" not in first
+
+        assert main(self.RUN) == 0
+        second = capsys.readouterr().out
+        assert "served from cache" in second
+
+    def test_no_cache_skips_store(self, capsys, tmp_path):
+        cache = tmp_path / "c"
+        argv = self.RUN + ["--cache-dir", str(cache), "--no-cache"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert not cache.exists()
+        assert main(argv) == 0
+        assert "served from cache" not in capsys.readouterr().out
+
+    def test_results_list_show_clear(self, capsys):
+        assert main(self.RUN) == 0
+        capsys.readouterr()
+
+        assert main(["results", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cached cell(s)" in out and "embedded" in out
+        spec_hash = out.splitlines()[-1].split("|")[0].strip()
+
+        assert main(["results", "show", spec_hash]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "bottleneck" in out
+        assert spec_hash in out
+
+        assert main(["results", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["results", "list"]) == 0
+        assert "no cached results" in capsys.readouterr().out
+
+    def test_invalid_jobs_is_a_clean_error(self, capsys):
+        assert main(self.RUN + ["--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "jobs" in err
+
+    def test_results_show_needs_unique_hash(self, capsys):
+        assert main(["results", "show"]) == 2
+        assert "needs a spec hash" in capsys.readouterr().err
+        assert main(["results", "show", "deadbeef"]) == 2
+        assert "no cached result" in capsys.readouterr().err
 
 
 class TestSpectrumCommand:

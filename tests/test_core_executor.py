@@ -1,6 +1,5 @@
 """Executor tests: timing mode, compute mode, and chain equivalence."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -5,7 +5,6 @@ producer routes and consumer expectations agree, and byte accounting
 matches the cost models.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.pipeline import (

@@ -1,6 +1,5 @@
 """Tests for stage-structured execution and the threaded (SMP) runner."""
 
-import numpy as np
 import pytest
 
 from repro.core.context import ExecutionConfig
@@ -13,7 +12,6 @@ from repro.core.pipeline import (
 )
 from repro.core.stages import BoundedQueue
 from repro.machine.presets import ibm_sp, paragon
-from repro.sim.kernel import Kernel
 from repro.stap.chain import run_cpi_stream
 from repro.stap.scenario import Scenario, make_cube
 

@@ -9,7 +9,6 @@ from repro.machine.multistage import MultistageNetwork
 from repro.machine.network import ContentionFreeNetwork
 from repro.machine.node import NodeSpec
 from repro.machine.presets import generic_cluster, ibm_sp, paragon
-from repro.sim.kernel import Kernel
 
 
 class TestPresets:

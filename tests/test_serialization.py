@@ -1,0 +1,164 @@
+"""Lossless serialization round trips for every result-bearing type.
+
+The experiment engine's caching and process-parallel execution both rest
+on one invariant: ``X.from_dict(json round trip of X.to_dict())`` is
+indistinguishable from ``X`` — including float bit-exactness, so a
+cache-served result renders byte-identically to a fresh simulation.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
+from repro.core.pipeline import (
+    NodeAssignment,
+    PipelineSpec,
+    build_embedded_pipeline,
+    build_separate_io_pipeline,
+)
+from repro.machine.presets import paragon
+from repro.stap.params import STAPParams
+
+FAST = ExecutionConfig(n_cpis=4, warmup=1)
+
+
+def round_trip(obj, cls=None):
+    """JSON-encode obj.to_dict(), decode, rebuild via cls.from_dict."""
+    cls = cls or type(obj)
+    return cls.from_dict(json.loads(json.dumps(obj.to_dict())))
+
+
+class TestConfigRoundTrips:
+    def test_stap_params(self, small_params):
+        clone = round_trip(small_params)
+        assert clone == small_params
+        assert np.dtype(clone.dtype) == np.dtype(small_params.dtype)
+        assert round_trip(STAPParams()) == STAPParams()
+
+    def test_execution_config(self):
+        cfg = ExecutionConfig(
+            n_cpis=5, warmup=2, window=3, compute=True, threaded=True,
+            write_reports=True,
+        )
+        assert round_trip(cfg) == cfg
+
+    def test_fs_config(self):
+        fs = FSConfig("piofs", stripe_factor=80, stripe_unit=131072)
+        clone = round_trip(fs)
+        assert clone == fs
+        assert clone.label() == fs.label()
+
+    def test_node_assignment(self, small_params):
+        a = NodeAssignment.case(2, STAPParams())
+        clone = round_trip(a)
+        assert clone == a
+        assert clone.total_without_io == a.total_without_io
+
+    def test_pipeline_spec(self, small_params):
+        for build in (build_embedded_pipeline, build_separate_io_pipeline):
+            spec = build(NodeAssignment.balanced(small_params, 14))
+            clone = round_trip(spec, PipelineSpec)
+            assert clone.to_dict() == spec.to_dict()
+            assert [t.name for t in clone.tasks] == [t.name for t in spec.tasks]
+            assert clone.graph.latency_terms() == spec.graph.latency_terms()
+
+
+class TestPipelineResultRoundTrip:
+    def _run(self, small_params, cfg=FAST, **kw):
+        spec = build_embedded_pipeline(NodeAssignment.balanced(small_params, 14))
+        return PipelineExecutor(
+            spec, small_params, paragon(), FSConfig("pfs", 8), cfg, **kw
+        ).run()
+
+    def test_timing_mode_exact(self, small_params):
+        res = self._run(small_params)
+        clone = round_trip(res, PipelineResult)
+        assert clone.to_dict() == res.to_dict()
+        # Float bit-exactness, not approximate equality:
+        assert clone.throughput == res.throughput
+        assert clone.latency == res.latency
+        assert clone.elapsed_sim_time == res.elapsed_sim_time
+
+    def test_trace_preserved(self, small_params):
+        res = self._run(small_params)
+        clone = round_trip(res, PipelineResult)
+        assert len(clone.trace.records) == len(res.trace.records)
+        a, b = res.trace.records[0], clone.trace.records[0]
+        assert (a.task, a.node, a.cpi, a.phase, a.t_start, a.t_end) == (
+            b.task, b.node, b.cpi, b.phase, b.t_start, b.t_end
+        )
+
+    def test_measurement_preserved(self, small_params):
+        res = self._run(small_params)
+        clone = round_trip(res, PipelineResult)
+        assert list(clone.measurement.task_stats) == list(
+            res.measurement.task_stats
+        )
+        assert clone.measurement.bottleneck_task == res.measurement.bottleneck_task
+        for name, stats in res.measurement.task_stats.items():
+            assert clone.measurement.task_stats[name].to_dict() == stats.to_dict()
+
+    def test_rank_traffic_tuple_keys_survive(self, small_params):
+        res = self._run(small_params)
+        clone = round_trip(res, PipelineResult)
+        assert clone.rank_traffic == res.rank_traffic
+        assert clone.rank_task == res.rank_task
+        assert any(
+            isinstance(k, tuple) and len(k) == 2 for k in clone.rank_traffic
+        )
+        assert clone.task_traffic() == res.task_traffic()
+
+    def test_compute_mode_detections(self, tiny_params):
+        spec = build_embedded_pipeline(NodeAssignment.balanced(tiny_params, 14))
+        res = PipelineExecutor(
+            spec, tiny_params, paragon(), FSConfig("pfs", 8),
+            ExecutionConfig(n_cpis=2, warmup=0, compute=True),
+            seed=42,
+        ).run()
+        clone = round_trip(res, PipelineResult)
+        assert clone.to_dict() == res.to_dict()
+        assert len(clone.detections) == len(res.detections)
+        # numpy scalars were coerced to plain Python on the way out
+        text = json.dumps(res.to_dict())
+        assert isinstance(json.loads(text), dict)
+
+
+class TestExperimentResultRoundTrip:
+    def test_experiment_result(self, small_params):
+        from repro.bench.experiments import ExperimentResult, run_table1
+
+        exp = run_table1(small_params, FAST)
+        clone = round_trip(exp, ExperimentResult)
+        assert clone.render() == exp.render()
+        assert clone.render_charts() == exp.render_charts()
+        assert clone.to_dict() == exp.to_dict()
+
+
+class TestStructuredExport:
+    def test_envelope_and_file(self, small_params, tmp_path):
+        from repro.trace.export import to_result_json, write_result_json
+
+        spec = build_embedded_pipeline(NodeAssignment.balanced(small_params, 14))
+        res = PipelineExecutor(
+            spec, small_params, paragon(), FSConfig("pfs", 8), FAST
+        ).run()
+        env = to_result_json(res)
+        assert env["schema"] == 1
+        assert env["kind"] == "PipelineResult"
+        rebuilt = PipelineResult.from_dict(env["data"])
+        assert rebuilt.to_dict() == res.to_dict()
+
+        path = tmp_path / "result.json"
+        write_result_json(res, str(path), indent=2)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(env))
+
+    def test_rejects_plain_objects(self):
+        import pytest
+
+        from repro.trace.export import to_result_json
+
+        with pytest.raises(TypeError, match="to_dict"):
+            to_result_json(object())

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
-from repro.sim.kernel import Kernel
 
 
 class TestEvent:

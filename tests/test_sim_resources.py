@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.kernel import Kernel
 from repro.sim.resources import PriorityResource, Resource, Store
 
 

@@ -14,7 +14,7 @@ from repro.stap.analysis import (
 from repro.stap.doppler import bin_frequency, doppler_process, doppler_window
 from repro.stap.params import STAPParams
 from repro.stap.scenario import Jammer, Scenario, make_cube
-from repro.stap.weights import steering_matrix_easy, steering_matrix_hard
+from repro.stap.weights import steering_matrix_easy
 
 
 @pytest.fixture

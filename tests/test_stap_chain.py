@@ -1,10 +1,9 @@
 """End-to-end tests for the serial golden chain."""
 
 import numpy as np
-import pytest
 
 from repro.stap.chain import assemble_bins, run_cpi_stream, stap_chain
-from repro.stap.scenario import Scenario, Target, make_cube
+from repro.stap.scenario import Scenario, make_cube
 
 
 def expected_cells(params, scenario):

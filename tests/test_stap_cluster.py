@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.stap.cfar import Detection
-from repro.stap.cluster import ClusteredReport, cluster_detections, _wrapped_span
+from repro.stap.cluster import cluster_detections, _wrapped_span
 
 
 def det(b, k, r, snr=10.0, cpi=0):
@@ -108,7 +108,6 @@ class TestClustering:
     def test_end_to_end_one_report_per_target(self, small_params):
         """The standard scene's straddle collapses to one report per
         target per CPI."""
-        import numpy as np
 
         from repro.stap.chain import run_cpi_stream
         from repro.stap.scenario import Scenario, make_cube

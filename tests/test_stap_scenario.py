@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.stap.params import STAPParams
 from repro.stap.scenario import (
     Jammer,
     Scenario,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.stap.datacube import DataCube
 from repro.stap.scenario import Jammer, Scenario, Target, make_cube
 from repro.stap.spectrum import fourier_spectrum, mvdr_spectrum, space_time_snapshots
 

@@ -5,8 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.stap.doppler import doppler_process
-from repro.stap.params import STAPParams
-from repro.stap.scenario import Jammer, Scenario, make_cube, spatial_steering
+from repro.stap.scenario import Scenario, make_cube, spatial_steering
 from repro.stap.weights import (
     compute_weights_easy,
     compute_weights_hard,

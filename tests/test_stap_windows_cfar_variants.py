@@ -9,7 +9,6 @@ from repro.errors import ConfigurationError
 from repro.stap.cfar import (
     CFAR_METHODS,
     ca_cfar,
-    cfar_threshold_factor,
     go_so_false_alarm,
     go_so_threshold_factor,
 )

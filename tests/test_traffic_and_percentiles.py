@@ -7,7 +7,7 @@ from repro.errors import TruncationError
 from repro.core.context import ExecutionConfig
 from repro.core.executor import FSConfig, PipelineExecutor
 from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
-from repro.machine.presets import generic_cluster, paragon
+from repro.machine.presets import paragon
 from repro.mpi.communicator import Communicator
 from repro.stap.costs import STAPCosts
 
