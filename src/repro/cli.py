@@ -7,6 +7,7 @@ Examples::
     python -m repro run --pipeline separate --machine sp --fs piofs
     python -m repro table 1
     python -m repro table 4 --jobs 4
+    python -m repro profile --case 3 --cpis 4 --output cell.pstats
     python -m repro detect --cpis 4
     python -m repro sweep-stripe --factors 4,8,16,32,64
     python -m repro reproduce --jobs 4
@@ -97,6 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("--cpis", type=int, default=8)
     p_table.add_argument("--warmup", type=int, default=2)
     _add_engine_opts(p_table)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile one pipeline configuration under cProfile",
+    )
+    p_prof.add_argument("--pipeline", choices=_PIPELINE_CHOICES, default="embedded")
+    p_prof.add_argument("--case", type=int, choices=(1, 2, 3), default=1,
+                        help="paper node-assignment case (25/50/100 nodes)")
+    p_prof.add_argument("--machine", choices=_MACHINE_CHOICES, default="paragon")
+    p_prof.add_argument("--fs", choices=("pfs", "piofs"), default="pfs")
+    p_prof.add_argument("--stripe-factor", type=int, default=64)
+    p_prof.add_argument("--cpis", type=int, default=8)
+    p_prof.add_argument("--warmup", type=int, default=2)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--lines", type=int, default=25,
+                        help="rows of the profile to print (default 25)")
+    p_prof.add_argument("--sort", choices=("tottime", "cumtime", "ncalls"),
+                        default="tottime", help="profile sort key")
+    p_prof.add_argument("--output", default=None, metavar="FILE",
+                        help="also dump raw pstats data to FILE "
+                        "(inspect with python -m pstats)")
 
     p_det = sub.add_parser("detect", help="compute-mode detection demo")
     p_det.add_argument("--cpis", type=int, default=3)
@@ -192,6 +214,45 @@ def _cmd_table(args) -> int:
         print(run_table3(cfg=cfg, runner=runner).render())
     else:
         print(run_table4(cfg=cfg, runner=runner).render())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Simulate one cell under cProfile and print the hottest functions.
+
+    The cell always executes (no result cache involved), so the profile
+    reflects the simulation itself rather than cache I/O.
+    """
+    import cProfile
+    import pstats
+
+    from repro.bench.engine import run_spec
+
+    params = STAPParams()
+    spec = ExperimentSpec(
+        assignment=NodeAssignment.case(args.case, params),
+        pipeline=args.pipeline,
+        machine=args.machine,
+        fs=FSConfig(kind=args.fs, stripe_factor=args.stripe_factor),
+        params=params,
+        cfg=ExecutionConfig(n_cpis=args.cpis, warmup=args.warmup),
+        seed=args.seed,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_spec(spec)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    print(
+        f"profiled {args.pipeline}, case {args.case} on {args.machine}/{args.fs} "
+        f"sf={args.stripe_factor}: {stats.total_calls} function calls, "
+        f"throughput {result.throughput:.4f} CPIs/s"
+    )
+    stats.sort_stats(args.sort).print_stats(args.lines)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw pstats data written to {args.output}")
     return 0
 
 
@@ -416,6 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "table": _cmd_table,
+        "profile": _cmd_profile,
         "detect": _cmd_detect,
         "sweep-stripe": _cmd_sweep_stripe,
         "reproduce": _cmd_reproduce,

@@ -102,7 +102,7 @@ class BlockPartition:
 
 
 def label_block_rows(
-    labels: Sequence[int], lo: int, hi: int
+    labels: Sequence[int], lo: int, hi: int, *, assume_sorted: bool = False
 ) -> Tuple[int, int]:
     """Rows of a sorted label list whose labels fall in ``[lo, hi)``.
 
@@ -110,11 +110,17 @@ def label_block_rows(
     node's ownership) onto the *row* space of the easy or hard stream,
     whose rows carry sorted global bin labels.
 
+    ``assume_sorted`` skips the sortedness validation scan; pass it when
+    the caller constructed (and therefore already validated) the label
+    list, e.g. a plan re-querying its own streams per consumer node.
+
     Returns a half-open row interval (possibly empty).
     """
     if hi < lo:
         raise PartitionError(f"bad interval [{lo}, {hi})")
-    if any(labels[k] > labels[k + 1] for k in range(len(labels) - 1)):
+    if not assume_sorted and any(
+        labels[k] > labels[k + 1] for k in range(len(labels) - 1)
+    ):
         raise PartitionError("labels must be sorted ascending")
     row_lo = bisect.bisect_left(labels, lo)
     row_hi = bisect.bisect_left(labels, hi)

@@ -194,7 +194,8 @@ class PipelinePlan:
         out = []
         for c in range(self.bins_pc.parts):
             glo, ghi = self.bins_pc.bounds(c)
-            row_lo, row_hi = label_block_rows(labels, glo, ghi)
+            # The plan built these label lists sorted; skip the re-scan.
+            row_lo, row_hi = label_block_rows(labels, glo, ghi, assume_sorted=True)
             lo, hi = max(row_lo, mylo), min(row_hi, myhi)
             if hi <= lo:
                 continue
@@ -210,7 +211,7 @@ class PipelinePlan:
             (True, "easy_bf", self.rows_easy_bf, self.easy_labels),
             (False, "hard_bf", self.rows_hard_bf, self.hard_labels),
         ):
-            row_lo, row_hi = label_block_rows(labels, glo, ghi)
+            row_lo, row_hi = label_block_rows(labels, glo, ghi, assume_sorted=True)
             if row_hi <= row_lo:
                 continue
             for j in range(rows_bf.parts):

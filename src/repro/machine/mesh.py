@@ -26,6 +26,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.machine.network import Network
+from repro.sim.events import Timeout
 from repro.sim.kernel import Kernel
 from repro.sim.resources import Resource
 
@@ -71,6 +72,10 @@ class MeshNetwork(Network):
         self.rows = math.ceil(n_nodes / cols)
         # Directed links created lazily: (from_node, to_node) -> Resource.
         self._links: Dict[Tuple[int, int], Resource] = {}
+        # The topology is immutable after construction, so XY routes and
+        # their resolved link-resource runs are memoized per (src, dst).
+        self._routes: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._link_runs: Dict[Tuple[int, int], List[Resource]] = {}
 
     @staticmethod
     def _square_cols(n: int) -> int:
@@ -100,20 +105,24 @@ class MeshNetwork(Network):
         through positions beyond ``n_nodes`` on a ragged last row are
         still valid link segments (the physical mesh is full).
         """
-        (sr, sc), (dr, dc) = self.coords(src), self.coords(dst)
-        hops: List[Tuple[int, int]] = []
-        r, c = sr, sc
-        step = 1 if dc > c else -1
-        while c != dc:
-            a, b = r * self.cols + c, r * self.cols + (c + step)
-            hops.append((a, b))
-            c += step
-        step = 1 if dr > r else -1
-        while r != dr:
-            a, b = r * self.cols + c, (r + step) * self.cols + c
-            hops.append((a, b))
-            r += step
-        return hops
+        cached = self._routes.get((src, dst))
+        if cached is None:
+            (sr, sc), (dr, dc) = self.coords(src), self.coords(dst)
+            hops: List[Tuple[int, int]] = []
+            r, c = sr, sc
+            step = 1 if dc > c else -1
+            while c != dc:
+                a, b = r * self.cols + c, r * self.cols + (c + step)
+                hops.append((a, b))
+                c += step
+            step = 1 if dr > r else -1
+            while r != dr:
+                a, b = r * self.cols + c, (r + step) * self.cols + c
+                hops.append((a, b))
+                r += step
+            cached = self._routes[(src, dst)] = hops
+        # Callers get a copy: the memoized list must stay pristine.
+        return list(cached)
 
     def _link(self, a: int, b: int) -> Resource:
         key = (a, b)
@@ -128,20 +137,33 @@ class MeshNetwork(Network):
         """Wormhole transfer: hold the whole XY path for the wire time."""
         self._validate(src, dst, nbytes, self.n_nodes)
         if src == dst:
-            yield self.kernel.timeout(self.latency * 0.5)
+            yield Timeout(self.kernel, self.latency * 0.5)
             return
-        path = self.route(src, dst)
-        links = [self._link(a, b) for a, b in path]
-        # Acquire in path order (deadlock-free under XY routing).
+        links = self._link_runs.get((src, dst))
+        if links is None:
+            links = [self._link(a, b) for a, b in self.route(src, dst)]
+            self._link_runs[(src, dst)] = links
+        # Acquire in path order (deadlock-free under XY routing).  Links
+        # are capacity-1, so the idle test and grant are inlined here
+        # (equivalent to link.request(), minus the call per hop — this
+        # loop runs once per hop of every message in the simulation).
         for link in links:
-            yield link.request()
+            if link._in_use:
+                yield link.request()
+            else:
+                link._in_use = 1
+                yield link._granted
         try:
             # Wormhole: pipelined flits => duration ~ startup + size/bw,
             # essentially independent of hop count once the worm is set up.
-            yield self.kernel.timeout(self.pure_transfer_time(nbytes))
+            yield Timeout(self.kernel, self.latency + nbytes / self.bandwidth)
         finally:
+            # Inline of link.release() for held capacity-1 links.
             for link in reversed(links):
-                link.release()
+                if link._waiters:
+                    link._waiters.popleft().succeed(link)
+                else:
+                    link._in_use = 0
 
     # -- introspection -----------------------------------------------------
     @property

@@ -28,6 +28,8 @@ from repro.errors import ConfigurationError, MPIError, TruncationError
 from repro.machine.machine import Machine
 from repro.mpi.datatypes import nbytes_of
 from repro.mpi.request import Request
+from repro.sim.events import Event
+from repro.sim.process import Process
 from repro.sim.resources import Store
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Communicator", "RankComm"]
@@ -93,13 +95,17 @@ class Communicator:
     def _deliver(self, msg: Message):
         """Process generator: move a message across the network then
         deposit it into the destination mailbox."""
-        src_node = self.node_of(msg.src)
-        dst_node = self.node_of(msg.dst)
+        # Ranks were validated at isend time; index the map directly.
+        r2n = self.rank_to_node
+        src_node = r2n[msg.src]
+        dst_node = r2n[msg.dst]
         entry = self.traffic.setdefault((msg.src, msg.dst), [0, 0])
         entry[0] += 1
         entry[1] += msg.nbytes
         yield from self.machine.network.transfer(src_node, dst_node, msg.nbytes)
-        self._mailboxes[msg.dst].put(msg)
+        # put_nowait: nobody consumes the put-completion event, so skip
+        # materialising it (one event allocation per delivered message).
+        self._mailboxes[msg.dst].put_nowait(msg)
 
     def _match(self, rank: int, source: int, tag: int):
         """Mailbox get-event for the first message matching (source, tag)."""
@@ -127,6 +133,10 @@ class RankComm:
         self.rank = rank
         self.kernel = comm.kernel
         self._coll_seq = 0  # per-rank collective sequence number
+        # Labels shared by every send/recv from this rank: formatting an
+        # f-string per message is measurable at hot-path message rates.
+        self._isend_name = f"isend r{rank}"
+        self._irecv_name = f"irecv r{rank}"
 
     @property
     def size(self) -> int:
@@ -136,16 +146,17 @@ class RankComm:
     # -- point-to-point -----------------------------------------------------
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; the request completes on delivery."""
-        self._check_tag(tag)
+        if tag < 0:  # inline of _check_tag (hot path)
+            raise MPIError(f"user tags must be >= 0, got {tag}")
         return self._isend(payload, dest, tag)
 
     def _isend(self, payload: Any, dest: int, tag: int) -> Request:
         """Send without user-tag validation (collectives use negative tags)."""
-        self._check_peer(dest)
+        comm = self.comm
+        if not (0 <= dest < comm.size):  # inline of _check_peer (hot path)
+            raise MPIError(f"peer rank {dest} outside communicator of size {comm.size}")
         msg = Message(self.rank, dest, tag, payload, nbytes_of(payload))
-        proc = self.kernel.process(
-            self.comm._deliver(msg), name=f"isend r{self.rank}->r{dest} t{tag}"
-        )
+        proc = Process(self.kernel, comm._deliver(msg), name=self._isend_name)
         return Request(proc, kind="isend")
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
@@ -154,7 +165,7 @@ class RankComm:
             self._check_peer(source)
         ev = self.comm._match(self.rank, source, tag)
         # Unwrap Message -> payload through a chained event.
-        out = self.kernel.event(name=f"irecv r{self.rank}")
+        out = Event(self.kernel, name=self._irecv_name)
 
         def _unwrap(event):
             msg = event.value
@@ -317,8 +328,10 @@ class RankComm:
         return children
 
     def _check_peer(self, rank: int) -> None:
-        if not (0 <= rank < self.size):
-            raise MPIError(f"peer rank {rank} outside communicator of size {self.size}")
+        if not (0 <= rank < self.comm.size):
+            raise MPIError(
+                f"peer rank {rank} outside communicator of size {self.comm.size}"
+            )
 
     @staticmethod
     def _check_tag(tag: int) -> None:

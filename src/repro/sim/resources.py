@@ -8,6 +8,17 @@
 :class:`Store`
     An unbounded FIFO buffer of items with optional filtered gets — the
     basis of MPI message mailboxes and I/O server request queues.
+
+Grant fast path: when a request can be satisfied immediately (an idle
+resource slot, a buffered store item), the returned event is *born fired*
+— triggered at creation and sealed, costing no kernel queue entry.  The
+consuming process observes the triggered state at its ``yield`` and
+schedules one resumption through the kernel's now lane, so the resume
+still lands in deterministic ``(time, seq)`` order exactly where the
+pre-fast-path kernel placed it.  Resources go one step further: because a
+granted event is immutable (value = the resource, state = ok, sealed),
+every uncontended ``request()`` on a resource returns the *same*
+pre-built event instance, so the fast path allocates nothing at all.
 """
 
 from __future__ import annotations
@@ -17,7 +28,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _SEALED, Event
 from repro.sim.kernel import Kernel
 
 __all__ = ["Resource", "PriorityResource", "Store"]
@@ -31,6 +42,10 @@ class Resource:
     generator :meth:`using` wraps request/hold/release::
 
         yield from resource.using(kernel, hold_time)
+
+    Uncontended requests all return the shared ``_granted`` event (born
+    fired with the resource as value); only contended requests allocate a
+    fresh pending event and join the FIFO queue.
     """
 
     def __init__(self, kernel: Kernel, capacity: int = 1, name: str = "") -> None:
@@ -41,6 +56,13 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        # Event label shared by every request; formatting it per call is
+        # measurable at hot-path request rates.
+        self._req_name = f"request({name})"
+        # Shared grant for every uncontended request: already fired and
+        # sealed, so handing it out costs zero allocations.
+        self._granted = Event(kernel, name=self._req_name)
+        self._granted._succeed_fresh(self)
 
     @property
     def in_use(self) -> int:
@@ -54,12 +76,11 @@ class Resource:
 
     def request(self) -> Event:
         """Request a slot; the returned event fires when granted."""
-        ev = self.kernel.event(name=f"request({self.name})")
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed(self)
-        else:
-            self._waiters.append(ev)
+            return self._granted
+        ev = Event(self.kernel, name=self._req_name)
+        self._waiters.append(ev)
         return ev
 
     def release(self) -> None:
@@ -97,13 +118,12 @@ class PriorityResource(Resource):
         self._counter = 0
 
     def request(self, priority: float = 0.0) -> Event:  # type: ignore[override]
-        ev = self.kernel.event(name=f"request({self.name})")
         if self._in_use < self.capacity:
             self._in_use += 1
-            ev.succeed(self)
-        else:
-            self._counter += 1
-            heapq.heappush(self._pwaiters, (priority, self._counter, ev))
+            return self._granted
+        ev = Event(self.kernel, name=self._req_name)
+        self._counter += 1
+        heapq.heappush(self._pwaiters, (priority, self._counter, ev))
         return ev
 
     def release(self) -> None:  # type: ignore[override]
@@ -134,6 +154,8 @@ class Store:
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._put_name = f"put({name})"
+        self._get_name = f"get({name})"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -141,26 +163,59 @@ class Store:
     def put(self, item: Any) -> Event:
         """Deposit ``item``; wakes the first matching waiter if any."""
         # Try to satisfy a pending getter first (FIFO among getters).
-        for idx, (ev, flt) in enumerate(self._getters):
-            if flt is None or flt(item):
-                del self._getters[idx]
-                ev.succeed(item)
-                done = self.kernel.event(name=f"put({self.name})")
-                done.succeed(item)
-                return done
-        self._items.append(item)
-        done = self.kernel.event(name=f"put({self.name})")
-        done.succeed(item)
+        getters = self._getters
+        if getters:
+            for idx, (ev, flt) in enumerate(getters):
+                if flt is None or flt(item):
+                    del getters[idx]
+                    ev.succeed(item)
+                    break
+            else:
+                self._items.append(item)
+        else:
+            self._items.append(item)
+        # Puts never block: the returned event is born fired (inline of
+        # Event._succeed_fresh — one allocation, no extra call).
+        done = Event(self.kernel, name=self._put_name)
+        done._value = item
+        done._ok = True
+        done.callbacks = _SEALED
         return done
+
+    def put_nowait(self, item: Any) -> None:
+        """Deposit ``item`` without materialising a completion event.
+
+        Identical to :meth:`put` for the store's state and any woken
+        getter; use it when the caller discards the returned event (e.g.
+        mailbox deposits), saving one event allocation per deposit.
+        """
+        getters = self._getters
+        if getters:
+            for idx, (ev, flt) in enumerate(getters):
+                if flt is None or flt(item):
+                    del getters[idx]
+                    ev.succeed(item)
+                    return
+        self._items.append(item)
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
         """Event firing with the first item matching ``filter``."""
-        ev = self.kernel.event(name=f"get({self.name})")
-        for idx, item in enumerate(self._items):
-            if filter is None or filter(item):
-                del self._items[idx]
-                ev.succeed(item)
+        ev = Event(self.kernel, name=self._get_name)
+        items = self._items
+        if items:
+            if filter is None:
+                # Born fired with the head item (inline _succeed_fresh).
+                ev._value = items.popleft()
+                ev._ok = True
+                ev.callbacks = _SEALED
                 return ev
+            for idx, item in enumerate(items):
+                if filter(item):
+                    del items[idx]
+                    ev._value = item
+                    ev._ok = True
+                    ev.callbacks = _SEALED
+                    return ev
         self._getters.append((ev, filter))
         return ev
 

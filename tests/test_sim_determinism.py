@@ -1,0 +1,121 @@
+"""Golden firing-order test: the kernel's exact interleaving contract.
+
+The content-addressed result cache treats ``run_spec`` as a pure
+function, so the kernel's event ordering is load-bearing: *any* change
+to the interleaving of zero-delay events, equal-time timeouts, or
+resource grants silently changes simulated timings and invalidates every
+cached result.  This test pins the exact resume order of a scenario that
+exercises every ordering-sensitive mechanism at once:
+
+* zero-delay events (now-lane entries) racing heap entries at the same
+  timestamp;
+* equal-time timeouts, which must fire in creation order;
+* uncontended resource grants (the born-fired fast path) interleaved
+  with contended handoffs;
+* store put/get handoffs between producers and consumers.
+
+The expected trace below was recorded from the pre-overhaul kernel
+(heap-only scheduling, closure entries, no grant fast path).  The
+optimized kernel must reproduce it byte for byte — if an intentional
+semantic change ever alters it, every cached experiment result must be
+regenerated along with this trace.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Resource, Store
+
+GOLDEN_TRACE = [
+    ("u1", "start", 0.0),
+    ("u2", "start", 0.0),
+    ("u1", "granted-idle", 0.0),
+    ("z1", "ev", 0.0, "z1"),
+    ("c1", "granted-hot", 0.0),
+    ("z2", "ev", 0.0, "z2"),
+    ("u1", "t0", 0.0),
+    ("z1", "after-t0", 0.0),
+    ("z2", "after-t0", 0.0),
+    ("u2", "granted-idle", 0.0),
+    ("u2", "t0", 0.0),
+    ("c1", "released-hot", 0.25),
+    ("c2", "granted-hot", 0.25),
+    ("prod", "put", 0.5),
+    ("c2", "released-hot", 0.5),
+    ("k1", "got", 0.5, "a"),
+    ("k2", "got", 0.5, "b"),
+    ("e1", "eq", 1.0),
+    ("e2", "eq", 1.0),
+    ("u1", "t1", 1.0),
+    ("u2", "t1", 1.0),
+]
+
+
+def run_scenario():
+    k = Kernel()
+    log = []
+
+    res_idle = Resource(k, capacity=1, name="idle")
+    res_hot = Resource(k, capacity=1, name="hot")
+    store = Store(k, name="box")
+
+    def uncontended(k, name):
+        log.append((name, "start", k.now))
+        yield res_idle.request()
+        log.append((name, "granted-idle", k.now))
+        yield k.timeout(0.0)
+        log.append((name, "t0", k.now))
+        res_idle.release()
+        yield k.timeout(1.0)
+        log.append((name, "t1", k.now))
+
+    def contender(k, name, hold):
+        yield res_hot.request()
+        log.append((name, "granted-hot", k.now))
+        yield k.timeout(hold)
+        res_hot.release()
+        log.append((name, "released-hot", k.now))
+
+    def zero_delay_chain(k, name):
+        ev = k.event()
+        ev.succeed(name)
+        v = yield ev
+        log.append((name, "ev", k.now, v))
+        yield k.timeout(0.0)
+        log.append((name, "after-t0", k.now))
+
+    def equal_timeouts(k, name, d):
+        yield k.timeout(d)
+        log.append((name, "eq", k.now))
+
+    def producer(k):
+        yield k.timeout(0.5)
+        store.put("a")
+        store.put("b")
+        log.append(("prod", "put", k.now))
+
+    def consumer(k, name):
+        item = yield store.get()
+        log.append((name, "got", k.now, item))
+
+    k.process(uncontended(k, "u1"))
+    k.process(zero_delay_chain(k, "z1"))
+    k.process(contender(k, "c1", 0.25))
+    k.process(contender(k, "c2", 0.25))
+    k.process(equal_timeouts(k, "e1", 1.0))
+    k.process(equal_timeouts(k, "e2", 1.0))
+    k.process(uncontended(k, "u2"))
+    k.process(consumer(k, "k1"))
+    k.process(producer(k))
+    k.process(zero_delay_chain(k, "z2"))
+    k.process(consumer(k, "k2"))
+    k.run()
+    return log
+
+
+def test_golden_firing_order_matches_pre_overhaul_kernel():
+    assert run_scenario() == GOLDEN_TRACE
+
+
+def test_scenario_is_repeatable():
+    assert run_scenario() == run_scenario()

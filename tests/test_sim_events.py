@@ -65,6 +65,58 @@ class TestEvent:
         assert order == [1, 2]
 
 
+class TestLateCallbackAppend:
+    """A callback appended after an event fires must fail loudly.
+
+    Historically such appends were silently dropped (the fired event's
+    callback list had already been consumed), which turned races between
+    triggering and waiting into undebuggable hangs.  The callbacks
+    attribute is now sealed at trigger time.
+    """
+
+    def test_append_after_succeed_raises(self, kernel):
+        ev = kernel.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError, match="already-fired"):
+            ev.callbacks.append(lambda e: None)
+
+    def test_append_after_fail_raises(self, kernel):
+        ev = kernel.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(SimulationError, match="already-fired"):
+            ev.callbacks.append(lambda e: None)
+
+    def test_append_after_timeout_fires_raises(self, kernel):
+        t = kernel.timeout(1.0)
+        kernel.run()
+        with pytest.raises(SimulationError, match="already-fired"):
+            t.callbacks.append(lambda e: None)
+
+    def test_append_to_uncontended_grant_raises(self, kernel):
+        from repro.sim.resources import Resource
+
+        res = Resource(kernel, capacity=1)
+
+        def holder(k):
+            req = res.request()  # born-fired grant, sealed
+            yield req
+            with pytest.raises(SimulationError, match="already-fired"):
+                req.callbacks.append(lambda e: None)
+            res.release()
+
+        kernel.process(holder(kernel))
+        kernel.run()
+
+    def test_sealed_callbacks_report_empty(self, kernel):
+        # interrupt() probes ``cb in waiting.callbacks`` on the waited
+        # event; a fired event must report no members rather than raise.
+        ev = kernel.event()
+        ev.succeed()
+        assert len(ev.callbacks) == 0
+        assert (lambda e: None) not in ev.callbacks
+        assert list(ev.callbacks) == []
+
+
 class TestTimeout:
     def test_negative_delay_raises(self, kernel):
         with pytest.raises(SimulationError):
