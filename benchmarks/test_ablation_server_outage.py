@@ -1,0 +1,102 @@
+"""Ablation: one stripe server crashes mid-run (fault-tolerance sweep).
+
+With few stripe directories every slab read touches every server, so an
+outage of directory 0 holds the whole read phase hostage.  The sweep
+crosses outage duration with the replication degree: unreplicated
+clients can only back off / drop CPIs at the read deadline until the
+server returns, while chained-declustered mirrors (``replication=2``)
+fail reads over to the neighbour directory and keep the pipeline moving.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_ablation_server_outage
+from repro.trace.report import format_table
+
+
+FOREVER = float("inf")
+
+
+def test_ablation_server_outage(benchmark, emit, engine_runner):
+    out = benchmark.pedantic(
+        lambda: run_ablation_server_outage(
+            outage_durations=(2.0, FOREVER),
+            replications=(1, 2),
+            cfg=BENCH_CFG,
+            runner=engine_runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    def outage_label(dur):
+        if dur == 0:
+            return "none"
+        return "permanent" if dur == FOREVER else f"{dur:g}s"
+
+    rows = [
+        [f"rep={rep}", outage_label(dur),
+         r.throughput, r.latency,
+         len(r.dropped_cpis or [])]
+        for (rep, dur), r in sorted(out.items())
+    ]
+    emit(
+        "ablation_server_outage",
+        format_table(
+            ["replication", "outage", "throughput", "latency (s)", "dropped"],
+            rows,
+            title="Server 0 outage at 30% of run, PFS sf=4, case 1",
+        ),
+    )
+    base1, crash1 = out[(1, 0.0)], out[(1, FOREVER)]
+    base2, crash2 = out[(2, 0.0)], out[(2, FOREVER)]
+    # Mirroring is free while nothing fails (reads go primary-first).
+    assert base2.throughput == base1.throughput
+    # Without replication, losing a server for good collapses throughput:
+    # every remaining CPI read waits out its whole deadline and drops.
+    assert crash1.throughput < 0.5 * base1.throughput
+    assert len(crash1.dropped_cpis) >= 1
+    # With mirrors the same crash is a dent, not a collapse: reads fail
+    # over and no CPI misses its deadline.
+    assert crash2.throughput > crash1.throughput
+    assert crash2.throughput > 0.5 * base2.throughput
+    assert len(crash2.dropped_cpis) == 0
+    # A transient 2 s outage hurts less than a permanent one.
+    assert out[(1, 2.0)].throughput > crash1.throughput
+
+
+def test_read_deadline_bounds_outage_stall(benchmark, emit, engine_runner):
+    """Degradation beats stalling: dropping late CPIs bounds completion."""
+    def sweep():
+        # Deadline (1 s) shorter than the outage (3 s): the bounded
+        # client sheds CPIs, the deadline-free client stalls through it.
+        bounded = run_ablation_server_outage(
+            outage_durations=(3.0,), replications=(1,),
+            read_deadline=1.0, cfg=BENCH_CFG, runner=engine_runner,
+        )
+        stalled = run_ablation_server_outage(
+            outage_durations=(3.0,), replications=(1,),
+            read_deadline=None, cfg=BENCH_CFG, runner=engine_runner,
+        )
+        return bounded[(1, 3.0)], stalled[(1, 3.0)]
+
+    bounded, stalled = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_outage_deadline",
+        format_table(
+            ["policy", "elapsed (s)", "latency (s)", "dropped"],
+            [
+                ["drop at deadline", bounded.elapsed_sim_time,
+                 bounded.latency, len(bounded.dropped_cpis or [])],
+                ["stall and retry", stalled.elapsed_sim_time,
+                 stalled.latency, len(stalled.dropped_cpis or [])],
+            ],
+            title="3 s outage, no replication: deadline vs stall",
+        ),
+    )
+    # The stalling client rides out the outage with backoff/retry: it
+    # finishes (no data loss) but pays for it in completion time and
+    # per-CPI latency.  The deadline client sheds load instead.
+    assert not stalled.dropped_cpis  # None: no deadline was configured
+    assert len(bounded.dropped_cpis) >= 1
+    assert bounded.elapsed_sim_time < stalled.elapsed_sim_time
+    assert bounded.latency < stalled.latency

@@ -54,6 +54,8 @@ __all__ = [
     "DiskFault",
     "NodeFault",
     "WriterLoad",
+    "ServerCrash",
+    "FlakyDisk",
     "ExperimentSpec",
     "build_executor",
     "run_spec",
@@ -127,6 +129,75 @@ class NodeFault:
 
 
 @dataclass(frozen=True)
+class ServerCrash:
+    """Take one stripe server down at ``at_time`` (simulated seconds).
+
+    ``down_for=None`` is a permanent crash; a float brings the server
+    back after that long.  Injected through
+    :meth:`IOServer.schedule_outage`; clients must be fault-tolerant to
+    survive it, so injecting this enables the FS retry/failover path.
+    """
+
+    server: int = 0
+    at_time: float = 0.0
+    down_for: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ConfigurationError(f"server must be >= 0, got {self.server}")
+        if self.at_time < 0:
+            raise ConfigurationError(f"at_time must be >= 0, got {self.at_time}")
+        if self.down_for is not None and self.down_for <= 0:
+            raise ConfigurationError(
+                f"down_for must be > 0 or None (permanent), got {self.down_for}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "server": self.server,
+            "at_time": self.at_time,
+            "down_for": self.down_for,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ServerCrash":
+        return ServerCrash(**d)
+
+
+@dataclass(frozen=True)
+class FlakyDisk:
+    """Fail a deterministic ``error_rate`` fraction of one server's requests.
+
+    Error positions come from ``random.Random(seed)`` drawn in the
+    server's FIFO service order, so the same spec always fails the same
+    requests.  Enables the FS retry/failover client path.
+    """
+
+    server: int = 0
+    error_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ConfigurationError(f"server must be >= 0, got {self.server}")
+        if not (0.0 <= self.error_rate <= 1.0):
+            raise ConfigurationError(
+                f"error_rate must be in [0, 1], got {self.error_rate}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "server": self.server,
+            "error_rate": self.error_rate,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "FlakyDisk":
+        return FlakyDisk(**d)
+
+
+@dataclass(frozen=True)
 class WriterLoad:
     """A concurrent radar writer streaming future CPIs into the files."""
 
@@ -168,6 +239,8 @@ class ExperimentSpec:
     disk_fault: Optional[DiskFault] = None
     node_fault: Optional[NodeFault] = None
     writer: Optional[WriterLoad] = None
+    server_crash: Optional[ServerCrash] = None
+    flaky_disk: Optional[FlakyDisk] = None
 
     def __post_init__(self) -> None:
         if self.pipeline not in PIPELINES:
@@ -210,6 +283,20 @@ class ExperimentSpec:
             extras.append(f"node[{self.node_fault.node}] x{self.node_fault.slow_factor:g}")
         if self.writer:
             extras.append("writer on")
+        if self.server_crash:
+            down = (
+                "forever"
+                if self.server_crash.down_for is None
+                else f"{self.server_crash.down_for:g}s"
+            )
+            extras.append(
+                f"crash[{self.server_crash.server}] "
+                f"@{self.server_crash.at_time:g}s for {down}"
+            )
+        if self.flaky_disk:
+            extras.append(
+                f"flaky[{self.flaky_disk.server}] p={self.flaky_disk.error_rate:g}"
+            )
         suffix = f" ({', '.join(extras)})" if extras else ""
         return (
             f"{self.pipeline} | {self.machine} | {self.fs.label()} | "
@@ -218,8 +305,14 @@ class ExperimentSpec:
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
-        """Lossless JSON-able form."""
-        return {
+        """Lossless JSON-able form.
+
+        The fault-tolerance fields (``server_crash``, ``flaky_disk``)
+        are emitted only when set: specs predating them keep their exact
+        canonical JSON, so every previously-published spec hash — and
+        the result cache keyed on them — is untouched.
+        """
+        d = {
             "pipeline": self.pipeline,
             "assignment": self.assignment.to_dict(),
             "machine": self.machine,
@@ -231,6 +324,11 @@ class ExperimentSpec:
             "node_fault": self.node_fault.to_dict() if self.node_fault else None,
             "writer": self.writer.to_dict() if self.writer else None,
         }
+        if self.server_crash is not None:
+            d["server_crash"] = self.server_crash.to_dict()
+        if self.flaky_disk is not None:
+            d["flaky_disk"] = self.flaky_disk.to_dict()
+        return d
 
     @staticmethod
     def from_dict(d: dict) -> "ExperimentSpec":
@@ -246,6 +344,14 @@ class ExperimentSpec:
             disk_fault=DiskFault.from_dict(d["disk_fault"]) if d["disk_fault"] else None,
             node_fault=NodeFault.from_dict(d["node_fault"]) if d["node_fault"] else None,
             writer=WriterLoad.from_dict(d["writer"]) if d["writer"] else None,
+            server_crash=(
+                ServerCrash.from_dict(d["server_crash"])
+                if d.get("server_crash")
+                else None
+            ),
+            flaky_disk=(
+                FlakyDisk.from_dict(d["flaky_disk"]) if d.get("flaky_disk") else None
+            ),
         )
 
     def canonical_json(self) -> str:
@@ -269,6 +375,15 @@ class ExperimentSpec:
         return PIPELINES[self.pipeline](self.assignment)
 
 
+def _check_server_index(ex: PipelineExecutor, server: int, what: str) -> None:
+    n = len(ex.fs.servers)
+    if not (0 <= server < n):
+        raise ConfigurationError(
+            f"{what} targets server {server}, but the file system has "
+            f"{n} stripe servers (valid: 0..{n - 1})"
+        )
+
+
 def build_executor(spec: ExperimentSpec) -> PipelineExecutor:
     """Instantiate the cell's executor, with fault injections applied."""
     ex = PipelineExecutor(
@@ -282,6 +397,7 @@ def build_executor(spec: ExperimentSpec) -> PipelineExecutor:
     if spec.disk_fault is not None and spec.disk_fault.slow_factor != 1.0:
         from repro.pfs.blockdev import DiskSpec
 
+        _check_server_index(ex, spec.disk_fault.server, "disk_fault")
         f = spec.disk_fault.slow_factor
         healthy = ex.fs.servers[spec.disk_fault.server].disk
         ex.fs.servers[spec.disk_fault.server].disk = DiskSpec(
@@ -292,6 +408,11 @@ def build_executor(spec: ExperimentSpec) -> PipelineExecutor:
     if spec.node_fault is not None and spec.node_fault.slow_factor != 1.0:
         from repro.machine.node import Node, NodeSpec
 
+        if not (0 <= spec.node_fault.node < len(ex.machine.nodes)):
+            raise ConfigurationError(
+                f"node_fault targets node {spec.node_fault.node}, but the "
+                f"machine has {len(ex.machine.nodes)} nodes"
+            )
         f = spec.node_fault.slow_factor
         healthy = ex.machine.node(spec.node_fault.node).spec
         ex.machine.nodes[spec.node_fault.node] = Node(
@@ -301,6 +422,18 @@ def build_executor(spec: ExperimentSpec) -> PipelineExecutor:
                 mem_bw=healthy.mem_bw,
                 name=f"{healthy.name}-slow{f:g}x",
             ),
+        )
+    if spec.server_crash is not None:
+        _check_server_index(ex, spec.server_crash.server, "server_crash")
+        ex.fs.enable_fault_tolerance()
+        ex.fs.servers[spec.server_crash.server].schedule_outage(
+            spec.server_crash.at_time, spec.server_crash.down_for
+        )
+    if spec.flaky_disk is not None and spec.flaky_disk.error_rate > 0.0:
+        _check_server_index(ex, spec.flaky_disk.server, "flaky_disk")
+        ex.fs.enable_fault_tolerance()
+        ex.fs.servers[spec.flaky_disk.server].set_flaky(
+            spec.flaky_disk.error_rate, spec.flaky_disk.seed
         )
     return ex
 

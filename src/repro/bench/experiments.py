@@ -23,7 +23,9 @@ from repro.bench.cases import BenchCase, paper_cases
 from repro.bench.engine import (
     DiskFault,
     ExperimentSpec,
+    FlakyDisk,
     NodeFault,
+    ServerCrash,
     SweepRunner,
     WriterLoad,
     machine_key,
@@ -50,6 +52,8 @@ __all__ = [
     "run_ablation_async",
     "run_ablation_combination_analysis",
     "run_ablation_writer_interference",
+    "run_ablation_server_outage",
+    "run_ablation_flaky_disk",
 ]
 
 #: Default simulation depth for the sweeps: enough CPIs for a clean
@@ -618,3 +622,128 @@ def run_ablation_writer_interference(
         )
     )
     return {"quiet": quiet, "with_writer": noisy}
+
+
+def run_ablation_server_outage(
+    outage_durations: Tuple[float, ...] = (0.5, 2.0),
+    replications: Tuple[int, ...] = (1, 2),
+    case_number: int = 1,
+    stripe_factor: int = 4,
+    read_deadline="auto",
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> Dict[Tuple[int, float], PipelineResult]:
+    """Fault tolerance: a stripe server drops out mid-run.
+
+    With few stripe directories, every slab read touches every server,
+    so losing one takes the whole read phase hostage: without
+    replication the clients can only back off and retry until the
+    server returns (or drop CPIs at the read deadline), collapsing
+    throughput.  With ``replication=2`` (chained-declustered mirrors)
+    reads fail over to the neighbour directory and the outage merely
+    dents throughput — the paper's I/O-bound pipeline becomes
+    survivable.
+
+    Directory 0 crashes at 30% of the healthy run's span.  Durations are
+    simulated seconds; ``float("inf")`` means a permanent crash.  Each
+    ``(replication, duration)`` cell is returned keyed by that pair;
+    duration ``0.0`` cells are fault-free baselines.  ``read_deadline``
+    is the per-CPI degradation deadline: ``"auto"`` picks four healthy
+    pipeline beats, ``None`` disables dropping (reads stall through the
+    outage), a float is used as-is.
+    """
+    params = params or STAPParams()
+    runner = _runner(runner)
+    a = NodeAssignment.case(case_number, params)
+
+    def spec_for(replication, crash, run_cfg):
+        return ExperimentSpec(
+            assignment=a,
+            pipeline="embedded",
+            machine="paragon",
+            fs=FSConfig(
+                kind="pfs", stripe_factor=stripe_factor, replication=replication
+            ),
+            params=params,
+            cfg=run_cfg,
+            seed=seed,
+            server_crash=crash,
+        )
+
+    # Calibrate crash time and deadline off the healthy run.
+    quiet = runner.run_one(spec_for(1, None, cfg))
+    beat = 1.0 / max(quiet.throughput, 1e-9)
+    deadline = 4.0 * beat if read_deadline == "auto" else read_deadline
+    run_cfg = replace(cfg, read_deadline=deadline)
+    at_time = 0.3 * quiet.elapsed_sim_time
+
+    keys: List[Tuple[int, float]] = []
+    specs: List[ExperimentSpec] = []
+    for rep in replications:
+        for dur in (0.0,) + tuple(outage_durations):
+            crash = None
+            if dur > 0:
+                crash = ServerCrash(
+                    server=0,
+                    at_time=at_time,
+                    down_for=None if dur == float("inf") else dur,
+                )
+            keys.append((rep, dur))
+            specs.append(spec_for(rep, crash, run_cfg))
+    results = runner.run(specs)
+    return dict(zip(keys, results))
+
+
+def run_ablation_flaky_disk(
+    error_rates: Tuple[float, ...] = (0.0, 0.05, 0.2),
+    replications: Tuple[int, ...] = (1, 2),
+    case_number: int = 1,
+    stripe_factor: int = 4,
+    flaky_seed: int = 0,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> Dict[Tuple[int, float], PipelineResult]:
+    """Fault tolerance: one stripe server fails requests at random.
+
+    Directory 0 fails a deterministic pseudo-random ``error_rate``
+    fraction of its requests (transient errors).  Unreplicated clients
+    must re-queue the request on the same flaky disk after a backoff;
+    with ``replication=2`` the first retry goes to the mirror instead,
+    absorbing errors at roughly the cost of one extra hop.  Returns one
+    cell per ``(replication, error_rate)`` pair; rate ``0.0`` cells are
+    fault-free baselines.
+    """
+    params = params or STAPParams()
+    runner = _runner(runner)
+    a = NodeAssignment.case(case_number, params)
+
+    keys: List[Tuple[int, float]] = []
+    specs: List[ExperimentSpec] = []
+    for rep in replications:
+        for rate in error_rates:
+            flaky = (
+                FlakyDisk(server=0, error_rate=rate, seed=flaky_seed)
+                if rate > 0
+                else None
+            )
+            keys.append((rep, rate))
+            specs.append(
+                ExperimentSpec(
+                    assignment=a,
+                    pipeline="embedded",
+                    machine="paragon",
+                    fs=FSConfig(
+                        kind="pfs", stripe_factor=stripe_factor, replication=rep
+                    ),
+                    params=params,
+                    cfg=cfg,
+                    seed=seed,
+                    flaky_disk=flaky,
+                )
+            )
+    results = runner.run(specs)
+    return dict(zip(keys, results))

@@ -10,10 +10,18 @@ the embedded spec to rule out hash collisions and schema drift.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent sweep
 workers and interrupted runs never leave a truncated entry behind.
+
+Entries additionally embed a **substrate fingerprint** — a hash over the
+spec schema and the source of the simulation substrate packages
+(``repro.sim``, ``repro.pfs``, ``repro.machine``).  A cached result is
+only a hit while the simulator that produced it is byte-identical to the
+one running now; editing any substrate file turns every old entry into a
+miss instead of silently serving stale physics.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -21,13 +29,55 @@ from typing import List, Optional, Union
 
 from repro.core.executor import PipelineResult
 
-__all__ = ["ResultStore", "DEFAULT_CACHE_DIR"]
+__all__ = ["ResultStore", "DEFAULT_CACHE_DIR", "substrate_fingerprint"]
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path(".cache") / "experiments"
 
 #: On-disk entry schema; bump on incompatible layout changes.
-STORE_SCHEMA = 1
+#: 2: entries carry a substrate fingerprint (stale-simulator detection).
+STORE_SCHEMA = 2
+
+#: Packages whose source defines the simulation's physics; any change to
+#: them invalidates cached results.
+_SUBSTRATE_PACKAGES = ("sim", "pfs", "machine")
+
+_fingerprint_cache: Optional[str] = None
+
+
+def _compute_fingerprint(files: List[Path], spec_schema: int) -> str:
+    """Hash name + content of ``files`` (sorted by name) with the schema."""
+    h = hashlib.sha256()
+    h.update(f"spec_schema={spec_schema}".encode("utf-8"))
+    for path in sorted(files, key=lambda p: p.name):
+        h.update(path.name.encode("utf-8"))
+        h.update(b"\0")
+        try:
+            h.update(path.read_bytes())
+        except OSError:
+            h.update(b"<unreadable>")
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def substrate_fingerprint() -> str:
+    """Fingerprint of the currently-imported simulation substrate.
+
+    Covers every ``*.py`` of :mod:`repro.sim`, :mod:`repro.pfs`, and
+    :mod:`repro.machine` plus ``SPEC_SCHEMA``.  Memoized per process —
+    the substrate cannot change under a running interpreter.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        from repro.bench.engine import SPEC_SCHEMA
+        import repro
+
+        pkg_root = Path(repro.__file__).parent
+        files: List[Path] = []
+        for pkg in _SUBSTRATE_PACKAGES:
+            files.extend((pkg_root / pkg).glob("*.py"))
+        _fingerprint_cache = _compute_fingerprint(files, SPEC_SCHEMA)
+    return _fingerprint_cache
 
 
 class ResultStore:
@@ -68,10 +118,13 @@ class ResultStore:
 
         The embedded spec must match exactly — a hash collision or a
         serialization-schema drift reads as a miss, never as a wrong
-        result.
+        result.  Likewise the entry's substrate fingerprint: a result
+        simulated by a since-modified simulator reads as a miss.
         """
         payload = self.load(spec.spec_hash())
         if payload is None or payload.get("spec") != spec.to_dict():
+            return None
+        if payload.get("substrate") != substrate_fingerprint():
             return None
         try:
             return PipelineResult.from_dict(payload["result"])
@@ -85,6 +138,7 @@ class ResultStore:
         target = self.path_for(spec_hash)
         payload = {
             "schema": STORE_SCHEMA,
+            "substrate": substrate_fingerprint(),
             "spec_hash": spec_hash,
             "spec": spec.to_dict(),
             "result": result.to_dict(),

@@ -28,7 +28,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.bench.engine import ExperimentSpec, SweepRunner
+from repro.bench.engine import ExperimentSpec, FlakyDisk, ServerCrash, SweepRunner
 from repro.bench.experiments import (
     run_ablation_stripe_sweep,
     run_table1,
@@ -87,6 +87,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--stripe-factor", type=int, default=64)
     p_run.add_argument("--cpis", type=int, default=8)
     p_run.add_argument("--warmup", type=int, default=2)
+    p_run.add_argument("--replication", type=int, default=1,
+                       help="stripe-unit mirror copies (chained declustering); "
+                       ">1 enables fault-tolerant reads/writes")
+    p_run.add_argument("--read-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-CPI read deadline; late CPIs are dropped "
+                       "instead of stalling the pipeline")
+    p_run.add_argument("--crash-server", type=int, default=None, metavar="N",
+                       help="inject an outage on stripe server N")
+    p_run.add_argument("--crash-at", type=float, default=0.0, metavar="T",
+                       help="simulated time of the outage (default 0)")
+    p_run.add_argument("--crash-down", type=float, default=None, metavar="D",
+                       help="outage duration; omit for a permanent crash")
+    p_run.add_argument("--flaky-server", type=int, default=None, metavar="N",
+                       help="stripe server N fails a fraction of requests")
+    p_run.add_argument("--flaky-rate", type=float, default=0.1, metavar="P",
+                       help="per-request error probability (default 0.1)")
+    p_run.add_argument("--flaky-seed", type=int, default=0,
+                       help="seed of the flaky-disk error stream")
     p_run.add_argument("--seed", type=int, default=0,
                        help="experiment seed (part of the cache key)")
     p_run.add_argument("--threaded", action="store_true",
@@ -164,17 +183,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args) -> int:
     params = STAPParams()
+    if args.read_deadline is not None and args.read_deadline <= 0:
+        raise ReproError(
+            f"--read-deadline must be > 0 seconds, got {args.read_deadline}"
+        )
     cfg = ExecutionConfig(
-        n_cpis=args.cpis, warmup=args.warmup, threaded=args.threaded
+        n_cpis=args.cpis, warmup=args.warmup, threaded=args.threaded,
+        read_deadline=args.read_deadline,
     )
+    server_crash = None
+    if args.crash_server is not None:
+        server_crash = ServerCrash(
+            server=args.crash_server, at_time=args.crash_at,
+            down_for=args.crash_down,
+        )
+    flaky_disk = None
+    if args.flaky_server is not None:
+        flaky_disk = FlakyDisk(
+            server=args.flaky_server, error_rate=args.flaky_rate,
+            seed=args.flaky_seed,
+        )
     exp = ExperimentSpec(
         assignment=NodeAssignment.case(args.case, params),
         pipeline=args.pipeline,
         machine=args.machine,
-        fs=FSConfig(kind=args.fs, stripe_factor=args.stripe_factor),
+        fs=FSConfig(
+            kind=args.fs, stripe_factor=args.stripe_factor,
+            replication=args.replication,
+        ),
         params=params,
         cfg=cfg,
         seed=args.seed,
+        server_crash=server_crash,
+        flaky_disk=flaky_disk,
     )
     runner = _make_runner(args)
     result = runner.run_one(exp)
@@ -198,6 +239,15 @@ def _cmd_run(args) -> int:
     print(f"\nthroughput : {result.throughput:.4f} CPIs/s")
     print(f"latency    : {result.latency:.4f} s")
     print(f"bottleneck : {m.bottleneck_task}")
+    if result.dropped_cpis is not None:
+        print(f"dropped    : {len(result.dropped_cpis)} CPI reads past deadline")
+    if result.disk_stats and "requests_failed_per_server" in result.disk_stats:
+        failed = result.disk_stats["requests_failed_per_server"]
+        outages = result.disk_stats["outages_per_server"]
+        print(
+            f"faults     : {sum(failed)} failed requests, "
+            f"{sum(outages)} server outage(s)"
+        )
     if runner.cache_hits:
         print(f"(cell {exp.short_hash()} served from cache)")
     return 0

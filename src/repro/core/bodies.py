@@ -22,9 +22,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.context import TaskContext, data_tag
+from repro.core.metrics import DroppedCpi
 from repro.core.stages import TaskStages, run_stages
 from repro.core.task import TaskKind
-from repro.errors import PipelineError
+from repro.errors import IOFaultError, PipelineError
 from repro.mpi.datatypes import Phantom
 from repro.mpi.request import Request
 from repro.pfs.base import OpenMode
@@ -42,7 +43,12 @@ from repro.stap.weights import (
 )
 from repro.trace.record import Phase
 
-__all__ = ["body_for"]
+__all__ = ["body_for", "DROPPED"]
+
+#: Sentinel returned by :class:`_SlabReader` for a CPI abandoned at the
+#: graceful-degradation read deadline (timing mode carries no payload, so
+#: ``None`` is ambiguous).
+DROPPED = object()
 
 
 def body_for(kind: TaskKind, ctx: TaskContext):
@@ -108,7 +114,16 @@ class _SlabReader:
         self._pending = self.fs.iread(self._handle(cpi), self.offset, self.nbytes)
 
     def read(self, cpi: int):
-        """Process generator: obtain the slab bytes for ``cpi``."""
+        """Process generator: obtain the slab bytes for ``cpi``.
+
+        With :attr:`ExecutionConfig.read_deadline` set, the wait is
+        bounded: a read that misses the deadline (or fails with an
+        exhausted-retries I/O fault) yields the :data:`DROPPED` sentinel
+        instead of stalling — graceful degradation under server faults.
+        """
+        if self.ctx.cfg.read_deadline is not None:
+            raw = yield from self._read_with_deadline(cpi)
+            return raw
         if self.use_async:
             if self._pending is None:
                 self.prefetch(cpi)
@@ -119,11 +134,61 @@ class _SlabReader:
             raw = yield from self.fs.read(self._handle(cpi), self.offset, self.nbytes)
         return raw
 
+    def _read_with_deadline(self, cpi: int):
+        """Race the slab read against the per-CPI deadline."""
+        ctx = self.ctx
+        kernel = ctx.kernel
+        t0 = ctx.now
+        if self.use_async:
+            if self._pending is None:
+                self.prefetch(cpi)
+            req, self._pending = self._pending, None
+            event = req._event
+        else:
+            ctx.fileset.ensure_cpi(cpi)
+            event = kernel.process(
+                self.fs.read(self._handle(cpi), self.offset, self.nbytes),
+                name=f"deadline-read:{ctx.name}[{ctx.local}]@{cpi}",
+            )
+        try:
+            fired, value = yield kernel.any_of(
+                [event, kernel.timeout(ctx.cfg.read_deadline)]
+            )
+        except IOFaultError:
+            # Retries exhausted before the deadline: same degradation.
+            return self._drop(cpi, t0)
+        if fired is event:
+            return value
+        return self._drop(cpi, t0)
+
+    def _drop(self, cpi: int, t0: float):
+        """Record the sacrificed CPI; the pipeline keeps its beat."""
+        ctx = self.ctx
+        ctx.record(cpi, Phase.DROPPED, t0)
+        ctx.results.setdefault("dropped_cpis", []).append(
+            DroppedCpi(task=ctx.name, node=ctx.local, cpi=cpi, waited=ctx.now - t0)
+        )
+        return DROPPED
+
     def slab_array(self, raw) -> Optional[np.ndarray]:
-        """Decode file bytes into the (J, N, R') slab (compute mode)."""
+        """Decode file bytes into the (J, N, R') slab (compute mode).
+
+        A dropped CPI decodes to a zero slab: downstream numerics keep
+        their shapes, the sacrificed data simply contains no targets.
+        """
+        if raw is DROPPED:
+            p = self.ctx.params
+            return np.zeros(
+                (p.n_channels, p.n_pulses, self.rhi - self.rlo), dtype=p.dtype
+            )
         if isinstance(raw, Phantom):
             return None
         return DataCube.slab_from_file_bytes(raw, self.ctx.params, self.rlo, self.rhi)
+
+    def close(self) -> None:
+        """Close every data-file handle (end-of-run teardown)."""
+        for h in self.handles:
+            h.close()
 
 
 def _send_routed(ctx: TaskContext, k: int, requests: List[Request]):
@@ -161,6 +226,9 @@ class ReaderStages(TaskStages):
         raw = yield from self.reader.read(k)
         self.reader.prefetch(k + 1)
         return raw
+
+    def teardown(self) -> None:
+        self.reader.close()
 
     def compute(self, k: int, raw):
         # The read task performs no computation: it only distributes.
@@ -249,6 +317,10 @@ class DopplerStages(TaskStages):
                 slab[:, :, lo - self.rlo : hi - self.rlo] = arr
             ctx.send_ack(self.read_ranks[rp], k)
         return slab
+
+    def teardown(self) -> None:
+        if self.reader is not None:
+            self.reader.close()
 
     def compute(self, k: int, slab):
         ctx = self.ctx
@@ -505,6 +577,10 @@ class _ReportWriterMixin(TaskStages):
         fs.create(path, exist_ok=True)
         node_id = ctx.rc.comm.node_of(ctx.rc.rank)
         self._report_handle = fs.open(path, node_id, OpenMode.M_ASYNC)
+
+    def teardown(self) -> None:
+        if self._report_handle is not None:
+            self._report_handle.close()
 
     def _write_reports(self, k: int, n_detections: int):
         """Generator: append CPI ``k``'s report block to the output file.

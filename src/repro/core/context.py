@@ -61,6 +61,13 @@ class ExecutionConfig:
         back into the parallel file system (one file per sink node) —
         the output-side I/O the authors' journal version studies.  The
         writes queue on the same stripe-directory disks as the reads.
+    read_deadline:
+        Graceful-degradation deadline (simulated seconds) for the
+        per-CPI slab read.  When set, a reading task that cannot obtain
+        its CPI slab within the deadline *skips* the CPI — recording a
+        :class:`~repro.core.metrics.DroppedCpi` instead of stalling the
+        whole pipeline behind a failed stripe server.  ``None`` (the
+        default) keeps the classic stall-forever behaviour.
     """
 
     n_cpis: int = 8
@@ -69,6 +76,7 @@ class ExecutionConfig:
     compute: bool = False
     threaded: bool = False
     write_reports: bool = False
+    read_deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_cpis < 1:
@@ -77,11 +85,17 @@ class ExecutionConfig:
             raise ValueError("warmup must be in [0, n_cpis)")
         if self.window < 1:
             raise ValueError("window must be >= 1")
+        if self.read_deadline is not None and self.read_deadline <= 0:
+            raise ValueError("read_deadline must be > 0 (or None)")
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Lossless JSON-able form."""
-        return {
+        """Lossless JSON-able form.
+
+        ``read_deadline`` is emitted only when set so configs predating
+        the fault-tolerance work keep their exact hashes.
+        """
+        d: Dict[str, Any] = {
             "n_cpis": self.n_cpis,
             "warmup": self.warmup,
             "window": self.window,
@@ -89,6 +103,9 @@ class ExecutionConfig:
             "threaded": self.threaded,
             "write_reports": self.write_reports,
         }
+        if self.read_deadline is not None:
+            d["read_deadline"] = self.read_deadline
+        return d
 
     @staticmethod
     def from_dict(d: Dict[str, Any]) -> "ExecutionConfig":

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.core.bodies import body_for
 from repro.core.context import ExecutionConfig, TaskContext
-from repro.core.metrics import PipelineMeasurement, measure
+from repro.core.metrics import DroppedCpi, PipelineMeasurement, measure
 from repro.core.pipeline import PipelineSpec
 from repro.core.plan import PipelinePlan
 from repro.core.validate import validate_plan
@@ -43,7 +43,12 @@ __all__ = ["FSConfig", "ExecutionConfig", "PipelineExecutor", "PipelineResult"]
 
 @dataclass(frozen=True)
 class FSConfig:
-    """Which parallel file system to build, and its geometry."""
+    """Which parallel file system to build, and its geometry.
+
+    ``replication > 1`` mirrors each stripe unit over that many
+    directories (chained declustering) and switches clients to the
+    fault-tolerant retry/failover path — see ``docs/fault_model.md``.
+    """
 
     kind: str = "pfs"            # "pfs" (async) or "piofs" (sync-only)
     stripe_factor: int = 64
@@ -51,17 +56,25 @@ class FSConfig:
     disk_bw: Optional[float] = None        # default: preset's disk
     disk_overhead: Optional[float] = None
     name: str = ""
+    replication: int = 1
 
     def label(self) -> str:
-        """Display label, e.g. ``"PFS sf=64"``."""
+        """Display label, e.g. ``"PFS sf=64"`` or ``"PFS sf=4 rep=2"``."""
         if self.name:
             return self.name
-        return f"{self.kind.upper()} sf={self.stripe_factor}"
+        base = f"{self.kind.upper()} sf={self.stripe_factor}"
+        if self.replication > 1:
+            base += f" rep={self.replication}"
+        return base
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Lossless JSON-able form."""
-        return {
+        """Lossless JSON-able form.
+
+        ``replication`` is emitted only when mirroring is on, so
+        unreplicated configs keep their exact pre-existing hashes.
+        """
+        d = {
             "kind": self.kind,
             "stripe_factor": self.stripe_factor,
             "stripe_unit": self.stripe_unit,
@@ -69,6 +82,9 @@ class FSConfig:
             "disk_overhead": self.disk_overhead,
             "name": self.name,
         }
+        if self.replication != 1:
+            d["replication"] = self.replication
+        return d
 
     @staticmethod
     def from_dict(d: Dict[str, Any]) -> "FSConfig":
@@ -102,6 +118,8 @@ class PipelineResult:
     #: (src_rank, dst_rank) -> [messages, bytes]; rank -> task name.
     rank_traffic: "Optional[dict]" = None
     rank_task: "Optional[dict]" = None
+    #: CPIs skipped at the read deadline; None unless a deadline was set.
+    dropped_cpis: "Optional[List[DroppedCpi]]" = None
 
     def disk_utilization(self) -> float:
         """Mean busy fraction of the stripe directories' disks."""
@@ -117,8 +135,10 @@ class PipelineResult:
         Tuple-keyed maps (``rank_traffic``) are encoded with
         ``"src->dst"`` string keys; integer-keyed maps (``rank_task``)
         with stringified keys, both reversed by :meth:`from_dict`.
+        ``dropped_cpis`` appears only when a read deadline was
+        configured, keeping deadline-free result hashes unchanged.
         """
-        return {
+        d = {
             "spec": self.spec.to_dict(),
             "cfg": self.cfg.to_dict(),
             "fs_label": self.fs_label,
@@ -142,6 +162,9 @@ class PipelineResult:
                 else {str(rank): task for rank, task in self.rank_task.items()}
             ),
         }
+        if self.dropped_cpis is not None:
+            d["dropped_cpis"] = [x.to_dict() for x in self.dropped_cpis]
+        return d
 
     @staticmethod
     def from_dict(d: Dict[str, Any]) -> "PipelineResult":
@@ -166,6 +189,8 @@ class PipelineResult:
             result.rank_task = {
                 int(rank): task for rank, task in d["rank_task"].items()
             }
+        if d.get("dropped_cpis") is not None:
+            result.dropped_cpis = [DroppedCpi.from_dict(x) for x in d["dropped_cpis"]]
         return result
 
     def task_traffic(self) -> "dict":
@@ -237,6 +262,7 @@ class PipelineExecutor:
             stripe_factor=fs_config.stripe_factor,
             disk=disk,
             name=fs_config.label(),
+            replication=fs_config.replication,
         )
         source = (
             CubeSource(params, scenario) if (self.cfg.compute and scenario) else None
@@ -293,6 +319,20 @@ class PipelineExecutor:
             "requests_per_server": [s.requests_served for s in self.fs.servers],
             "bytes_served": self.fs.total_bytes_served(),
         }
+        if self.fs.fault_tolerant:
+            # Only surfaced on fault-tolerant runs so that pre-existing
+            # no-fault result hashes stay bit-identical.
+            result.disk_stats["requests_failed_per_server"] = [
+                s.requests_failed for s in self.fs.servers
+            ]
+            result.disk_stats["bytes_shipped_per_server"] = [
+                s.bytes_shipped for s in self.fs.servers
+            ]
+            result.disk_stats["outages_per_server"] = [
+                s.outages for s in self.fs.servers
+            ]
+        if self.cfg.read_deadline is not None:
+            result.dropped_cpis = sorted(self.results.get("dropped_cpis", []))
         result.rank_traffic = {
             pair: tuple(counts) for pair, counts in self.comm.traffic.items()
         }

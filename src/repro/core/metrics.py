@@ -24,7 +24,37 @@ from repro.core.pipeline import PipelineSpec
 from repro.trace.collector import TraceCollector
 from repro.trace.record import Phase
 
-__all__ = ["TaskPhaseStats", "PipelineMeasurement", "measure"]
+__all__ = ["TaskPhaseStats", "DroppedCpi", "PipelineMeasurement", "measure"]
+
+
+@dataclass(frozen=True, order=True)
+class DroppedCpi:
+    """One CPI a reading node skipped at its graceful-degradation deadline.
+
+    Recorded when :attr:`ExecutionConfig.read_deadline` expires before
+    the node's slab read completes (typically during a stripe-server
+    outage).  The node forwards a placeholder slab so the pipeline keeps
+    its beat; this record is the accounting for the sacrificed data.
+    """
+
+    task: str
+    node: int
+    cpi: int
+    waited: float  # simulated seconds spent waiting before giving up
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-able form."""
+        return {
+            "task": self.task,
+            "node": self.node,
+            "cpi": self.cpi,
+            "waited": self.waited,
+        }
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "DroppedCpi":
+        """Inverse of :meth:`to_dict`."""
+        return DroppedCpi(**d)
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,11 @@ class TaskStages:
         return
         yield  # pragma: no cover - generator marker
 
+    def teardown(self) -> None:
+        """Run once after the last CPI completes (e.g. closing file
+        handles).  Plain call, not a generator: teardown must cost no
+        simulated time."""
+
     # -- the three phases ----------------------------------------------------
     def recv(self, k: int):
         """Generator: obtain CPI ``k``'s inputs; returns them."""
@@ -124,6 +129,7 @@ def run_sequential(stages: TaskStages):
 
         if stages.sends_last_cpi or k + 1 < ctx.cfg.n_cpis:
             yield from stages.send(k, outputs)
+    stages.teardown()
 
 
 def run_threaded(stages: TaskStages):
@@ -169,6 +175,7 @@ def run_threaded(stages: TaskStages):
         kernel.process(send_thread(), name=f"{ctx.name}[{ctx.local}].send"),
     ]
     yield kernel.all_of(threads)
+    stages.teardown()
 
 
 def run_stages(stages: TaskStages):

@@ -51,6 +51,28 @@ class NoSuchFileError(FileSystemError):
     """Open of a path that does not exist (without create mode)."""
 
 
+class IOFaultError(FileSystemError):
+    """Base class for *retryable* I/O faults (server outages, transient
+    disk errors, request timeouts).  Fault-tolerant clients catch this to
+    drive failover and backoff; anything else propagates."""
+
+
+class ServerDownError(IOFaultError):
+    """Request rejected or dropped because the I/O server is down."""
+
+
+class FlakyDiskError(IOFaultError):
+    """A per-request transient disk error (injected by ``FlakyDisk``)."""
+
+
+class IORequestTimeoutError(IOFaultError):
+    """A client-side per-attempt simulated-time timeout expired."""
+
+
+class RetriesExhaustedError(IOFaultError):
+    """A fault-tolerant client gave up after its retry budget."""
+
+
 class AsyncUnsupportedError(FileSystemError):
     """Asynchronous I/O requested from a file system without async support.
 

@@ -52,12 +52,13 @@ class RadarWriter:
             yield kernel.timeout(self.initial_delay)
         for k in range(self.start_cpi, self.start_cpi + self.n_cpis):
             path = self.fileset.path(k)
-            handle = fs.open(path, self.node_id, mode=OpenMode.M_ASYNC)
-            if self.fileset.phantom:
-                payload = Phantom(params.cube_nbytes, {"cpi": k})
-            else:
-                payload = self.fileset.source.cube(k).to_file_bytes()
-            yield from fs.write(handle, 0, payload)
-            handle.close()
+            # Close even when the write dies mid-flight (e.g. an I/O
+            # fault after retries) — a leaked handle per CPI otherwise.
+            with fs.open(path, self.node_id, mode=OpenMode.M_ASYNC) as handle:
+                if self.fileset.phantom:
+                    payload = Phantom(params.cube_nbytes, {"cpi": k})
+                else:
+                    payload = self.fileset.source.cube(k).to_file_bytes()
+                yield from fs.write(handle, 0, payload)
             self.writes_done += 1
             yield kernel.timeout(self.period)

@@ -26,7 +26,7 @@ from repro.pfs.stripe import StripeLayout, UnitRun
 from repro.pfs.blockdev import DiskSpec
 from repro.pfs.backing import BackingStore
 from repro.pfs.server import IOServer
-from repro.pfs.base import FileHandle, ParallelFileSystem, OpenMode
+from repro.pfs.base import FileHandle, ParallelFileSystem, OpenMode, RetryPolicy
 from repro.pfs.pfs import PFS
 from repro.pfs.piofs import PIOFS
 
@@ -39,6 +39,7 @@ __all__ = [
     "FileHandle",
     "ParallelFileSystem",
     "OpenMode",
+    "RetryPolicy",
     "PFS",
     "PIOFS",
 ]

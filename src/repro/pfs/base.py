@@ -18,6 +18,7 @@ Open modes model Intel PFS semantics the paper relies on:
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -26,7 +27,10 @@ from repro.errors import (
     ConfigurationError,
     FileExistsInFSError,
     FileNotOpenError,
+    IOFaultError,
+    IORequestTimeoutError,
     NoSuchFileError,
+    RetriesExhaustedError,
 )
 from repro.machine.machine import Machine
 from repro.mpi.datatypes import Phantom, nbytes_of
@@ -36,7 +40,31 @@ from repro.pfs.server import IOServer
 from repro.pfs.stripe import StripeLayout
 from repro.sim.resources import Resource
 
-__all__ = ["OpenMode", "FileHandle", "ParallelFileSystem"]
+__all__ = ["OpenMode", "FileHandle", "RetryPolicy", "ParallelFileSystem"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side fault handling knobs (all in simulated time).
+
+    After every failed cycle through a request's replica set the client
+    sleeps ``min(backoff_base * 2**cycle, backoff_cap)`` seconds before
+    retrying, giving the classic capped exponential schedule
+    0.05, 0.1, 0.2, 0.4, 0.8, 1.0, 1.0, ... — enough budget for a
+    16-attempt client to ride out a transient outage of ~10 simulated
+    seconds.  ``request_timeout`` bounds a single service attempt;
+    ``None`` waits for the server (queueing on a busy disk is normal,
+    not a fault).
+    """
+
+    max_attempts: int = 16
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    request_timeout: Optional[float] = None
+
+    def backoff(self, cycle: int) -> float:
+        """Delay after the ``cycle``-th failed pass over the replicas."""
+        return min(self.backoff_base * (2 ** cycle), self.backoff_cap)
 
 
 class OpenMode(enum.Enum):
@@ -63,8 +91,17 @@ class FileHandle:
             raise FileNotOpenError(f"{self.path} (handle already closed)")
 
     def close(self) -> None:
-        """Release the handle (no simulated time cost)."""
-        self.closed = True
+        """Release the handle (no simulated time cost); idempotent."""
+        if not self.closed:
+            self.closed = True
+            self.fs._open_handles -= 1
+
+    def __enter__(self) -> "FileHandle":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self.closed else "open"
@@ -89,6 +126,13 @@ class ParallelFileSystem:
         Per-directory disk service model.
     name:
         Label for reports.
+    replication:
+        Copies of each stripe unit (chained declustering over successive
+        directories).  ``replication > 1`` enables the fault-tolerant
+        client path: reads fail over between replicas, writes mirror to
+        every replica.
+    retry:
+        Client :class:`RetryPolicy`; defaults are used when omitted.
     """
 
     #: Whether this file system supports iread/iwrite (PFS yes, PIOFS no).
@@ -101,6 +145,8 @@ class ParallelFileSystem:
         stripe_factor: int,
         disk: DiskSpec,
         name: str = "pfs",
+        replication: int = 1,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if machine.n_io < 1:
             raise ConfigurationError(
@@ -108,10 +154,18 @@ class ParallelFileSystem:
             )
         self.machine = machine
         self.kernel = machine.kernel
-        self.layout = StripeLayout(stripe_unit, stripe_factor)
+        self.layout = StripeLayout(stripe_unit, stripe_factor, replication)
         self.disk = disk
         self.name = name
         self.backing = BackingStore()
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        # The fault-tolerant client path (retry loops, replica failover)
+        # is byte-for-byte benign in timing but spawns differently-named
+        # processes, so it stays off unless replication or a fault
+        # injection asks for it — the legacy path keeps every existing
+        # golden result hash intact.
+        self._fault_tolerant = replication > 1
+        self._open_handles = 0
         self.servers: List[IOServer] = [
             IOServer(
                 machine,
@@ -123,6 +177,15 @@ class ParallelFileSystem:
         ]
         # Per-path shared-file-pointer tokens for M_UNIX handles.
         self._file_tokens: Dict[str, Resource] = {}
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """True when the retry/failover client path is active."""
+        return self._fault_tolerant
+
+    def enable_fault_tolerance(self) -> None:
+        """Switch clients to the retry/failover path (used by fault injection)."""
+        self._fault_tolerant = True
 
     # -- namespace ---------------------------------------------------------
     def create(
@@ -161,7 +224,17 @@ class ParallelFileSystem:
             raise NoSuchFileError(path)
         if not (0 <= node_id < self.machine.n_total):
             raise ConfigurationError(f"node {node_id} outside machine")
+        self._open_handles += 1
         return FileHandle(self, path, node_id, mode)
+
+    def close(self, handle: FileHandle) -> None:
+        """Close a handle obtained from :meth:`open`; idempotent."""
+        handle.close()
+
+    @property
+    def open_handle_count(self) -> int:
+        """Handles opened on this FS and not yet closed (leak detector)."""
+        return self._open_handles
 
     def gopen(self, path: str, node_ids: List[int], mode: OpenMode = OpenMode.M_ASYNC) -> List[FileHandle]:
         """Global open: every listed node gets a handle (paper's gopen)."""
@@ -190,15 +263,24 @@ class ParallelFileSystem:
             yield token.request()
         try:
             runs = self.layout.map_range(offset, nbytes)
-            procs = [
-                self.kernel.process(
-                    self.servers[run.directory].service(
-                        run.nbytes, run.n_units, handle.node_id
-                    ),
-                    name=f"read:{handle.path}@dir{run.directory}",
-                )
-                for run in runs
-            ]
+            if self._fault_tolerant:
+                procs = [
+                    self.kernel.process(
+                        self._service_with_retry(run, handle),
+                        name=f"read:{handle.path}@dir{run.directory}",
+                    )
+                    for run in runs
+                ]
+            else:
+                procs = [
+                    self.kernel.process(
+                        self.servers[run.directory].service(
+                            run.nbytes, run.n_units, handle.node_id
+                        ),
+                        name=f"read:{handle.path}@dir{run.directory}",
+                    )
+                    for run in runs
+                ]
             if procs:
                 yield self.kernel.all_of(procs)
         finally:
@@ -236,12 +318,95 @@ class ParallelFileSystem:
         return total
 
     def _write_one_run(self, handle: FileHandle, run):
+        if self._fault_tolerant:
+            yield from self._write_one_run_ft(handle, run)
+            return
         server = self.servers[run.directory]
         if handle.node_id != server.node_id:
             yield from self.machine.network.transfer(
                 handle.node_id, server.node_id, run.nbytes
             )
         yield from server.service(run.nbytes, run.n_units, handle.node_id, ship=False)
+
+    # -- fault-tolerant client path -----------------------------------------
+    def _attempt_service(self, server: IOServer, run, handle: FileHandle):
+        """One read attempt against one server, optionally deadline-bounded."""
+        timeout_s = self.retry_policy.request_timeout
+        if timeout_s is None:
+            yield from server.service(run.nbytes, run.n_units, handle.node_id)
+            return
+        proc = self.kernel.process(
+            server.service(run.nbytes, run.n_units, handle.node_id),
+            name=f"attempt:{handle.path}@{server.name}",
+        )
+        fired, _ = yield self.kernel.any_of([proc, self.kernel.timeout(timeout_s)])
+        if fired is not proc:
+            # The attempt is abandoned; if it fails later its error is
+            # swallowed by the already-fired any_of.
+            raise IORequestTimeoutError(
+                f"{server.name}: no reply within {timeout_s}s"
+            )
+
+    def _service_with_retry(self, run, handle: FileHandle):
+        """Read ``run`` with replica failover, capped exponential backoff.
+
+        Replicas are tried primary-first; the client only backs off after
+        a full pass over the replica set fails (failover itself is free —
+        the data is simply requested from the mirror).
+        """
+        policy = self.retry_policy
+        replicas = self.layout.replica_directories(run.directory)
+        last_exc: Optional[IOFaultError] = None
+        for attempt in range(policy.max_attempts):
+            server = self.servers[replicas[attempt % len(replicas)]]
+            try:
+                yield from self._attempt_service(server, run, handle)
+                return
+            except IOFaultError as exc:
+                last_exc = exc
+            cycle, pos = divmod(attempt + 1, len(replicas))
+            if pos == 0:  # exhausted every replica this cycle: back off
+                yield self.kernel.timeout(policy.backoff(cycle - 1))
+        raise RetriesExhaustedError(
+            f"read of dir {run.directory} failed after {policy.max_attempts} "
+            f"attempts over replicas {replicas}"
+        ) from last_exc
+
+    def _write_replica_with_retry(self, handle: FileHandle, run, directory: int):
+        """Write one replica copy, retrying transient faults with backoff."""
+        policy = self.retry_policy
+        server = self.servers[directory]
+        last_exc: Optional[IOFaultError] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                if handle.node_id != server.node_id:
+                    yield from self.machine.network.transfer(
+                        handle.node_id, server.node_id, run.nbytes
+                    )
+                yield from server.service(
+                    run.nbytes, run.n_units, handle.node_id, ship=False
+                )
+                return
+            except IOFaultError as exc:
+                last_exc = exc
+            yield self.kernel.timeout(policy.backoff(attempt))
+        raise RetriesExhaustedError(
+            f"write to dir {directory} failed after {policy.max_attempts} attempts"
+        ) from last_exc
+
+    def _write_one_run_ft(self, handle: FileHandle, run):
+        """Mirror a write to every replica; fail only if all replicas fail."""
+        replicas = self.layout.replica_directories(run.directory)
+        errors: List[IOFaultError] = []
+        for directory in replicas:
+            try:
+                yield from self._write_replica_with_retry(handle, run, directory)
+            except IOFaultError as exc:
+                errors.append(exc)
+        if len(errors) == len(replicas):
+            raise RetriesExhaustedError(
+                f"write of dir {run.directory}: all {len(replicas)} replicas failed"
+            ) from errors[-1]
 
     # -- stats -------------------------------------------------------------------
     def total_bytes_served(self) -> int:

@@ -15,7 +15,7 @@ respect unit boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -46,17 +46,43 @@ class UnitRun:
 
 
 class StripeLayout:
-    """Round-robin striping of a file over stripe directories."""
+    """Round-robin striping of a file over stripe directories.
 
-    def __init__(self, stripe_unit: int, stripe_factor: int) -> None:
+    With ``replication > 1`` each stripe unit additionally has mirror
+    copies placed by chained declustering: replica ``r`` of the data on
+    directory ``d`` lives on directory ``(d + r) % stripe_factor``.
+    Successive directories mirror each other, so losing any single
+    directory leaves every unit readable from its neighbour and the
+    failover load spreads round-robin instead of doubling one server.
+    """
+
+    def __init__(
+        self, stripe_unit: int, stripe_factor: int, replication: int = 1
+    ) -> None:
         if stripe_unit < 1:
             raise ConfigurationError(f"stripe_unit must be >= 1, got {stripe_unit}")
         if stripe_factor < 1:
             raise ConfigurationError(
                 f"stripe_factor must be >= 1, got {stripe_factor}"
             )
+        if not (1 <= replication <= stripe_factor):
+            raise ConfigurationError(
+                f"replication must be in [1, stripe_factor={stripe_factor}], "
+                f"got {replication}"
+            )
         self.stripe_unit = int(stripe_unit)
         self.stripe_factor = int(stripe_factor)
+        self.replication = int(replication)
+
+    def replica_directories(self, directory: int) -> Tuple[int, ...]:
+        """Directories holding a copy of ``directory``'s data, primary first."""
+        if not (0 <= directory < self.stripe_factor):
+            raise ConfigurationError(
+                f"directory must be in [0, {self.stripe_factor}), got {directory}"
+            )
+        return tuple(
+            (directory + r) % self.stripe_factor for r in range(self.replication)
+        )
 
     def unit_of(self, offset: int) -> int:
         """Index of the stripe unit containing byte ``offset``."""
@@ -112,7 +138,8 @@ class StripeLayout:
         return len(self.map_range(offset, nbytes))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f", replication={self.replication}" if self.replication > 1 else ""
         return (
             f"StripeLayout(stripe_unit={self.stripe_unit}, "
-            f"stripe_factor={self.stripe_factor})"
+            f"stripe_factor={self.stripe_factor}{extra})"
         )

@@ -15,6 +15,7 @@ _PHASE_CHARS = {
     Phase.COMPUTE: "C",
     Phase.SEND: "s",
     Phase.DONE: "|",
+    Phase.DROPPED: "x",
 }
 
 

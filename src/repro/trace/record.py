@@ -22,6 +22,9 @@ class Phase(enum.Enum):
     COMPUTE = "compute"
     SEND = "send"
     DONE = "done"
+    #: A CPI abandoned at the graceful-degradation read deadline; like
+    #: CREDIT it is excluded from service-time metrics.
+    DROPPED = "dropped"
 
 
 @dataclass(frozen=True)

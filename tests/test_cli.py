@@ -168,6 +168,48 @@ class TestResultCache:
         assert "no cached result" in capsys.readouterr().err
 
 
+class TestFaultFlags:
+    RUN = ["run", "--case", "1", "--cpis", "3", "--warmup", "1", "--no-cache",
+           "--stripe-factor", "8"]
+
+    def test_crash_run_reports_fault_lines(self, capsys):
+        argv = self.RUN + ["--replication", "2", "--crash-server", "0",
+                           "--crash-at", "0.1", "--crash-down", "0.5",
+                           "--read-deadline", "5.0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "outage" in out
+        assert "dropped" in out and "past deadline" in out
+
+    def test_flaky_run_reports_fault_lines(self, capsys):
+        argv = self.RUN + ["--flaky-server", "0", "--flaky-rate", "0.2"]
+        assert main(argv) == 0
+        assert "faults" in capsys.readouterr().out
+
+    def test_fault_free_run_has_no_fault_lines(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "faults" not in out and "dropped" not in out
+
+    def test_zero_read_deadline_is_a_clean_error(self, capsys):
+        assert main(self.RUN + ["--read-deadline", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "read-deadline" in err
+
+    def test_crash_server_out_of_range(self, capsys):
+        assert main(self.RUN + ["--crash-server", "99"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "server_crash" in err
+
+    def test_bad_replication_rejected(self, capsys):
+        assert main(self.RUN + ["--replication", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_negative_flaky_rate_rejected(self, capsys):
+        assert main(self.RUN + ["--flaky-server", "0", "--flaky-rate", "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSpectrumCommand:
     def test_spectrum_renders_heatmap(self, capsys):
         assert main(["spectrum", "--estimator", "fourier"]) == 0

@@ -7,7 +7,9 @@ import pytest
 from repro.bench.engine import (
     DiskFault,
     ExperimentSpec,
+    FlakyDisk,
     NodeFault,
+    ServerCrash,
     SweepRunner,
     WriterLoad,
     machine_key,
@@ -67,6 +69,8 @@ class TestSpec:
             node_fault=NodeFault(node=2, slow_factor=2.0),
             writer=WriterLoad(period=0.5, n_cpis=4, start_cpi=2,
                               initial_delay=0.25),
+            server_crash=ServerCrash(server=1, at_time=0.5, down_for=2.0),
+            flaky_disk=FlakyDisk(server=2, error_rate=0.1, seed=3),
         )
         clone = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert clone == spec
@@ -85,9 +89,46 @@ class TestSpec:
             replace(base, disk_fault=DiskFault(slow_factor=2.0)),
             replace(base, node_fault=NodeFault(slow_factor=2.0)),
             replace(base, writer=WriterLoad(period=1.0, n_cpis=2)),
+            replace(base, server_crash=ServerCrash(at_time=1.0)),
+            replace(base, flaky_disk=FlakyDisk(error_rate=0.05)),
+            replace(base, fs=FSConfig("pfs", 8, replication=2)),
+            replace(base, cfg=ExecutionConfig(n_cpis=4, warmup=1,
+                                              read_deadline=2.0)),
         ]
         hashes = {base.spec_hash()} | {v.spec_hash() for v in variants}
         assert len(hashes) == len(variants) + 1
+
+    def test_fault_free_spec_serializes_without_fault_keys(self, small_params):
+        # Hash-stability contract: the new fault/replication/deadline
+        # fields must be invisible in the canonical form when unset, so
+        # every pre-existing golden spec hash survives the upgrade.
+        d = small_spec(small_params).to_dict()
+        for key in ("server_crash", "flaky_disk"):
+            assert key not in d
+        assert "replication" not in d["fs"]
+        assert "read_deadline" not in d["cfg"]
+
+    def test_fault_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerCrash(server=-1)
+        with pytest.raises(ConfigurationError):
+            ServerCrash(at_time=-0.5)
+        with pytest.raises(ConfigurationError):
+            ServerCrash(down_for=0.0)
+        with pytest.raises(ConfigurationError):
+            FlakyDisk(error_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FlakyDisk(error_rate=-0.1)
+
+    def test_fault_server_index_checked_against_machine(self, small_params):
+        spec = small_spec(small_params,
+                          server_crash=ServerCrash(server=99, at_time=1.0))
+        with pytest.raises(ConfigurationError, match="server_crash"):
+            run_spec(spec)
+        spec = small_spec(small_params,
+                          flaky_disk=FlakyDisk(server=99, error_rate=0.1))
+        with pytest.raises(ConfigurationError, match="flaky_disk"):
+            run_spec(spec)
 
     def test_unknown_pipeline_and_machine_rejected(self, small_params):
         with pytest.raises(ConfigurationError, match="unknown pipeline"):
@@ -110,6 +151,20 @@ class TestSpec:
     def test_label_mentions_faults(self, small_params):
         spec = small_spec(small_params, disk_fault=DiskFault(slow_factor=3.0))
         assert "disk[0] x3" in spec.label()
+
+    def test_label_mentions_crash_and_flaky(self, small_params):
+        spec = small_spec(
+            small_params,
+            server_crash=ServerCrash(server=1, at_time=2.0, down_for=3.0),
+            flaky_disk=FlakyDisk(server=0, error_rate=0.05),
+        )
+        label = spec.label()
+        assert "crash[1] @2s for 3s" in label
+        assert "flaky[0] p=0.05" in label
+        permanent = small_spec(
+            small_params, server_crash=ServerCrash(server=0, at_time=1.0)
+        )
+        assert "forever" in permanent.label()
 
 
 class TestRunSpec:
@@ -137,6 +192,25 @@ class TestRunSpec:
         b = run_spec(spec)
         assert a.to_dict() == b.to_dict()
         assert a.detections is not None
+
+    def test_fault_run_deterministic_and_surfaces_fault_stats(self, small_params):
+        spec = small_spec(
+            small_params,
+            fs=FSConfig("pfs", 8, replication=2),
+            cfg=ExecutionConfig(n_cpis=4, warmup=1, read_deadline=5.0),
+            server_crash=ServerCrash(server=0, at_time=0.1, down_for=0.5),
+        )
+        a = run_spec(spec)
+        b = run_spec(spec)
+        assert a.to_dict() == b.to_dict()
+        assert a.disk_stats["outages_per_server"][0] == 1
+        assert a.dropped_cpis is not None  # list (possibly empty): deadline set
+
+    def test_fault_free_result_omits_fault_surface(self, small_params):
+        res = run_spec(small_spec(small_params))
+        assert res.dropped_cpis is None
+        assert "outages_per_server" not in res.disk_stats
+        assert "dropped_cpis" not in res.to_dict()
 
 
 class TestSweepRunner:
@@ -219,6 +293,38 @@ class TestResultStore:
         payload = json.loads(store.path_for(spec.spec_hash()).read_text())
         store.path_for(other.spec_hash()).write_text(json.dumps(payload))
         assert store.get(other) is None
+
+    def test_stale_substrate_is_a_miss(self, small_params, tmp_path, monkeypatch):
+        # Satellite fix: editing the simulator must invalidate cached
+        # results instead of silently serving stale physics.
+        import repro.bench.store as store_mod
+
+        spec = small_spec(small_params)
+        store = ResultStore(tmp_path / "cache")
+        store.put(spec, run_spec(spec))
+        assert store.get(spec) is not None
+        # Simulate "a substrate file changed since this entry was written":
+        # the running process now computes a different fingerprint.
+        monkeypatch.setattr(store_mod, "_fingerprint_cache", "f" * 64)
+        assert store.get(spec) is None
+
+    def test_fingerprint_tracks_substrate_bytes_and_schema(self, tmp_path):
+        from repro.bench.store import _compute_fingerprint
+
+        f = tmp_path / "kernel.py"
+        f.write_text("a = 1\n")
+        before = _compute_fingerprint([f], 1)
+        f.write_text("a = 2\n")
+        after = _compute_fingerprint([f], 1)
+        assert before != after
+        assert _compute_fingerprint([f], 2) != after  # schema folds in too
+
+    def test_substrate_fingerprint_memoized(self):
+        from repro.bench.store import substrate_fingerprint
+
+        a = substrate_fingerprint()
+        assert a == substrate_fingerprint()
+        assert len(a) == 64
 
     def test_entries_and_clear(self, small_params, tmp_path):
         spec = small_spec(small_params)
