@@ -1,0 +1,73 @@
+"""Ablation: I/O strategy x stripe factor at the 100-node case.
+
+Crosses the independent-read baseline with the two collective-style
+strategies (data sieving, two-phase) across stripe factors.  The CPI
+file layout here is range-major — each node's slab is one contiguous
+extent — so the classic noncontiguous-access wins do not apply; what
+the model should show instead is:
+
+* two-phase's unit-aligned, balanced chunks beat the baseline while the
+  stripe directories are the bottleneck (slab extents straddle units
+  unevenly), at the price of a redistribution exchange;
+* data sieving reads strictly more bytes (alignment padding) for the
+  same request count, a small loss in the disk-bound regime;
+* once enough stripe directories hide the read behind computation, the
+  strategy choice washes out.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_ablation_io_strategy
+from repro.trace.report import grouped_bar_chart
+
+STRATEGIES = ("embedded-io", "data-sieving", "collective-two-phase")
+FACTORS = (4, 16, 64)
+
+
+def test_ablation_io_strategy(benchmark, emit):
+    out = benchmark.pedantic(
+        lambda: run_ablation_io_strategy(
+            strategies=STRATEGIES, stripe_factors=FACTORS, cfg=BENCH_CFG
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    groups = {
+        f"sf={sf}": {s: out[(s, sf)].throughput for s in STRATEGIES}
+        for sf in FACTORS
+    }
+    emit(
+        "ablation_io_strategy",
+        grouped_bar_chart(
+            groups,
+            title="Case 3 (100 nodes) throughput by I/O strategy "
+            "and stripe factor",
+            unit="CPIs/s",
+        ),
+    )
+
+    # Every strategy still rides the stripe-factor knee.
+    for s in STRATEGIES:
+        thr = [out[(s, sf)].throughput for sf in FACTORS]
+        assert all(thr[i] <= thr[i + 1] * 1.02 for i in range(len(thr) - 1))
+
+    for sf in FACTORS:
+        base = out[("embedded-io", sf)]
+        sieve = out[("data-sieving", sf)]
+        two_phase = out[("collective-two-phase", sf)]
+        # Sieving pads every read out to stripe-unit alignment: strictly
+        # more bytes off the disks for the same request count.
+        assert (sieve.disk_stats["bytes_served"]
+                > base.disk_stats["bytes_served"])
+        # Two-phase reads exactly the cube — chunks partition it.
+        assert (two_phase.disk_stats["bytes_served"]
+                == base.disk_stats["bytes_served"])
+
+    # Disk-bound regime: balanced unit-aligned chunks beat uneven slab
+    # extents despite the redistribution exchange; padding costs sieving.
+    assert (out[("collective-two-phase", 16)].throughput
+            > out[("embedded-io", 16)].throughput)
+    assert (out[("data-sieving", 16)].throughput
+            <= out[("embedded-io", 16)].throughput)
+    # Compute-bound regime: the read is hidden, strategies converge.
+    thr64 = [out[(s, 64)].throughput for s in STRATEGIES]
+    assert max(thr64) < 1.05 * min(thr64)

@@ -45,10 +45,12 @@ from repro.core.pipeline import (
 from repro.errors import ConfigurationError
 from repro.machine.presets import MachinePreset, generic_cluster, ibm_sp, paragon
 from repro.stap.params import STAPParams
+from repro.strategies import get_strategy, strategy_names
 
 __all__ = [
     "SPEC_SCHEMA",
     "PIPELINES",
+    "LEGACY_STRATEGY",
     "MACHINES",
     "machine_key",
     "DiskFault",
@@ -66,11 +68,23 @@ __all__ = [
 #: old cache entries are invalidated rather than silently misread.
 SPEC_SCHEMA = 1
 
-#: Pipeline builders addressable from a spec, by name.
+#: Pipeline builders addressable from a spec, by name.  The three legacy
+#: keys predate the strategy registry and are kept verbatim so every
+#: published spec hash (the serialized ``pipeline`` field) is unchanged;
+#: registered I/O strategies are addressable by their registry names too.
 PIPELINES: Dict[str, Callable[[NodeAssignment], PipelineSpec]] = {
     "embedded": build_embedded_pipeline,
     "separate": build_separate_io_pipeline,
     "combined": lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
+}
+for _name in strategy_names():
+    PIPELINES.setdefault(_name, get_strategy(_name).build_spec)
+
+#: Legacy pipeline keys -> the strategy each has always denoted.
+LEGACY_STRATEGY: Dict[str, str] = {
+    "embedded": "embedded-io",
+    "separate": "separate-io",
+    "combined": "embedded-io+combined",
 }
 
 #: Machine presets addressable from a spec, by name.
@@ -252,6 +266,16 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"unknown machine {self.machine!r}; choose from {sorted(MACHINES)}"
             )
+
+    @property
+    def strategy(self) -> str:
+        """Registry name of the cell's I/O strategy.
+
+        The legacy pipeline keys (``embedded``/``separate``/``combined``)
+        resolve to the strategies they have always denoted; every other
+        key *is* a registry name.
+        """
+        return LEGACY_STRATEGY.get(self.pipeline, self.pipeline)
 
     # -- construction sugar -------------------------------------------------
     @staticmethod

@@ -203,6 +203,9 @@ _SECTIONS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "cell_smoke": lambda: measure_cell(
         "embedded", 1, n_cpis=4, warmup=1, stripe_factor=16
     ),
+    "cell_two_phase_smoke": lambda: measure_cell(
+        "collective-two-phase", 1, n_cpis=4, warmup=1, stripe_factor=16
+    ),
     "cell_embedded_case3": lambda: measure_cell("embedded", 3),
     "cell_separate_case3": lambda: measure_cell("separate", 3),
     "reproduce_cold": measure_reproduce_cold,

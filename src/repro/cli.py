@@ -5,6 +5,9 @@ Examples::
     python -m repro info
     python -m repro run --case 3 --fs pfs --stripe-factor 16
     python -m repro run --pipeline separate --machine sp --fs piofs
+    python -m repro run --strategy collective-two-phase --fs pfs
+    python -m repro strategies list
+    python -m repro strategies smoke
     python -m repro table 1
     python -m repro table 4 --jobs 4
     python -m repro profile --case 3 --cpis 4 --output cell.pstats
@@ -29,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from repro.bench.engine import ExperimentSpec, FlakyDisk, ServerCrash, SweepRunner
+from repro.strategies import get_strategy, strategy_names
 from repro.bench.experiments import (
     run_ablation_stripe_sweep,
     run_table1,
@@ -80,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one pipeline configuration")
     p_run.add_argument("--pipeline", choices=_PIPELINE_CHOICES, default="embedded")
+    p_run.add_argument("--strategy", choices=strategy_names(), default=None,
+                       help="registered I/O strategy; overrides --pipeline "
+                       "(see 'repro strategies list')")
     p_run.add_argument("--case", type=int, choices=(1, 2, 3), default=1,
                        help="paper node-assignment case (25/50/100 nodes)")
     p_run.add_argument("--machine", choices=_MACHINE_CHOICES, default="paragon")
@@ -177,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sp.add_argument("--cnr-db", type=float, default=30.0)
     p_sp.add_argument("--jnr-db", type=float, default=30.0)
 
+    p_strat = sub.add_parser(
+        "strategies", help="list registered I/O strategies or smoke-test them"
+    )
+    p_strat.add_argument("action", choices=("list", "smoke"))
+    p_strat.add_argument("--fs", choices=("pfs", "piofs"), default="pfs",
+                         help="file system for 'smoke' (default pfs)")
+    p_strat.add_argument("--stripe-factor", type=int, default=8)
+
     sub.add_parser("info", help="show dimensions, costs, and node assignments")
     return parser
 
@@ -205,7 +220,7 @@ def _cmd_run(args) -> int:
         )
     exp = ExperimentSpec(
         assignment=NodeAssignment.case(args.case, params),
-        pipeline=args.pipeline,
+        pipeline=args.strategy if args.strategy else args.pipeline,
         machine=args.machine,
         fs=FSConfig(
             kind=args.fs, stripe_factor=args.stripe_factor,
@@ -498,6 +513,62 @@ def _cmd_results(args) -> int:
     return 0
 
 
+def _cmd_strategies(args) -> int:
+    """List the I/O strategy registry, or run one tiny cell per strategy."""
+    if args.action == "list":
+        rows = []
+        for name in strategy_names():
+            s = get_strategy(name)
+            rows.append([
+                name,
+                "yes" if s.requires_async else "no",
+                "yes" if s.supports_read_deadline else "no",
+                s.describe(),
+            ])
+        print(
+            format_table(
+                ["strategy", "needs async", "read deadline", "description"],
+                rows,
+                title=f"{len(rows)} registered I/O strategies",
+            )
+        )
+        return 0
+
+    # smoke: one tiny end-to-end cell per registered strategy.
+    from repro.bench.engine import run_spec
+
+    params = STAPParams(
+        n_channels=8, n_pulses=32, n_ranges=256, n_beams=6, n_hard_bins=8,
+        n_training=64, pulse_len=16, cfar_window=12, cfar_guard=3, pfa=1e-6,
+    )
+    assignment = NodeAssignment.balanced(params, 14)
+    cfg = ExecutionConfig(n_cpis=2, warmup=0)
+    supports_async = args.fs != "piofs"
+    failures = 0
+    for name in strategy_names():
+        strat = get_strategy(name)
+        if strat.requires_async and not supports_async:
+            print(f"{name:24s} SKIP (requires async reads; {args.fs} has none)")
+            continue
+        spec = ExperimentSpec(
+            assignment=assignment, pipeline=name, machine="paragon",
+            fs=FSConfig(kind=args.fs, stripe_factor=args.stripe_factor),
+            params=params, cfg=cfg,
+        )
+        try:
+            result = run_spec(spec)
+        except ReproError as exc:
+            print(f"{name:24s} FAIL {exc}")
+            failures += 1
+            continue
+        print(f"{name:24s} ok   throughput {result.throughput:.4f} CPIs/s")
+    if failures:
+        print(f"{failures} strategy smoke failure(s)", file=sys.stderr)
+        return 1
+    print("all strategies passed")
+    return 0
+
+
 def _cmd_info(_args) -> int:
     params = STAPParams()
     costs = STAPCosts(params)
@@ -533,6 +604,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reproduce": _cmd_reproduce,
         "results": _cmd_results,
         "spectrum": _cmd_spectrum,
+        "strategies": _cmd_strategies,
         "info": _cmd_info,
     }
     try:

@@ -22,15 +22,12 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.context import TaskContext, data_tag
-from repro.core.metrics import DroppedCpi
 from repro.core.stages import TaskStages, run_stages
 from repro.core.task import TaskKind
-from repro.errors import IOFaultError, PipelineError
-from repro.mpi.datatypes import Phantom
+from repro.errors import PipelineError
 from repro.mpi.request import Request
 from repro.pfs.base import OpenMode
 from repro.stap.cfar import ca_cfar
-from repro.stap.datacube import DataCube
 from repro.stap.doppler import doppler_filter_arrays
 from repro.stap.pulse import pulse_compress
 from repro.stap.weights import (
@@ -41,14 +38,11 @@ from repro.stap.weights import (
     steering_matrix_easy,
     steering_matrix_hard,
 )
+from repro.strategies.builtin import make_adaptive_reader
+from repro.strategies.readers import DROPPED  # noqa: F401  (re-exported)
 from repro.trace.record import Phase
 
 __all__ = ["body_for", "DROPPED"]
-
-#: Sentinel returned by :class:`_SlabReader` for a CPI abandoned at the
-#: graceful-degradation read deadline (timing mode carries no payload, so
-#: ``None`` is ambiguous).
-DROPPED = object()
 
 
 def body_for(kind: TaskKind, ctx: TaskContext):
@@ -73,122 +67,19 @@ def body_for(kind: TaskKind, ctx: TaskContext):
 
 
 # ---------------------------------------------------------------------------
-# shared I/O helper: fixed-extent slab reads with async prefetch
+# shared I/O helper: the strategy's slab reader (see repro.strategies)
 
 
-def _open_round_robin(ctx: TaskContext):
-    """Open every round-robin data file with gopen/M_ASYNC semantics."""
-    fs = ctx.fileset.fs
-    node_id = ctx.rc.comm.node_of(ctx.rc.rank)
-    return [
-        fs.open(f"{ctx.fileset.prefix}{f}.dat", node_id, OpenMode.M_ASYNC)
-        for f in range(ctx.fileset.n_files)
-    ]
+def _make_reader(ctx: TaskContext, rlo: int, rhi: int):
+    """The slab reader the run's I/O strategy prescribes.
 
-
-class _SlabReader:
-    """Per-CPI slab reads with async prefetch when the FS supports it.
-
-    The offset/length are fixed at construction — the paper's "read
-    length and file offset ... set only during initialisation" — and
-    CPI ``k`` is read from file ``k % n_files``.
+    Hand-built specs whose names are not in the strategy registry get
+    the classic adaptive reader (async 1-deep prefetch on PFS, blocking
+    reads on PIOFS) — the pre-registry behaviour, bit-identically.
     """
-
-    def __init__(self, ctx: TaskContext, rlo: int, rhi: int) -> None:
-        self.ctx = ctx
-        self.rlo, self.rhi = rlo, rhi
-        self.offset, self.nbytes = ctx.fileset.slab_extent(rlo, rhi)
-        self.handles = _open_round_robin(ctx)
-        self.fs = ctx.fileset.fs
-        self.use_async = self.fs.supports_async
-        self._pending = None
-
-    def _handle(self, cpi: int):
-        return self.handles[cpi % self.ctx.fileset.n_files]
-
-    def prefetch(self, cpi: int) -> None:
-        """Post the async read for ``cpi`` (no-op on sync file systems)."""
-        if not self.use_async or cpi >= self.ctx.cfg.n_cpis:
-            return
-        self.ctx.fileset.ensure_cpi(cpi)
-        self._pending = self.fs.iread(self._handle(cpi), self.offset, self.nbytes)
-
-    def read(self, cpi: int):
-        """Process generator: obtain the slab bytes for ``cpi``.
-
-        With :attr:`ExecutionConfig.read_deadline` set, the wait is
-        bounded: a read that misses the deadline (or fails with an
-        exhausted-retries I/O fault) yields the :data:`DROPPED` sentinel
-        instead of stalling — graceful degradation under server faults.
-        """
-        if self.ctx.cfg.read_deadline is not None:
-            raw = yield from self._read_with_deadline(cpi)
-            return raw
-        if self.use_async:
-            if self._pending is None:
-                self.prefetch(cpi)
-            req, self._pending = self._pending, None
-            raw = yield from req.wait()
-        else:
-            self.ctx.fileset.ensure_cpi(cpi)
-            raw = yield from self.fs.read(self._handle(cpi), self.offset, self.nbytes)
-        return raw
-
-    def _read_with_deadline(self, cpi: int):
-        """Race the slab read against the per-CPI deadline."""
-        ctx = self.ctx
-        kernel = ctx.kernel
-        t0 = ctx.now
-        if self.use_async:
-            if self._pending is None:
-                self.prefetch(cpi)
-            req, self._pending = self._pending, None
-            event = req._event
-        else:
-            ctx.fileset.ensure_cpi(cpi)
-            event = kernel.process(
-                self.fs.read(self._handle(cpi), self.offset, self.nbytes),
-                name=f"deadline-read:{ctx.name}[{ctx.local}]@{cpi}",
-            )
-        try:
-            fired, value = yield kernel.any_of(
-                [event, kernel.timeout(ctx.cfg.read_deadline)]
-            )
-        except IOFaultError:
-            # Retries exhausted before the deadline: same degradation.
-            return self._drop(cpi, t0)
-        if fired is event:
-            return value
-        return self._drop(cpi, t0)
-
-    def _drop(self, cpi: int, t0: float):
-        """Record the sacrificed CPI; the pipeline keeps its beat."""
-        ctx = self.ctx
-        ctx.record(cpi, Phase.DROPPED, t0)
-        ctx.results.setdefault("dropped_cpis", []).append(
-            DroppedCpi(task=ctx.name, node=ctx.local, cpi=cpi, waited=ctx.now - t0)
-        )
-        return DROPPED
-
-    def slab_array(self, raw) -> Optional[np.ndarray]:
-        """Decode file bytes into the (J, N, R') slab (compute mode).
-
-        A dropped CPI decodes to a zero slab: downstream numerics keep
-        their shapes, the sacrificed data simply contains no targets.
-        """
-        if raw is DROPPED:
-            p = self.ctx.params
-            return np.zeros(
-                (p.n_channels, p.n_pulses, self.rhi - self.rlo), dtype=p.dtype
-            )
-        if isinstance(raw, Phantom):
-            return None
-        return DataCube.slab_from_file_bytes(raw, self.ctx.params, self.rlo, self.rhi)
-
-    def close(self) -> None:
-        """Close every data-file handle (end-of-run teardown)."""
-        for h in self.handles:
-            h.close()
+    if ctx.strategy is not None:
+        return ctx.strategy.make_reader(ctx, rlo, rhi)
+    return make_adaptive_reader(ctx, rlo, rhi)
 
 
 def _send_routed(ctx: TaskContext, k: int, requests: List[Request]):
@@ -211,7 +102,7 @@ class ReaderStages(TaskStages):
         self.rlo, self.rhi = ctx.plan.ranges_read.bounds(ctx.local)
         if self.rhi <= self.rlo:
             return False
-        self.reader = _SlabReader(ctx, self.rlo, self.rhi)
+        self.reader = _make_reader(ctx, self.rlo, self.rhi)
         self.dop_ranks = ctx.ranks("doppler")
         self.route = ctx.plan.read_to_doppler(ctx.local)
         ctx.register_consumers("data", [self.dop_ranks[c] for c, _, _ in self.route])
@@ -284,7 +175,7 @@ class DopplerStages(TaskStages):
         ctx.register_consumers("data", consumers)
 
         if self.embedded:
-            self.reader = _SlabReader(ctx, self.rlo, self.rhi)
+            self.reader = _make_reader(ctx, self.rlo, self.rhi)
             self.read_producers: List[int] = []
             self.read_ranks = ()
         else:

@@ -128,6 +128,7 @@ class TaskContext:
         fileset: Optional[CubeFileSet],
         node_spec,
         results: Dict[str, Any],
+        strategy=None,
     ) -> None:
         self.kernel = kernel
         self.rc = rc
@@ -139,6 +140,9 @@ class TaskContext:
         self.fileset = fileset
         self.node_spec = node_spec
         self.results = results
+        #: The run's :class:`~repro.strategies.IOStrategy` (None for
+        #: hand-built specs outside the registry: legacy reader behaviour).
+        self.strategy = strategy
         self.params: STAPParams = plan.params
         self.costs = STAPCosts(plan.params)
         # Per-consumer-set credit bookkeeping: edge key -> consumer ranks.

@@ -36,6 +36,7 @@ from repro.sim.kernel import Kernel
 from repro.stap.cfar import Detection
 from repro.stap.params import STAPParams
 from repro.stap.scenario import Scenario
+from repro.strategies import strategy_for_spec
 from repro.trace.collector import TraceCollector
 
 __all__ = ["FSConfig", "ExecutionConfig", "PipelineExecutor", "PipelineResult"]
@@ -264,6 +265,12 @@ class PipelineExecutor:
             name=fs_config.label(),
             replication=fs_config.replication,
         )
+        # Resolve the spec's I/O strategy (None for hand-built specs with
+        # non-registry names) and reject FS/config mismatches before any
+        # process is spawned — async-on-PIOFS fails here, not mid-run.
+        self.strategy = strategy_for_spec(spec.name)
+        if self.strategy is not None:
+            self.strategy.validate(self.fs.supports_async, self.cfg)
         source = (
             CubeSource(params, scenario) if (self.cfg.compute and scenario) else None
         )
@@ -290,6 +297,7 @@ class PipelineExecutor:
                     fileset=self.fileset,
                     node_spec=self.machine.node(rank).spec,
                     results=self.results,
+                    strategy=self.strategy,
                 )
                 self.kernel.process(
                     body_for(inst.spec.kind, ctx), name=f"{name}[{local}]"

@@ -323,10 +323,17 @@ def combine_pulse_cfar(spec: PipelineSpec) -> PipelineSpec:
     tasks = [t for t in spec.tasks if t.name not in ("pulse_compr", "cfar")]
     tasks.append(combined)
     edges: List[Edge] = []
+    seen = set()
     for e in spec.edges:
         if e.src == "pulse_compr" and e.dst == "cfar":
             continue  # the merged-away internal edge
         src = "pc_cfar" if e.src in ("pulse_compr", "cfar") else e.src
         dst = "pc_cfar" if e.dst in ("pulse_compr", "cfar") else e.dst
+        # Remapping can collapse two edges onto one (a task feeding both
+        # pulse_compr and cfar): keep the first, preserving edge order.
+        key = (src, dst, e.kind)
+        if key in seen:
+            continue
+        seen.add(key)
         edges.append(Edge(src, dst, e.kind))
     return PipelineSpec(tasks, edges, name=spec.name + "+combined")

@@ -1,0 +1,44 @@
+"""First-class I/O strategies: registry, readers, and built-ins.
+
+See ``docs/io_strategies.md`` for the strategy catalogue and how to
+write a custom strategy.
+"""
+
+from repro.strategies.base import (
+    IOStrategy,
+    get_strategy,
+    register,
+    strategy_for_spec,
+    strategy_names,
+)
+from repro.strategies.readers import (
+    DROPPED,
+    AsyncPrefetchReader,
+    SievingAsyncReader,
+    SievingSyncReader,
+    SlabReader,
+    SyncReader,
+    TwoPhaseReader,
+    open_round_robin,
+)
+
+# Importing the built-ins populates the registry.
+from repro.strategies import builtin as _builtin  # noqa: E402,F401
+from repro.strategies.builtin import make_adaptive_reader
+
+__all__ = [
+    "IOStrategy",
+    "register",
+    "get_strategy",
+    "strategy_names",
+    "strategy_for_spec",
+    "DROPPED",
+    "SlabReader",
+    "SyncReader",
+    "AsyncPrefetchReader",
+    "SievingSyncReader",
+    "SievingAsyncReader",
+    "TwoPhaseReader",
+    "open_round_robin",
+    "make_adaptive_reader",
+]

@@ -224,3 +224,62 @@ class TestSpectrumCommand:
     def test_spectrum_bad_estimator(self):
         with pytest.raises(SystemExit):
             main(["spectrum", "--estimator", "music"])
+
+
+class TestStrategiesCommand:
+    def test_list_shows_registry(self, capsys):
+        assert main(["strategies", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("embedded-io", "separate-io", "collective-two-phase",
+                     "data-sieving", "embedded-prefetch2"):
+            assert name in out
+        assert "needs async" in out
+
+    def test_smoke_runs_every_strategy(self, capsys):
+        assert main(["strategies", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "all strategies passed" in out
+        assert out.count(" ok ") >= 5
+
+    def test_smoke_skips_async_strategies_on_piofs(self, capsys):
+        assert main(["strategies", "smoke", "--fs", "piofs"]) == 0
+        out = capsys.readouterr().out
+        assert "SKIP" in out and "all strategies passed" in out
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["strategies", "frobnicate"])
+
+
+class TestRunStrategyOption:
+    RUN = ["run", "--case", "1", "--cpis", "3", "--warmup", "1",
+           "--stripe-factor", "8"]
+
+    def test_run_with_strategy(self, capsys):
+        assert main(self.RUN + ["--strategy", "data-sieving"]) == 0
+        out = capsys.readouterr().out
+        assert "data-sieving" in out and "throughput" in out
+
+    def test_strategy_overrides_pipeline(self, capsys):
+        argv = self.RUN + ["--pipeline", "separate",
+                           "--strategy", "collective-two-phase"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "collective-two-phase" in out and "read" not in out.split("\n")[1]
+
+    def test_strategy_run_cached_on_rerun(self, capsys):
+        argv = self.RUN + ["--strategy", "collective-two-phase"]
+        assert main(argv) == 0
+        assert "served from cache" not in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "served from cache" in capsys.readouterr().out
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.RUN + ["--strategy", "bogus"])
+
+    def test_async_strategy_on_piofs_fails_cleanly(self, capsys):
+        argv = self.RUN + ["--strategy", "embedded-prefetch2",
+                           "--fs", "piofs"]
+        assert main(argv) == 2
+        assert "asynchronous" in capsys.readouterr().err
