@@ -22,7 +22,19 @@ The package layers, bottom to top:
 * :mod:`repro.trace` / :mod:`repro.bench` — measurement and the
   per-table/figure experiment harness.
 
-Quick start::
+Quick start — the one-call facade::
+
+    import repro
+
+    result = repro.run(case=1, pipeline="embedded", stripe_factor=64,
+                       n_cpis=8, warmup=2)
+    print(result.throughput, "CPIs/s,", result.latency, "s latency")
+
+    # with live metrics sampled every 0.25 simulated seconds:
+    result = repro.run(case=3, metrics_interval=0.25)
+    print(sorted(result.metrics["gauges"]))
+
+or the explicit layers (identical results)::
 
     from repro import (
         NodeAssignment, build_embedded_pipeline, PipelineExecutor,
@@ -35,9 +47,9 @@ Quick start::
         spec, params, paragon(), FSConfig("pfs", stripe_factor=64),
         ExecutionConfig(n_cpis=8, warmup=2),
     ).run()
-    print(result.throughput, "CPIs/s,", result.latency, "s latency")
 """
 
+from repro.api import run
 from repro.bench.engine import ExperimentSpec, SweepRunner, run_spec
 from repro.bench.store import ResultStore
 from repro.core.context import ExecutionConfig
@@ -51,6 +63,7 @@ from repro.core.pipeline import (
     combine_pulse_cfar,
 )
 from repro.machine.presets import MachinePreset, generic_cluster, ibm_sp, paragon
+from repro.obs import MetricsRegistry
 from repro.stap.chain import run_cpi_stream, stap_chain
 from repro.stap.params import STAPParams
 from repro.stap.scenario import Jammer, Scenario, Target, make_cube
@@ -59,6 +72,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "run",
+    "MetricsRegistry",
     "ExecutionConfig",
     "ExperimentSpec",
     "SweepRunner",

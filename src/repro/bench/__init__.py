@@ -12,6 +12,7 @@ from a plain Python session::
 
 from repro.bench.cases import PAPER_CASES, BenchCase, paper_cases, paper_filesystems
 from repro.bench.engine import (
+    PIPELINES,
     DiskFault,
     ExperimentSpec,
     NodeFault,
@@ -23,6 +24,7 @@ from repro.bench.experiments import (
     CellResult,
     ExperimentResult,
     run_ablation_async,
+    run_ablation_bottleneck_migration,
     run_ablation_combination_analysis,
     run_ablation_straggler_disk,
     run_ablation_straggler_node,
@@ -57,7 +59,9 @@ __all__ = [
     "run_table3",
     "run_table4",
     "run_fig8",
+    "PIPELINES",
     "run_ablation_stripe_sweep",
+    "run_ablation_bottleneck_migration",
     "run_ablation_straggler_disk",
     "run_ablation_straggler_node",
     "run_ablation_async",

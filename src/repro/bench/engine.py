@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
+from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -68,17 +70,15 @@ __all__ = [
 #: old cache entries are invalidated rather than silently misread.
 SPEC_SCHEMA = 1
 
-#: Pipeline builders addressable from a spec, by name.  The three legacy
-#: keys predate the strategy registry and are kept verbatim so every
-#: published spec hash (the serialized ``pipeline`` field) is unchanged;
-#: registered I/O strategies are addressable by their registry names too.
-PIPELINES: Dict[str, Callable[[NodeAssignment], PipelineSpec]] = {
+#: The three pipeline keys that predate the strategy registry.  They are
+#: kept addressable so every published spec hash (the serialized
+#: ``pipeline`` field) is unchanged, but user-facing lookups through
+#: :data:`PIPELINES` now warn and point at the registry names.
+_LEGACY_BUILDERS: Dict[str, Callable[[NodeAssignment], PipelineSpec]] = {
     "embedded": build_embedded_pipeline,
     "separate": build_separate_io_pipeline,
     "combined": lambda a: combine_pulse_cfar(build_embedded_pipeline(a)),
 }
-for _name in strategy_names():
-    PIPELINES.setdefault(_name, get_strategy(_name).build_spec)
 
 #: Legacy pipeline keys -> the strategy each has always denoted.
 LEGACY_STRATEGY: Dict[str, str] = {
@@ -86,6 +86,58 @@ LEGACY_STRATEGY: Dict[str, str] = {
     "separate": "separate-io",
     "combined": "embedded-io+combined",
 }
+
+
+class _PipelineRegistryView(Mapping):
+    """Read-only name -> pipeline-builder mapping over the strategy
+    registry plus the legacy aliases.
+
+    Subscripting a **legacy** key (``embedded`` / ``separate`` /
+    ``combined``) emits a :class:`DeprecationWarning` steering callers
+    to the registry names from
+    :func:`repro.strategies.strategy_names`; :meth:`resolve` is the
+    warning-free accessor the engine itself (and serialized specs,
+    whose hashes must not change) uses.  Membership tests and iteration
+    never warn.
+    """
+
+    def _table(self) -> Dict[str, Callable[[NodeAssignment], PipelineSpec]]:
+        table = dict(_LEGACY_BUILDERS)
+        for name in strategy_names():
+            table.setdefault(name, get_strategy(name).build_spec)
+        return table
+
+    def resolve(self, key: str) -> Callable[[NodeAssignment], PipelineSpec]:
+        """Builder for ``key``; accepts legacy keys without warning."""
+        return self._table()[key]
+
+    def __getitem__(self, key: str) -> Callable[[NodeAssignment], PipelineSpec]:
+        if key in _LEGACY_BUILDERS:
+            warnings.warn(
+                f"PIPELINES[{key!r}] is a legacy alias for the "
+                f"{LEGACY_STRATEGY[key]!r} strategy; address pipelines by "
+                "the registry names from repro.strategies.strategy_names()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self._table()[key]
+
+    def __iter__(self):
+        return iter(self._table())
+
+    def __len__(self) -> int:
+        return len(self._table())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._table()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PIPELINES view: {sorted(self._table())}>"
+
+
+#: Pipeline builders addressable from a spec, by name — a live view over
+#: the strategy registry (plus deprecated legacy aliases).
+PIPELINES = _PipelineRegistryView()
 
 #: Machine presets addressable from a spec, by name.
 MACHINES: Dict[str, Callable[[], MachinePreset]] = {
@@ -396,7 +448,7 @@ class ExperimentSpec:
 
     def build_pipeline(self) -> PipelineSpec:
         """Instantiate the named pipeline on this spec's assignment."""
-        return PIPELINES[self.pipeline](self.assignment)
+        return PIPELINES.resolve(self.pipeline)(self.assignment)
 
 
 def _check_server_index(ex: PipelineExecutor, server: int, what: str) -> None:

@@ -47,6 +47,7 @@ __all__ = [
     "run_table4",
     "run_fig8",
     "run_ablation_stripe_sweep",
+    "run_ablation_bottleneck_migration",
     "run_ablation_io_strategy",
     "run_ablation_straggler_disk",
     "run_ablation_straggler_node",
@@ -412,6 +413,44 @@ def run_ablation_stripe_sweep(
             fs=FSConfig(kind="pfs", stripe_factor=sf),
             params=params,
             cfg=cfg,
+            seed=seed,
+        )
+        for sf in stripe_factors
+    ]
+    results = _runner(runner).run(specs)
+    return dict(zip(stripe_factors, results))
+
+
+def run_ablation_bottleneck_migration(
+    stripe_factors: Tuple[int, ...] = (4, 8, 16, 32, 64),
+    case_number: int = 3,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    interval: float = 0.25,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> Dict[int, PipelineResult]:
+    """Watch the bottleneck *move* as stripe servers are added.
+
+    Same sweep as :func:`run_ablation_stripe_sweep`, but with live
+    metrics sampled every ``interval`` simulated seconds: at small
+    stripe factors the disk-queue series dominates (the pipeline is
+    I/O-bound, servers saturated, deep queues); as the stripe factor
+    grows the queues drain and per-node compute utilization takes over
+    as the binding resource.  Feed each cell to
+    :func:`repro.obs.report.bottleneck_profile` to get the handoff as
+    numbers.
+    """
+    params = params or STAPParams()
+    a = NodeAssignment.case(case_number, params)
+    specs = [
+        ExperimentSpec(
+            assignment=a,
+            pipeline="embedded",
+            machine="paragon",
+            fs=FSConfig(kind="pfs", stripe_factor=sf),
+            params=params,
+            cfg=replace(cfg, metrics_interval=interval),
             seed=seed,
         )
         for sf in stripe_factors

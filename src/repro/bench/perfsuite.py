@@ -10,6 +10,9 @@ Measures four things and records them in a JSON baseline file
   total function calls under cProfile, and the result hash;
 * ``cell_smoke`` — a small, fast cell used by CI and the perf-smoke
   test, same metrics;
+* ``metrics_overhead`` — the canonical embedded cell run plain and with
+  live metrics sampling, recording the wall overhead fraction and
+  gating on the *stripped* result hash (metrics must change nothing);
 * ``reproduce_cold`` — wall time of the full table/figure reproduction
   with a cold cache (the end-to-end number a user experiences).
 
@@ -42,6 +45,7 @@ __all__ = [
     "run_suite",
     "measure_cell",
     "measure_kernel_ops",
+    "measure_metrics_overhead",
     "measure_reproduce_cold",
     "check_against",
     "main",
@@ -115,7 +119,7 @@ def _kernel_workload(n_workers: int = 50, n_iters: int = 400) -> int:
 
 
 def _cell_spec(pipeline: str, case: int, n_cpis: int, warmup: int,
-               stripe_factor: int):
+               stripe_factor: int, metrics_interval: Optional[float] = None):
     from repro.bench.engine import ExperimentSpec
     from repro.core.context import ExecutionConfig
     from repro.core.executor import FSConfig
@@ -129,7 +133,9 @@ def _cell_spec(pipeline: str, case: int, n_cpis: int, warmup: int,
         machine="paragon",
         fs=FSConfig(kind="pfs", stripe_factor=stripe_factor),
         params=params,
-        cfg=ExecutionConfig(n_cpis=n_cpis, warmup=warmup),
+        cfg=ExecutionConfig(
+            n_cpis=n_cpis, warmup=warmup, metrics_interval=metrics_interval
+        ),
         seed=0,
     )
 
@@ -153,6 +159,73 @@ def measure_cell(pipeline: str, case: int, n_cpis: int = 8, warmup: int = 2,
         "wall_s": round(wall, 4),
         "calls": calls,
         "result_hash": digest,
+    }
+
+
+def _stripped_hash(result) -> str:
+    """Result hash with the observability fields removed.
+
+    A metrics run must be bit-identical to a plain run everywhere except
+    the artifact itself and the config field that asked for it; hashing
+    the dict with those two stripped makes "metrics changed nothing"
+    a checkable invariant.
+    """
+    d = result.to_dict()
+    d.pop("metrics", None)
+    d.get("cfg", {}).pop("metrics_interval", None)
+    return hashlib.sha256(
+        json.dumps(d, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def measure_metrics_overhead(case: int = 3, n_cpis: int = 8, warmup: int = 2,
+                             stripe_factor: int = 64,
+                             interval: float = 0.25) -> Dict[str, Any]:
+    """Cost and correctness of the observability layer on one cell.
+
+    Runs the canonical embedded cell plain and with metrics sampling.
+    ``result_hash`` is the metrics run's *stripped* hash (see
+    :func:`_stripped_hash`), gated against the plain cell's baseline
+    hash — so any event-ordering perturbation from the sampler fails
+    the check.  The wall overhead fraction is recorded for human eyes.
+    """
+    from repro.bench.engine import run_spec
+
+    plain_spec = _cell_spec("embedded", case, n_cpis, warmup, stripe_factor)
+    metrics_spec = _cell_spec("embedded", case, n_cpis, warmup, stripe_factor,
+                              metrics_interval=interval)
+
+    def _best_wall(spec) -> Tuple[float, Any]:
+        # Best-of-3: single runs swing ~±5% on shared machines, far more
+        # than the overhead being measured.
+        best, out = float("inf"), None
+        for _ in range(3):
+            gc.collect()
+            t0 = time.perf_counter()
+            out = run_spec(spec)
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+
+    wall_plain, plain = _best_wall(plain_spec)
+    wall_metrics, metered = _best_wall(metrics_spec)
+    _, calls, _ = _profiled(lambda: run_spec(metrics_spec))
+    assert _stripped_hash(metered) == _stripped_hash(plain), (
+        "metrics run diverged from plain run — the sampler perturbed "
+        "event ordering"
+    )
+    overhead = (wall_metrics - wall_plain) / wall_plain if wall_plain else 0.0
+    return {
+        "case": case,
+        "n_cpis": n_cpis,
+        "warmup": warmup,
+        "stripe_factor": stripe_factor,
+        "interval": interval,
+        "wall_plain_s": round(wall_plain, 4),
+        "wall_metrics_s": round(wall_metrics, 4),
+        "overhead_frac": round(overhead, 4),
+        "samples": metered.metrics["samples"],
+        "calls": calls,
+        "result_hash": _stripped_hash(metered),
     }
 
 
@@ -208,6 +281,7 @@ _SECTIONS: Dict[str, Callable[[], Dict[str, Any]]] = {
     ),
     "cell_embedded_case3": lambda: measure_cell("embedded", 3),
     "cell_separate_case3": lambda: measure_cell("separate", 3),
+    "metrics_overhead": measure_metrics_overhead,
     "reproduce_cold": measure_reproduce_cold,
 }
 

@@ -6,6 +6,8 @@ Examples::
     python -m repro run --case 3 --fs pfs --stripe-factor 16
     python -m repro run --pipeline separate --machine sp --fs piofs
     python -m repro run --strategy collective-two-phase --fs pfs
+    python -m repro run --case 3 --metrics --metrics-interval 0.25
+    python -m repro metrics show <hash-prefix>
     python -m repro strategies list
     python -m repro strategies smoke
     python -m repro table 1
@@ -28,6 +30,7 @@ cells; ``--no-cache`` opts out.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -117,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment seed (part of the cache key)")
     p_run.add_argument("--threaded", action="store_true",
                        help="SMP phase-threaded nodes (IPPS'99 design)")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="sample live metrics during the run and write "
+                       "the time-series artifacts (see docs/observability.md)")
+    p_run.add_argument("--metrics-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="simulated-time sampling interval "
+                       "(implies --metrics; default 0.1)")
+    p_run.add_argument("--metrics-dir", default="results/metrics",
+                       help="directory for the metrics artifacts "
+                       "(default results/metrics)")
     _add_engine_opts(p_run)
 
     p_table = sub.add_parser("table", help="regenerate a paper table (1-4)")
@@ -176,6 +189,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
                        help="content-addressed result cache directory")
 
+    p_met = sub.add_parser(
+        "metrics", help="inspect the metrics artifact of a cached or saved run"
+    )
+    p_met.add_argument("action", choices=("show",))
+    p_met.add_argument("target",
+                       help="spec hash (any unique prefix) from the result "
+                       "cache, or a path to a metrics/result JSON file")
+    p_met.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help="content-addressed result cache directory")
+    p_met.add_argument("--top", type=int, default=8,
+                       help="series rows in the summary (default 8)")
+
     p_sp = sub.add_parser(
         "spectrum", help="render the angle-Doppler spectrum of a synthetic scene"
     )
@@ -202,9 +227,20 @@ def _cmd_run(args) -> int:
         raise ReproError(
             f"--read-deadline must be > 0 seconds, got {args.read_deadline}"
         )
+    metrics_on = args.metrics or args.metrics_interval is not None
+    if metrics_on and args.jobs > 1:
+        raise ReproError(
+            "--metrics runs in-process (the sampler hooks the live kernel); "
+            "drop --jobs or run without metrics"
+        )
+    metrics_interval = None
+    if metrics_on:
+        metrics_interval = (
+            args.metrics_interval if args.metrics_interval is not None else 0.1
+        )
     cfg = ExecutionConfig(
         n_cpis=args.cpis, warmup=args.warmup, threaded=args.threaded,
-        read_deadline=args.read_deadline,
+        read_deadline=args.read_deadline, metrics_interval=metrics_interval,
     )
     server_crash = None
     if args.crash_server is not None:
@@ -263,8 +299,83 @@ def _cmd_run(args) -> int:
             f"faults     : {sum(failed)} failed requests, "
             f"{sum(outages)} server outage(s)"
         )
+    if metrics_on:
+        _emit_metrics_artifacts(result, exp, args.metrics_dir)
     if runner.cache_hits:
         print(f"(cell {exp.short_hash()} served from cache)")
+    return 0
+
+
+def _emit_metrics_artifacts(result, exp, metrics_dir: str) -> None:
+    """Write the run's metrics artifacts and print the live summary."""
+    import pathlib
+
+    from repro.obs import render_metrics_summary
+    from repro.trace.export import (
+        write_chrome_trace,
+        write_metrics_json,
+        write_prometheus,
+    )
+
+    out = pathlib.Path(metrics_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = exp.short_hash()
+    paths = [
+        write_metrics_json(result, str(out / f"{stem}.metrics.json"), pretty=True),
+        write_prometheus(result, str(out / f"{stem}.prom")),
+        write_chrome_trace(result, str(out / f"{stem}.trace.json")),
+    ]
+    print()
+    print(render_metrics_summary(result.metrics))
+    for p in paths:
+        print(f"wrote {p}")
+
+
+def _cmd_metrics(args) -> int:
+    """Render the metrics artifact of a cached result or a JSON file."""
+    import json
+    import pathlib
+
+    from repro.obs import render_metrics_summary, validate_metrics_dict
+
+    target = args.target
+    if pathlib.Path(target).is_file():
+        payload = json.loads(pathlib.Path(target).read_text(encoding="utf-8"))
+        # Accept a bare metrics artifact, a structured-result envelope,
+        # or a raw PipelineResult dict.
+        if "counters" in payload:
+            metrics = payload
+        else:
+            data = payload.get("data", payload)
+            metrics = (data.get("result") or data).get("metrics")
+    else:
+        store = ResultStore(args.cache_dir)
+        matches = [h for h in store.hashes() if h.startswith(target)]
+        if len(matches) != 1:
+            what = "no" if not matches else f"{len(matches)} ambiguous"
+            print(f"error: {what} cached result(s) match {target!r}",
+                  file=sys.stderr)
+            return 2
+        payload = store.load(matches[0])
+        if payload is None:
+            print(f"error: entry {matches[0]} is unreadable", file=sys.stderr)
+            return 2
+        metrics = payload["result"].get("metrics")
+    if metrics is None:
+        print(
+            "error: this result carries no metrics artifact; re-run the "
+            "cell with 'repro run --metrics' (or metrics_interval= in "
+            "ExecutionConfig)",
+            file=sys.stderr,
+        )
+        return 2
+    problems = validate_metrics_dict(metrics)
+    if problems:
+        print("error: malformed metrics artifact:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 2
+    print(render_metrics_summary(metrics, top=args.top))
     return 0
 
 
@@ -603,6 +714,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep-stripe": _cmd_sweep_stripe,
         "reproduce": _cmd_reproduce,
         "results": _cmd_results,
+        "metrics": _cmd_metrics,
         "spectrum": _cmd_spectrum,
         "strategies": _cmd_strategies,
         "info": _cmd_info,
@@ -612,6 +724,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout mid-print; the Unix
+        # convention is to die quietly with SIGPIPE's exit code.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,10 +29,12 @@ from repro.core.pipeline import (
     build_separate_io_pipeline,
     combine_pulse_cfar,
 )
-from repro.core.model import PipelineModel, CombinationAnalysis
+from repro.core.model import CombinationAnalysis, IOModel, PipelineModel
 from repro.core.executor import ExecutionConfig, PipelineExecutor, PipelineResult
-from repro.core.metrics import TaskPhaseStats, measure
+from repro.core.metrics import PipelineMeasurement, TaskPhaseStats, measure
+from repro.core.plan import PipelinePlan
 from repro.core.scaling import ScalingStudy, run_scaling_study
+from repro.core.stages import BoundedQueue, TaskStages, run_sequential, run_threaded
 from repro.core.validate import validate_plan
 
 __all__ = [
@@ -50,12 +52,19 @@ __all__ = [
     "build_separate_io_pipeline",
     "combine_pulse_cfar",
     "PipelineModel",
+    "IOModel",
     "CombinationAnalysis",
     "ExecutionConfig",
     "PipelineExecutor",
     "PipelineResult",
+    "PipelinePlan",
     "TaskPhaseStats",
+    "PipelineMeasurement",
     "measure",
+    "TaskStages",
+    "BoundedQueue",
+    "run_sequential",
+    "run_threaded",
     "ScalingStudy",
     "run_scaling_study",
     "validate_plan",

@@ -68,6 +68,15 @@ class ExecutionConfig:
         :class:`~repro.core.metrics.DroppedCpi` instead of stalling the
         whole pipeline behind a failed stripe server.  ``None`` (the
         default) keeps the classic stall-forever behaviour.
+    metrics_interval:
+        Simulated-time gauge-sampling interval for the observability
+        layer (:mod:`repro.obs`).  When set, the executor builds a
+        :class:`~repro.obs.MetricsRegistry`, samples it every this many
+        simulated seconds, and attaches the time-series artifact to
+        ``PipelineResult.metrics``.  Sampling rides the kernel's
+        clock-advance hook, so event order — and every simulated
+        quantity — is bit-identical with metrics on or off.  ``None``
+        (the default) disables metrics entirely.
     """
 
     n_cpis: int = 8
@@ -77,6 +86,7 @@ class ExecutionConfig:
     threaded: bool = False
     write_reports: bool = False
     read_deadline: Optional[float] = None
+    metrics_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_cpis < 1:
@@ -87,13 +97,15 @@ class ExecutionConfig:
             raise ValueError("window must be >= 1")
         if self.read_deadline is not None and self.read_deadline <= 0:
             raise ValueError("read_deadline must be > 0 (or None)")
+        if self.metrics_interval is not None and self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be > 0 (or None)")
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Lossless JSON-able form.
 
-        ``read_deadline`` is emitted only when set so configs predating
-        the fault-tolerance work keep their exact hashes.
+        ``read_deadline`` and ``metrics_interval`` are emitted only when
+        set so configs predating those features keep their exact hashes.
         """
         d: Dict[str, Any] = {
             "n_cpis": self.n_cpis,
@@ -105,6 +117,8 @@ class ExecutionConfig:
         }
         if self.read_deadline is not None:
             d["read_deadline"] = self.read_deadline
+        if self.metrics_interval is not None:
+            d["metrics_interval"] = self.metrics_interval
         return d
 
     @staticmethod
@@ -129,6 +143,7 @@ class TaskContext:
         node_spec,
         results: Dict[str, Any],
         strategy=None,
+        metrics=None,
     ) -> None:
         self.kernel = kernel
         self.rc = rc
@@ -143,6 +158,9 @@ class TaskContext:
         #: The run's :class:`~repro.strategies.IOStrategy` (None for
         #: hand-built specs outside the registry: legacy reader behaviour).
         self.strategy = strategy
+        #: The run's :class:`~repro.obs.MetricsRegistry`, or None when
+        #: observability is off (``cfg.metrics_interval`` unset).
+        self.metrics = metrics
         self.params: STAPParams = plan.params
         self.costs = STAPCosts(plan.params)
         # Per-consumer-set credit bookkeeping: edge key -> consumer ranks.
@@ -159,10 +177,17 @@ class TaskContext:
 
     def record(self, cpi: int, phase: Phase, t_start: float, t_end: Optional[float] = None) -> None:
         """Add a trace record ending now (or at ``t_end``)."""
-        self.trace.add(
-            self.name, self.local, cpi, phase, t_start,
-            self.now if t_end is None else t_end,
-        )
+        end = self.now if t_end is None else t_end
+        self.trace.add(self.name, self.local, cpi, phase, t_start, end)
+        if self.metrics is not None:
+            # Cumulative phase seconds per (task, phase): the compute-
+            # utilization side of the bottleneck-migration picture.  A
+            # plain counter increment — no kernel interaction.
+            self.metrics.counter(
+                "task_phase_seconds_total",
+                help="cumulative simulated seconds spent per task phase",
+                task=self.name, phase=phase.value,
+            ).inc(end - t_start)
 
     def ranks(self, task_name: str) -> Tuple[int, ...]:
         return self.plan.ranks(task_name)

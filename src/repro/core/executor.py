@@ -23,12 +23,15 @@ from repro.errors import ConfigurationError
 from repro.core.bodies import body_for
 from repro.core.context import ExecutionConfig, TaskContext
 from repro.core.metrics import DroppedCpi, PipelineMeasurement, measure
+from repro.core.serialize import compat_get
 from repro.core.pipeline import PipelineSpec
 from repro.core.plan import PipelinePlan
 from repro.core.validate import validate_plan
 from repro.io.fileset import CubeFileSet, CubeSource
 from repro.machine.presets import MachinePreset
 from repro.mpi.communicator import Communicator
+from repro.obs import MetricsRegistry, Sampler, instrument_pipeline
+from repro.obs.instruments import DEFAULT_BUCKETS
 from repro.pfs.blockdev import DiskSpec
 from repro.pfs.pfs import PFS
 from repro.pfs.piofs import PIOFS
@@ -121,6 +124,9 @@ class PipelineResult:
     rank_task: "Optional[dict]" = None
     #: CPIs skipped at the read deadline; None unless a deadline was set.
     dropped_cpis: "Optional[List[DroppedCpi]]" = None
+    #: JSON time-series metrics artifact (see :mod:`repro.obs`); None
+    #: unless ``cfg.metrics_interval`` was set.
+    metrics: "Optional[dict]" = None
 
     def disk_utilization(self) -> float:
         """Mean busy fraction of the stripe directories' disks."""
@@ -137,7 +143,8 @@ class PipelineResult:
         ``"src->dst"`` string keys; integer-keyed maps (``rank_task``)
         with stringified keys, both reversed by :meth:`from_dict`.
         ``dropped_cpis`` appears only when a read deadline was
-        configured, keeping deadline-free result hashes unchanged.
+        configured, and ``metrics`` only when observability was on,
+        keeping pre-existing result hashes unchanged.
         """
         d = {
             "spec": self.spec.to_dict(),
@@ -165,33 +172,44 @@ class PipelineResult:
         }
         if self.dropped_cpis is not None:
             d["dropped_cpis"] = [x.to_dict() for x in self.dropped_cpis]
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
         return d
 
     @staticmethod
     def from_dict(d: Dict[str, Any]) -> "PipelineResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Reads accept legacy camelCase key spellings (``fsLabel``,
+        ``rankTraffic``, ...) via :func:`~repro.core.serialize
+        .compat_get`; writes are always snake_case.
+        """
         result = PipelineResult(
             spec=PipelineSpec.from_dict(d["spec"]),
             cfg=ExecutionConfig.from_dict(d["cfg"]),
-            fs_label=d["fs_label"],
-            machine_name=d["machine_name"],
+            fs_label=compat_get(d, "fs_label"),
+            machine_name=compat_get(d, "machine_name"),
             trace=TraceCollector.from_dict(d["trace"]),
             measurement=PipelineMeasurement.from_dict(d["measurement"]),
             detections=[Detection.from_dict(x) for x in d["detections"]],
-            elapsed_sim_time=d["elapsed_sim_time"],
+            elapsed_sim_time=compat_get(d, "elapsed_sim_time"),
         )
-        result.disk_stats = d["disk_stats"]
-        if d["rank_traffic"] is not None:
+        result.disk_stats = compat_get(d, "disk_stats")
+        rank_traffic = compat_get(d, "rank_traffic")
+        if rank_traffic is not None:
             result.rank_traffic = {
                 tuple(int(r) for r in key.split("->")): tuple(counts)
-                for key, counts in d["rank_traffic"].items()
+                for key, counts in rank_traffic.items()
             }
-        if d["rank_task"] is not None:
+        rank_task = compat_get(d, "rank_task")
+        if rank_task is not None:
             result.rank_task = {
-                int(rank): task for rank, task in d["rank_task"].items()
+                int(rank): task for rank, task in rank_task.items()
             }
-        if d.get("dropped_cpis") is not None:
-            result.dropped_cpis = [DroppedCpi.from_dict(x) for x in d["dropped_cpis"]]
+        dropped = compat_get(d, "dropped_cpis", None)
+        if dropped is not None:
+            result.dropped_cpis = [DroppedCpi.from_dict(x) for x in dropped]
+        result.metrics = d.get("metrics")
         return result
 
     def task_traffic(self) -> "dict":
@@ -280,6 +298,17 @@ class PipelineExecutor:
         self.comm = Communicator.world(self.machine)
         self.trace = TraceCollector()
         self.results: Dict[str, Any] = {}
+        # Observability (repro.obs): registry + kernel-hook sampler over
+        # the standard gauge set.  Pure observers — event order and every
+        # simulated quantity are identical whether this is on or off.
+        self.metrics: Optional[MetricsRegistry] = None
+        self._sampler: Optional[Sampler] = None
+        if self.cfg.metrics_interval is not None:
+            self.metrics = MetricsRegistry()
+            self._sampler = Sampler(
+                self.kernel, self.metrics, self.cfg.metrics_interval
+            )
+            instrument_pipeline(self.metrics, self)
 
     def run(self) -> PipelineResult:
         """Execute the configured number of CPIs and measure."""
@@ -298,11 +327,16 @@ class PipelineExecutor:
                     node_spec=self.machine.node(rank).spec,
                     results=self.results,
                     strategy=self.strategy,
+                    metrics=self.metrics,
                 )
                 self.kernel.process(
                     body_for(inst.spec.kind, ctx), name=f"{name}[{local}]"
                 )
+        if self._sampler is not None:
+            self._sampler.attach()
         self.kernel.run()
+        if self._sampler is not None:
+            self._sampler.finalize(self.kernel.now)
         meas = measure(
             self.trace,
             self.spec,
@@ -349,4 +383,17 @@ class PipelineExecutor:
             for name, inst in self.plan.instances.items()
             for rank in inst.ranks
         }
+        if self.metrics is not None:
+            hist = self.metrics.histogram(
+                "cpi_latency_seconds",
+                buckets=DEFAULT_BUCKETS,
+                help="per-CPI pipeline latency over the steady-state window",
+            )
+            for v in meas.latencies:
+                hist.observe(v)
+            result.metrics = self.metrics.to_dict(
+                interval=self.cfg.metrics_interval,
+                t_end=self.kernel.now,
+                samples=self._sampler.samples,
+            )
         return result

@@ -21,6 +21,7 @@ from typing import Dict, List
 
 from repro.errors import PipelineError
 from repro.core.pipeline import PipelineSpec
+from repro.core.serialize import compat_get
 from repro.trace.collector import TraceCollector
 from repro.trace.record import Phase
 
@@ -133,15 +134,20 @@ class PipelineMeasurement:
 
     @staticmethod
     def from_dict(d: Dict[str, object]) -> "PipelineMeasurement":
-        """Inverse of :meth:`to_dict`."""
-        stats = [TaskPhaseStats.from_dict(s) for s in d["task_stats"]]
+        """Inverse of :meth:`to_dict`.
+
+        Accepts legacy camelCase spellings (``taskStats``,
+        ``modelThroughput``, ...) on the read side; emitted keys are
+        always snake_case.
+        """
+        stats = [TaskPhaseStats.from_dict(s) for s in compat_get(d, "task_stats")]
         return PipelineMeasurement(
             task_stats={s.task: s for s in stats},
             throughput=d["throughput"],
             latency=d["latency"],
-            model_throughput=d["model_throughput"],
-            model_latency=d["model_latency"],
-            steady_cpis=list(d["steady_cpis"]),
+            model_throughput=compat_get(d, "model_throughput"),
+            model_latency=compat_get(d, "model_latency"),
+            steady_cpis=list(compat_get(d, "steady_cpis")),
             latencies=list(d["latencies"]),
         )
 

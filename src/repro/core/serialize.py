@@ -1,0 +1,40 @@
+"""Serialization-key conventions and back-compat reads.
+
+Every ``to_dict()`` in this package emits **snake_case** keys — that is
+the pinned convention (see ``tests/test_serialization_golden.py``).
+Earlier external tooling and hand-written fixtures sometimes produced
+camelCase spellings (``taskStats``, ``fsLabel``), so the ``from_dict``
+readers accept both: :func:`compat_get` looks a snake_case key up under
+its camelCase alias before giving up.  Writing camelCase is never
+supported — the alias path is read-only compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["camel", "compat_get"]
+
+_MISSING = object()
+
+
+def camel(key: str) -> str:
+    """snake_case -> camelCase (``task_stats`` -> ``taskStats``)."""
+    head, *rest = key.split("_")
+    return head + "".join(part.title() for part in rest)
+
+
+def compat_get(d: Mapping[str, Any], key: str, default: Any = _MISSING) -> Any:
+    """``d[key]``, falling back to the camelCase alias of ``key``.
+
+    With no ``default``, a key present under neither spelling raises
+    ``KeyError`` on the canonical snake_case name.
+    """
+    if key in d:
+        return d[key]
+    alias = camel(key)
+    if alias != key and alias in d:
+        return d[alias]
+    if default is _MISSING:
+        raise KeyError(key)
+    return default

@@ -98,6 +98,16 @@ class BoundedQueue:
         self.kernel = ctx.kernel
         self._slots = Resource(self.kernel, capacity=depth, name=f"{name}.slots")
         self._items = Store(self.kernel, name=f"{name}.items")
+        metrics = getattr(ctx, "metrics", None)
+        if metrics is not None:
+            # Occupancy is backpressure made visible: a persistently full
+            # input queue means the compute thread is the bottleneck.
+            metrics.gauge(
+                "bounded_queue_depth",
+                help="items buffered between node threads (depth-bounded)",
+                fn=self._items.__len__,
+                queue=name or f"{ctx.name}[{ctx.local}]",
+            )
 
     def put(self, item: Any):
         """Generator: enqueue, blocking while full."""

@@ -1,0 +1,378 @@
+"""Typed metric instruments and their registry.
+
+Four instrument types, mirroring the usual production-metrics taxonomy:
+
+* :class:`Counter` — monotone accumulator (``inc``); e.g. seconds spent
+  in a phase, requests retried.
+* :class:`Gauge` — instantaneous value, either *pushed* (``set``) or
+  *pulled* through a zero-argument callback (``fn=``).  Pull gauges are
+  the backbone of the sampler: they read state the simulation already
+  maintains (queue lengths, byte counters, link occupancy) so enabling
+  metrics adds **no** writes to any hot path.
+* :class:`Histogram` — fixed-bucket distribution (``observe``), in the
+  Prometheus cumulative-bucket shape.
+* :class:`Timeseries` — explicit ``(t, v)`` points over *simulated*
+  time.  The :class:`~repro.obs.sampler.Sampler` materializes one per
+  sampled gauge; they can also be recorded directly.
+
+All of it hangs off a :class:`MetricsRegistry`, which deduplicates
+instruments by ``(name, labels)`` and serializes the whole collection
+into the JSON time-series artifact stored on
+``PipelineResult.metrics``.
+
+Determinism contract: instruments are plain Python state.  Creating,
+incrementing, or reading them never touches the DES kernel, so a run
+with metrics enabled schedules exactly the same events in exactly the
+same order as one without.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timeseries",
+    "MetricsRegistry",
+    "validate_metrics_dict",
+]
+
+#: Schema of the JSON metrics artifact; bump on incompatible changes.
+METRICS_SCHEMA = 1
+
+#: Default latency-histogram bucket upper bounds (simulated seconds).
+DEFAULT_BUCKETS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _qualify(name: str, labels: LabelItems) -> str:
+    """Prometheus-style qualified name: ``name{k="v",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Instrument:
+    """Common identity of every instrument: name, labels, help text."""
+
+    kind: str = ""
+
+    def __init__(self, name: str, labels: LabelItems, help: str = "") -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    @property
+    def qualified_name(self) -> str:
+        return _qualify(self.name, self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.qualified_name}>"
+
+
+class Counter(_Instrument):
+    """Monotonically increasing accumulator."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems, help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.qualified_name} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge(_Instrument):
+    """Instantaneous value: pushed via :meth:`set` or pulled via ``fn``.
+
+    A pull gauge's callback must be a pure read of simulation state —
+    it runs inside the kernel's clock-advance hook, where scheduling
+    anything would perturb event order.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(name, labels, help)
+        self.fn = fn
+        self._value: float = 0.0
+        #: Filled by the sampler with this gauge's sampled points.
+        self.series: Optional[Timeseries] = None
+
+    def set(self, value: float) -> None:
+        if self.fn is not None:
+            raise ConfigurationError(
+                f"gauge {self.qualified_name} is pull-based (fn=); set() "
+                "would be overwritten at the next sample"
+            )
+        self._value = value
+
+    def read(self) -> float:
+        """Current value (invokes the callback for pull gauges)."""
+        return self.fn() if self.fn is not None else self._value
+
+    def _ensure_series(self) -> "Timeseries":
+        if self.series is None:
+            self.series = Timeseries(self.name, self.labels, self.help)
+        return self.series
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution in the cumulative-bucket shape.
+
+    ``buckets`` are ascending upper bounds; an implicit ``+inf`` bucket
+    catches the tail, so ``counts`` has ``len(buckets) + 1`` entries.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        super().__init__(name, labels, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {name} needs ascending bucket bounds, got {buckets}"
+            )
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class Timeseries(_Instrument):
+    """Explicit ``(t, v)`` points over simulated time.
+
+    Points are *sparse with last-value semantics*: the sampler records a
+    point only when the value changed (plus one final point at the end
+    of the run), so a consumer reconstructs the full series by holding
+    each value until the next point.
+    """
+
+    kind = "timeseries"
+
+    def __init__(self, name: str, labels: LabelItems, help: str = "") -> None:
+        super().__init__(name, labels, help)
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        if self._t and t < self._t[-1]:
+            raise ConfigurationError(
+                f"timeseries {self.qualified_name}: t={t} precedes "
+                f"last point at t={self._t[-1]}"
+            )
+        self._t.append(t)
+        self._v.append(value)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._t, self._v))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self._v[-1] if self._v else None
+
+
+class MetricsRegistry:
+    """All of one run's instruments, keyed by ``(name, labels)``.
+
+    Factory methods are get-or-create: asking twice for the same
+    instrument returns the same object, so instrumentation sites can be
+    written without coordination.  Re-registering a name with a
+    different instrument type is a configuration error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelItems], _Instrument] = {}
+        self._summaries: Dict[str, Dict[str, float]] = {}
+        self._finalizers: List[Callable[[], None]] = []
+
+    # -- factories ---------------------------------------------------------
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str],
+                       **kwargs: Any) -> _Instrument:
+        items: LabelItems = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        key = (name, items)
+        inst = self._instruments.get(key)
+        if inst is not None:
+            if not isinstance(inst, cls):
+                raise ConfigurationError(
+                    f"instrument {_qualify(name, items)} already registered "
+                    f"as {inst.kind}, not {cls.kind}"
+                )
+            return inst
+        inst = cls(name, items, **kwargs)
+        self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels, help=help)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], float]] = None,
+        **labels: str,
+    ) -> Gauge:
+        g = self._get_or_create(Gauge, name, labels, help=help, fn=fn)
+        if fn is not None and g.fn is None:
+            g.fn = fn
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, buckets=buckets, help=help
+        )
+
+    def timeseries(self, name: str, help: str = "", **labels: str) -> Timeseries:
+        return self._get_or_create(Timeseries, name, labels, help=help)
+
+    # -- introspection -----------------------------------------------------
+    def instruments(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    def gauges(self) -> List[Gauge]:
+        return [i for i in self._instruments.values() if isinstance(i, Gauge)]
+
+    def get(self, name: str, **labels: str) -> Optional[_Instrument]:
+        items: LabelItems = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self._instruments.get((name, items))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- finalize hooks ----------------------------------------------------
+    def on_finalize(self, fn: Callable[[], None]) -> None:
+        """Register a callback run once at sampler finalize (used to
+        fold per-link tallies into summaries)."""
+        self._finalizers.append(fn)
+
+    def summary(self, name: str, values: Dict[str, float]) -> None:
+        """Store a named bag of derived scalars (e.g. per-link busy
+        fractions) for the exported artifact."""
+        self._summaries[name] = dict(values)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(
+        self,
+        interval: Optional[float] = None,
+        t_end: Optional[float] = None,
+        samples: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """The JSON metrics artifact (schema :data:`METRICS_SCHEMA`)."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        series: Dict[str, Dict[str, List[float]]] = {}
+        help_text: Dict[str, str] = {}
+        for inst in self._instruments.values():
+            if inst.help:
+                help_text.setdefault(inst.name, inst.help)
+            q = inst.qualified_name
+            if isinstance(inst, Counter):
+                counters[q] = inst.value
+            elif isinstance(inst, Gauge):
+                if inst.series is not None and len(inst.series):
+                    gauges[q] = inst.series.last
+                    series[q] = {"t": inst.series._t, "v": inst.series._v}
+                else:
+                    gauges[q] = inst.read()
+            elif isinstance(inst, Histogram):
+                histograms[q] = {
+                    "buckets": list(inst.buckets),
+                    "counts": list(inst.counts),
+                    "sum": inst.sum,
+                    "count": inst.count,
+                }
+            elif isinstance(inst, Timeseries):
+                series[q] = {"t": inst._t, "v": inst._v}
+        return {
+            "schema": METRICS_SCHEMA,
+            "interval": interval,
+            "t_end": t_end,
+            "samples": samples,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "series": series,
+            "summaries": dict(self._summaries),
+            "help": help_text,
+        }
+
+
+def validate_metrics_dict(data: Any) -> List[str]:
+    """Schema-check a metrics artifact; returns problems (empty = valid).
+
+    Used by the CLI, the CI ``obs-smoke`` step, and the tests — one
+    shared definition of what a well-formed artifact looks like.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return [f"artifact must be a dict, got {type(data).__name__}"]
+    if data.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema must be {METRICS_SCHEMA}, got {data.get('schema')!r}"
+        )
+    for key, typ in (
+        ("counters", dict), ("gauges", dict), ("histograms", dict),
+        ("series", dict), ("summaries", dict),
+    ):
+        if not isinstance(data.get(key), typ):
+            problems.append(f"missing or mistyped key {key!r}")
+    for q, s in (data.get("series") or {}).items():
+        if not isinstance(s, dict) or "t" not in s or "v" not in s:
+            problems.append(f"series {q!r} must have 't' and 'v' arrays")
+            continue
+        if len(s["t"]) != len(s["v"]):
+            problems.append(
+                f"series {q!r}: {len(s['t'])} timestamps vs "
+                f"{len(s['v'])} values"
+            )
+        if any(b < a for a, b in zip(s["t"], s["t"][1:])):
+            problems.append(f"series {q!r}: timestamps not monotone")
+    for q, h in (data.get("histograms") or {}).items():
+        if len(h.get("counts", [])) != len(h.get("buckets", [])) + 1:
+            problems.append(
+                f"histogram {q!r}: counts must have len(buckets)+1 entries"
+            )
+    return problems

@@ -1,0 +1,170 @@
+"""Read-side helpers over the JSON metrics artifact.
+
+Everything here consumes the plain-dict artifact (``PipelineResult
+.metrics`` or a loaded ``metrics_*.json`` file), so it works equally on
+live results and on cache-restored ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "parse_qualified_name",
+    "series_by_name",
+    "time_weighted_mean",
+    "bottleneck_profile",
+    "sparkline",
+    "render_metrics_summary",
+]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def parse_qualified_name(qname: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``name{k="v",...}`` into ``(name, labels)``."""
+    if "{" not in qname:
+        return qname, {}
+    name, _, rest = qname.partition("{")
+    labels: Dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return name, labels
+
+
+def series_by_name(metrics: dict, name: str) -> Dict[str, dict]:
+    """All series of one base instrument name, keyed by qualified name."""
+    return {
+        q: s
+        for q, s in metrics.get("series", {}).items()
+        if parse_qualified_name(q)[0] == name
+    }
+
+
+def time_weighted_mean(
+    t: Sequence[float], v: Sequence[float], t_end: float
+) -> float:
+    """Mean of a sparse last-value series over ``[t[0], t_end]``.
+
+    Each point holds until the next point's timestamp (the sampler's
+    last-value semantics), so the mean is the stepwise integral divided
+    by the covered span.
+    """
+    if not t or t_end <= t[0]:
+        return v[-1] if v else 0.0
+    area = 0.0
+    for i in range(len(t) - 1):
+        area += v[i] * (t[i + 1] - t[i])
+    area += v[-1] * (t_end - t[-1])
+    return area / (t_end - t[0])
+
+
+def bottleneck_profile(result) -> Dict[str, float]:
+    """Where the run's bottleneck sat: disk queues vs. compute.
+
+    Derived entirely from the new gauges on ``result.metrics``:
+
+    * ``disk_util`` — mean busy fraction over all stripe directories
+      (final ``pfs_server_busy_seconds_total`` / elapsed);
+    * ``mean_queue_depth`` — time-weighted mean disk queue depth summed
+      over servers (the pressure reading: > 0 means reads are waiting);
+    * ``compute_util`` — busy fraction of the busiest task's nodes,
+      from the ``task_phase_seconds_total{phase=compute}`` counters.
+
+    The disk→compute bottleneck handoff of the stripe-factor sweep shows
+    up as ``disk_util``/``mean_queue_depth`` collapsing while
+    ``compute_util`` saturates.
+    """
+    metrics = result.metrics
+    if metrics is None:
+        raise ValueError("result has no metrics (run with metrics enabled)")
+    t_end = metrics.get("t_end") or result.elapsed_sim_time
+    if not t_end:
+        raise ValueError("metrics artifact has no elapsed time")
+
+    busy = [
+        v
+        for q, v in metrics["gauges"].items()
+        if parse_qualified_name(q)[0] == "pfs_server_busy_seconds_total"
+    ]
+    disk_util = sum(busy) / (len(busy) * t_end) if busy else 0.0
+
+    depth = 0.0
+    for s in series_by_name(metrics, "pfs_server_queue_depth").values():
+        depth += time_weighted_mean(s["t"], s["v"], t_end)
+
+    nodes_per_task: Dict[str, int] = {}
+    for task in (result.rank_task or {}).values():
+        nodes_per_task[task] = nodes_per_task.get(task, 0) + 1
+    compute_util = 0.0
+    for q, seconds in metrics["counters"].items():
+        name, labels = parse_qualified_name(q)
+        if name != "task_phase_seconds_total" or labels.get("phase") != "compute":
+            continue
+        n = nodes_per_task.get(labels.get("task", ""), 0)
+        if n:
+            compute_util = max(compute_util, seconds / (n * t_end))
+
+    return {
+        "disk_util": disk_util,
+        "mean_queue_depth": depth,
+        "compute_util": compute_util,
+        "bottleneck": "disk" if disk_util >= compute_util else "compute",
+    }
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a series as a one-line ASCII density strip."""
+    if not values:
+        return ""
+    vals = list(values)
+    if len(vals) > width:  # downsample by striding
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[int(round((v - lo) / span * top))] for v in vals
+    )
+
+
+def render_metrics_summary(metrics: dict, top: int = 8) -> str:
+    """Human-readable digest of a metrics artifact."""
+    lines: List[str] = []
+    interval: Optional[float] = metrics.get("interval")
+    lines.append(
+        f"metrics: {len(metrics.get('series', {}))} series, "
+        f"{len(metrics.get('counters', {}))} counters, "
+        f"{metrics.get('samples')} samples @ {interval}s over "
+        f"{metrics.get('t_end'):.3f}s simulated"
+    )
+    t_end = metrics.get("t_end") or 0.0
+    ranked = sorted(
+        (
+            (time_weighted_mean(s["t"], s["v"], t_end), q, s)
+            for q, s in metrics.get("series", {}).items()
+            if len(s["t"]) > 1
+        ),
+        reverse=True,
+    )
+    if ranked:
+        lines.append("")
+        lines.append(f"busiest series (time-weighted mean, top {top}):")
+        width = max(len(q) for _, q, _ in ranked[:top])
+        for mean, q, s in ranked[:top]:
+            lines.append(
+                f"  {q:<{width}}  {mean:12.4f}  {sparkline(s['v'])}"
+            )
+    for name, values in sorted(metrics.get("summaries", {}).items()):
+        if not values:
+            continue
+        hottest = sorted(values.items(), key=lambda kv: -kv[1])[:top]
+        lines.append("")
+        lines.append(f"{name} (top {len(hottest)}):")
+        for key, frac in hottest:
+            lines.append(f"  {key:<16} {frac:8.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Kernel-driven gauge sampling at a fixed simulated-time interval.
+
+The obvious design — a sampler *process* that loops ``yield
+k.timeout(dt)`` — is wrong for this codebase: it would consume sequence
+numbers, keep the deadlock detector's live-process count nonzero, and
+interleave its own entries with the workload's, perturbing the event
+order the perfsuite result hashes pin down.
+
+Instead the :class:`Sampler` rides the kernel's **clock-advance hook**
+(``Kernel._monitor``): the kernel's clock only moves on heap pops, and
+immediately after each advance past ``_monitor_next`` it calls the
+monitor with the new time.  The monitor emits one snapshot per crossed
+interval boundary and never schedules anything, so:
+
+* the event queue, lane, and sequence counter are untouched — event
+  order is *structurally* identical with sampling on or off;
+* a snapshot at boundary ``b`` observes the state after all events at
+  times ``< t_pop`` have run, i.e. the exact DES state at any instant in
+  ``(t_prev, t_pop)`` — which contains ``b``;
+* when the sampling interval outpaces event density, multiple
+  boundaries are emitted at one advance (each a correct snapshot: no
+  events fired between them).
+
+Snapshots are *sparse*: a gauge's point is recorded only when its value
+changed, plus one forced final point at :meth:`finalize` so every
+series ends at the run's end time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.instruments import MetricsRegistry
+from repro.sim.kernel import Kernel
+
+__all__ = ["Sampler"]
+
+
+class Sampler:
+    """Snapshot a registry's gauges every ``interval`` simulated seconds.
+
+    Attributes
+    ----------
+    samples:
+        Snapshots taken so far (interval boundaries crossed, plus the
+        forced final snapshot).  Tally-style gauge callbacks use this
+        count as the busy-fraction denominator.
+    """
+
+    def __init__(
+        self, kernel: Kernel, registry: MetricsRegistry, interval: float
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError(
+                f"sampling interval must be > 0 seconds, got {interval}"
+            )
+        self.kernel = kernel
+        self.registry = registry
+        self.interval = interval
+        self.samples = 0
+        self._next_k = 0  # integer boundary index: next boundary is k*interval
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self) -> None:
+        """Install the clock-advance hook; boundary 0.0 is sampled at the
+        first heap pop (after any zero-time lane events have run)."""
+        if self.kernel._monitor is not None:
+            raise ConfigurationError("kernel already has a monitor attached")
+        self.kernel._monitor = self._on_advance
+        self.kernel._monitor_next = self._next_k * self.interval
+        self._attached = True
+
+    def finalize(self, t_end: Optional[float] = None) -> None:
+        """Run finalizer hooks, force one last snapshot, detach."""
+        if not self._attached:
+            return
+        for fn in self.registry._finalizers:
+            fn()
+        self._sample(self.kernel.now if t_end is None else t_end, final=True)
+        self.kernel._monitor = None
+        self.kernel._monitor_next = float("inf")
+        self._attached = False
+
+    # -- the hook ----------------------------------------------------------
+    def _on_advance(self, t: float) -> None:
+        """Called by the kernel right after its clock advanced to ``t``
+        (before dispatching the event that caused the advance)."""
+        k, dt = self._next_k, self.interval
+        boundary = k * dt
+        while boundary <= t:
+            self._sample(boundary, final=False)
+            k += 1
+            boundary = k * dt  # k * dt, not += dt: no float drift
+        self._next_k = k
+        self.kernel._monitor_next = boundary
+
+    def _sample(self, t: float, final: bool) -> None:
+        self.samples += 1
+        for gauge in self.registry.gauges():
+            value = gauge.read()
+            series = gauge._ensure_series()
+            if series._v and series._v[-1] == value and not final:
+                continue  # sparse: unchanged values are implied
+            series.record(t, value)

@@ -166,6 +166,10 @@ class ParallelFileSystem:
         # golden result hash intact.
         self._fault_tolerant = replication > 1
         self._open_handles = 0
+        #: Client-side fault accounting: retry loop iterations that hit a
+        #: fault, and reads ultimately satisfied by a non-primary replica.
+        self.client_retries = 0
+        self.client_failovers = 0
         self.servers: List[IOServer] = [
             IOServer(
                 machine,
@@ -361,9 +365,12 @@ class ParallelFileSystem:
             server = self.servers[replicas[attempt % len(replicas)]]
             try:
                 yield from self._attempt_service(server, run, handle)
+                if attempt % len(replicas) != 0:
+                    self.client_failovers += 1
                 return
             except IOFaultError as exc:
                 last_exc = exc
+                self.client_retries += 1
             cycle, pos = divmod(attempt + 1, len(replicas))
             if pos == 0:  # exhausted every replica this cycle: back off
                 yield self.kernel.timeout(policy.backoff(cycle - 1))
@@ -389,6 +396,7 @@ class ParallelFileSystem:
                 return
             except IOFaultError as exc:
                 last_exc = exc
+                self.client_retries += 1
             yield self.kernel.timeout(policy.backoff(attempt))
         raise RetriesExhaustedError(
             f"write to dir {directory} failed after {policy.max_attempts} attempts"

@@ -97,6 +97,14 @@ class Kernel:
         # Exceptions from processes that failed with nobody waiting on
         # them; run() re-raises these instead of deadlocking opaquely.
         self._unobserved_failures: List[BaseException] = []
+        # Observability hook (see repro.obs.sampler): when set, called as
+        # ``_monitor(now)`` right after the clock advances to a time
+        # >= ``_monitor_next`` — i.e. only on heap pops, since lane
+        # entries never move the clock.  The monitor must be a pure
+        # observer: it maintains ``_monitor_next`` itself and must not
+        # schedule, so event order is identical with or without it.
+        self._monitor: Optional[Callable[[float], None]] = None
+        self._monitor_next: float = float("inf")
 
     # -- clock -----------------------------------------------------------
     @property
@@ -184,11 +192,15 @@ class Kernel:
             if queue and queue[0][0] <= self._now and queue[0][1] < lane[0][0]:
                 t, _seq, kind, a, b = _heappop(queue)
                 self._now = t
+                if t >= self._monitor_next:
+                    self._monitor(t)
             else:
                 _seq, kind, a, b = lane.popleft()
         elif queue:
             t, _seq, kind, a, b = _heappop(queue)
             self._now = t
+            if t >= self._monitor_next:
+                self._monitor(t)
         else:
             raise SimulationError("step() on an empty event queue")
 
@@ -267,11 +279,15 @@ class Kernel:
                 if queue and queue[0][0] <= self._now and queue[0][1] < lane[0][0]:
                     t, _seq, kind, a, b = _heappop(queue)
                     self._now = t
+                    if t >= self._monitor_next:
+                        self._monitor(t)
                 else:
                     _seq, kind, a, b = lane.popleft()
             else:
                 t, _seq, kind, a, b = _heappop(queue)
                 self._now = t
+                if t >= self._monitor_next:
+                    self._monitor(t)
 
             # Dispatch, most frequent kind first.
             if kind == _KIND_RESUME:

@@ -23,15 +23,42 @@ the per-task flop/byte models that drive the timing simulation.
 from repro.stap.params import STAPParams
 from repro.stap.datacube import DataCube
 from repro.stap.scenario import Scenario, Target, Jammer, make_cube
-from repro.stap.doppler import doppler_process, DopplerOutput
-from repro.stap.weights import compute_weights_easy, compute_weights_hard, WeightSet
+from repro.stap.doppler import (
+    DopplerOutput,
+    bin_frequency,
+    doppler_filter_arrays,
+    doppler_process,
+    doppler_window,
+)
+from repro.stap.weights import (
+    WeightSet,
+    compute_weights_easy,
+    compute_weights_hard,
+    initial_weights,
+    solve_mvdr,
+    steering_matrix_easy,
+    steering_matrix_hard,
+    training_gates,
+)
 from repro.stap.beamform import beamform
-from repro.stap.pulse import lfm_replica, pulse_compress
-from repro.stap.cfar import ca_cfar, Detection
+from repro.stap.pulse import (
+    lfm_replica,
+    pulse_compress,
+    pulse_compress_direct,
+    segment_length,
+)
+from repro.stap.cfar import (
+    CFAR_METHODS,
+    Detection,
+    ca_cfar,
+    cfar_threshold_factor,
+    go_so_threshold_factor,
+    os_threshold_factor,
+)
 from repro.stap.cluster import ClusteredReport, cluster_detections
-from repro.stap.chain import stap_chain, ChainResult
+from repro.stap.chain import ChainResult, run_cpi_stream, stap_chain
 from repro.stap.costs import STAPCosts
-from repro.stap.spectrum import fourier_spectrum, mvdr_spectrum
+from repro.stap.spectrum import fourier_spectrum, mvdr_spectrum, space_time_snapshots
 from repro.stap.analysis import clairvoyant_covariance, optimal_weights, output_sinr, sinr_loss_curve
 
 __all__ = [
@@ -42,22 +69,38 @@ __all__ = [
     "Jammer",
     "make_cube",
     "doppler_process",
+    "doppler_filter_arrays",
+    "doppler_window",
+    "bin_frequency",
     "DopplerOutput",
     "compute_weights_easy",
     "compute_weights_hard",
+    "solve_mvdr",
+    "initial_weights",
+    "training_gates",
+    "steering_matrix_easy",
+    "steering_matrix_hard",
     "WeightSet",
     "beamform",
     "lfm_replica",
     "pulse_compress",
+    "pulse_compress_direct",
+    "segment_length",
     "ca_cfar",
     "Detection",
+    "CFAR_METHODS",
+    "cfar_threshold_factor",
+    "go_so_threshold_factor",
+    "os_threshold_factor",
     "ClusteredReport",
     "cluster_detections",
     "stap_chain",
+    "run_cpi_stream",
     "ChainResult",
     "STAPCosts",
     "fourier_spectrum",
     "mvdr_spectrum",
+    "space_time_snapshots",
     "clairvoyant_covariance",
     "optimal_weights",
     "output_sinr",

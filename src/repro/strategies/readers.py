@@ -93,6 +93,16 @@ class SlabReader:
         self.fs = ctx.fileset.fs
         #: (cpi, event) of reads posted but abandoned (deadline drops).
         self._orphans: List[Tuple[int, Event]] = []
+        metrics = getattr(ctx, "metrics", None)
+        if metrics is not None:
+            # Outstanding-prefetch depth per reading node: how far the
+            # access method's read-ahead actually runs ahead of consumption.
+            metrics.gauge(
+                "reader_outstanding_reads",
+                help="posted slab reads not yet completed nor cancelled",
+                fn=self.outstanding_requests,
+                task=ctx.name, node=str(ctx.local),
+            )
 
     def _handle(self, cpi: int):
         return self.handles[cpi % self.ctx.fileset.n_files]

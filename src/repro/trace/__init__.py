@@ -11,8 +11,12 @@ from repro.trace.record import PhaseRecord, Phase
 from repro.trace.collector import TraceCollector
 from repro.trace.export import (
     to_chrome_trace,
+    to_metrics_json,
+    to_prometheus,
     to_result_json,
     write_chrome_trace,
+    write_metrics_json,
+    write_prometheus,
     write_result_json,
 )
 from repro.trace.gantt import render_gantt
@@ -27,6 +31,10 @@ __all__ = [
     "write_chrome_trace",
     "to_result_json",
     "write_result_json",
+    "to_metrics_json",
+    "write_metrics_json",
+    "to_prometheus",
+    "write_prometheus",
     "bar_chart",
     "format_table",
     "grouped_bar_chart",

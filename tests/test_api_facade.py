@@ -1,0 +1,120 @@
+"""The repro.run facade: one call from kwargs/dict/spec to a result."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.bench.engine import ExperimentSpec, run_spec
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineResult
+from repro.core.pipeline import NodeAssignment
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def fast_kwargs(small_params):
+    return dict(
+        assignment=NodeAssignment.balanced(small_params, 14),
+        params=small_params, n_cpis=3, warmup=1, stripe_factor=8,
+    )
+
+
+class TestRunFacade:
+    def test_kwargs_form(self, fast_kwargs):
+        result = repro.run(**fast_kwargs)
+        assert isinstance(result, PipelineResult)
+        assert result.throughput > 0
+
+    def test_dict_form_equals_kwargs_form(self, fast_kwargs):
+        assert (
+            repro.run(dict(fast_kwargs)).to_dict()
+            == repro.run(**fast_kwargs).to_dict()
+        )
+
+    def test_spec_form_equals_run_spec(self, small_params):
+        spec = ExperimentSpec(
+            assignment=NodeAssignment.balanced(small_params, 14),
+            params=small_params,
+            fs=FSConfig("pfs", stripe_factor=8),
+            cfg=ExecutionConfig(n_cpis=3, warmup=1),
+        )
+        assert repro.run(spec).to_dict() == run_spec(spec).to_dict()
+
+    def test_case_form(self):
+        result = repro.run(case=1, n_cpis=2, warmup=0, stripe_factor=8)
+        assert result.throughput > 0
+
+    def test_metrics_interval_flows_through(self, fast_kwargs):
+        result = repro.run(metrics_interval=0.25, **fast_kwargs)
+        assert result.metrics is not None
+        assert result.metrics["interval"] == 0.25
+
+    def test_fs_string_with_geometry_kwargs(self, small_params):
+        result = repro.run(
+            assignment=NodeAssignment.balanced(small_params, 14),
+            params=small_params, fs="pfs", stripe_factor=4,
+            n_cpis=2, warmup=0,
+        )
+        assert result.fs_label == "PFS sf=4"
+
+    def test_seed_overrides_ready_spec(self, small_params, tmp_path):
+        from dataclasses import replace
+
+        from repro.bench.store import ResultStore
+
+        spec = ExperimentSpec(
+            assignment=NodeAssignment.balanced(small_params, 14),
+            params=small_params,
+            fs=FSConfig("pfs", stripe_factor=8),
+            cfg=ExecutionConfig(n_cpis=2, warmup=0),
+            seed=0,
+        )
+        store = ResultStore(tmp_path / "cache")
+        repro.run(spec, seed=7, store=store)
+        # The cell was cached under the seed-7 spec, not the original.
+        assert store.hashes() == [replace(spec, seed=7).spec_hash()]
+
+    def test_store_caches(self, fast_kwargs, tmp_path):
+        from repro.bench.store import ResultStore
+
+        store = ResultStore(tmp_path / "cache")
+        first = repro.run(store=store, **fast_kwargs)
+        again = repro.run(store=str(tmp_path / "cache"), **fast_kwargs)
+        assert again.to_dict() == first.to_dict()
+        assert len(store.hashes()) == 1
+
+    def test_exported_at_top_level(self):
+        assert "run" in repro.__all__
+        assert "MetricsRegistry" in repro.__all__
+        assert repro.MetricsRegistry is not None
+
+
+class TestFacadeErrors:
+    def test_needs_case_or_assignment(self):
+        with pytest.raises(ConfigurationError, match="assignment"):
+            repro.run(n_cpis=2)
+
+    def test_rejects_both_case_and_assignment(self, small_params):
+        with pytest.raises(ConfigurationError, match="not both"):
+            repro.run(
+                case=1,
+                assignment=NodeAssignment.balanced(small_params, 14),
+                params=small_params,
+            )
+
+    def test_rejects_unknown_kwargs(self):
+        with pytest.raises(ConfigurationError, match="unknown arguments"):
+            repro.run(case=1, frobnicate=True)
+
+    def test_rejects_spec_plus_kwargs(self, small_params):
+        spec = ExperimentSpec(
+            assignment=NodeAssignment.balanced(small_params, 14),
+            params=small_params,
+        )
+        with pytest.raises(ConfigurationError, match="not both"):
+            repro.run(spec, n_cpis=2)
+
+    def test_rejects_wrong_positional_type(self):
+        with pytest.raises(ConfigurationError, match="ExperimentSpec"):
+            repro.run(42)

@@ -1,0 +1,96 @@
+"""CLI observability paths: run --metrics, metrics show, error handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_metrics_dict
+
+
+def _run_cell(tmp_path, *extra):
+    argv = [
+        "run", "--case", "1", "--cpis", "2", "--warmup", "0",
+        "--stripe-factor", "8",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--metrics-dir", str(tmp_path / "metrics"),
+        *extra,
+    ]
+    return main(argv)
+
+
+class TestRunWithMetrics:
+    def test_writes_all_three_artifacts(self, tmp_path, capsys):
+        assert _run_cell(tmp_path, "--metrics") == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out  # the live summary printed
+        mdir = tmp_path / "metrics"
+        stems = {p.name.split(".", 1)[1] for p in mdir.iterdir()}
+        assert stems == {"metrics.json", "prom", "trace.json"}
+        artifact = json.loads(
+            next(mdir.glob("*.metrics.json")).read_text()
+        )
+        assert validate_metrics_dict(artifact) == []
+
+    def test_interval_implies_metrics(self, tmp_path):
+        assert _run_cell(tmp_path, "--metrics-interval", "0.5") == 0
+        artifact = json.loads(
+            next((tmp_path / "metrics").glob("*.metrics.json")).read_text()
+        )
+        assert artifact["interval"] == 0.5
+
+    def test_metrics_with_jobs_rejected(self, tmp_path, capsys):
+        assert _run_cell(tmp_path, "--metrics", "--jobs", "2") == 2
+        assert "in-process" in capsys.readouterr().err
+
+    def test_no_metrics_no_artifacts(self, tmp_path):
+        assert _run_cell(tmp_path) == 0
+        assert not (tmp_path / "metrics").exists()
+
+
+class TestMetricsShow:
+    @pytest.fixture
+    def cached_cell(self, tmp_path):
+        assert _run_cell(tmp_path, "--metrics") == 0
+        return tmp_path
+
+    def test_show_from_cache_hash(self, cached_cell, capsys):
+        mfile = next((cached_cell / "metrics").glob("*.metrics.json"))
+        prefix = mfile.name.split(".", 1)[0]
+        capsys.readouterr()
+        rc = main([
+            "metrics", "show", prefix,
+            "--cache-dir", str(cached_cell / "cache"),
+        ])
+        assert rc == 0
+        assert "busiest series" in capsys.readouterr().out
+
+    def test_show_from_artifact_file(self, cached_cell, capsys):
+        mfile = next((cached_cell / "metrics").glob("*.metrics.json"))
+        assert main(["metrics", "show", str(mfile)]) == 0
+        assert "samples @" in capsys.readouterr().out
+
+    def test_show_unknown_hash_fails(self, tmp_path, capsys):
+        rc = main([
+            "metrics", "show", "feedbeef",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 2
+        assert "no cached result" in capsys.readouterr().err
+
+    def test_show_result_without_metrics_fails_actionably(
+        self, tmp_path, capsys
+    ):
+        assert _run_cell(tmp_path) == 0  # plain run, no metrics
+        from repro.bench.store import ResultStore
+
+        store = ResultStore(tmp_path / "cache")
+        (h,) = store.hashes()
+        capsys.readouterr()
+        rc = main(["metrics", "show", h, "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no metrics artifact" in err
+        assert "--metrics" in err  # tells the user how to fix it

@@ -98,9 +98,10 @@ class TestChromeExport:
 
     def test_write_round_trip(self, trace, tmp_path):
         path = tmp_path / "trace.json"
-        n = write_chrome_trace(trace, str(path))
+        written = write_chrome_trace(trace, str(path))
+        assert written == str(path)
         data = json.loads(path.read_text())
-        assert len(data) == n
+        assert len(data) == len(to_chrome_trace(trace))
         assert any(e.get("cat") == "compute" for e in data)
 
     def test_real_run_exports(self, small_params, tmp_path):
@@ -114,6 +115,6 @@ class TestChromeExport:
             ExecutionConfig(n_cpis=3, warmup=1),
         ).run()
         path = tmp_path / "run.json"
-        n = write_chrome_trace(res.trace, str(path))
-        assert n > 50
-        json.loads(path.read_text())  # parses
+        write_chrome_trace(res.trace, str(path))
+        data = json.loads(path.read_text())  # parses
+        assert len(data) > 50

@@ -1,0 +1,61 @@
+"""docs/api.md drift check: every indexed symbol must actually import.
+
+The index is parsed structurally — module sections are ``## `module` ``
+headings, symbols are the backticked identifiers in each table's first
+column — so adding a symbol to the docs without exporting it (or
+renaming an export without updating the docs) fails here, not in a
+reader's session.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+
+_HEADING = re.compile(r"^## `([a-zA-Z_.]+)`")
+_TICKED = re.compile(r"`([^`]+)`")
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _indexed_symbols():
+    """Yield (module_name, symbol) for every plain identifier in a
+    first-column table cell of docs/api.md."""
+    module = None
+    for line in API_MD.read_text(encoding="utf-8").splitlines():
+        m = _HEADING.match(line)
+        if m:
+            module = m.group(1)
+            continue
+        if module is None or not line.startswith("| `"):
+            continue
+        first_col = line.split("|")[1]
+        for token in _TICKED.findall(first_col):
+            # Shorthand like `run_table1..4` or `a/b/c` names families,
+            # not importables; only exact identifiers are checked.
+            if _IDENT.match(token):
+                yield module, token
+
+
+CASES = sorted(set(_indexed_symbols()))
+
+
+def test_index_was_parsed():
+    modules = {m for m, _ in CASES}
+    # Guards against a docs reshuffle silently emptying the check.
+    assert {"repro", "repro.obs", "repro.trace", "repro.bench"} <= modules
+    assert len(CASES) > 80
+
+
+@pytest.mark.parametrize(
+    "module,symbol", CASES, ids=[f"{m}.{s}" for m, s in CASES]
+)
+def test_documented_symbol_imports(module, symbol):
+    assert hasattr(importlib.import_module(module), symbol), (
+        f"docs/api.md lists `{symbol}` under `{module}`, "
+        f"but it is not importable from there"
+    )

@@ -1,0 +1,62 @@
+"""The PIPELINES registry view: legacy keys warn, registry keys don't."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.bench.engine import LEGACY_STRATEGY, PIPELINES, ExperimentSpec
+from repro.core.pipeline import NodeAssignment
+from repro.strategies import strategy_names
+
+
+class TestLegacyKeyDeprecation:
+    @pytest.mark.parametrize("key", sorted(LEGACY_STRATEGY))
+    def test_legacy_subscript_warns_and_works(self, key, small_params):
+        with pytest.warns(DeprecationWarning, match="strategy_names"):
+            builder = PIPELINES[key]
+        spec = builder(NodeAssignment.balanced(small_params, 14))
+        assert spec.tasks  # a real pipeline came back
+
+    def test_registry_subscript_does_not_warn(self, recwarn):
+        for name in strategy_names():
+            PIPELINES[name]
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_resolve_never_warns(self, recwarn):
+        for key in (*LEGACY_STRATEGY, *strategy_names()):
+            assert callable(PIPELINES.resolve(key))
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_membership_and_iteration_do_not_warn(self, recwarn):
+        assert "embedded" in PIPELINES
+        assert "embedded-io" in PIPELINES
+        assert "nope" not in PIPELINES
+        assert set(LEGACY_STRATEGY) <= set(PIPELINES)
+        assert len(PIPELINES) >= len(strategy_names())
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+
+    def test_view_is_live_over_the_registry(self):
+        # Every registered strategy is addressable without snapshotting.
+        for name in strategy_names():
+            assert name in PIPELINES
+
+    def test_legacy_specs_stay_warning_free(self, small_params):
+        """Serialized specs keep using legacy keys without deprecation
+        noise — their hashes (and cache entries) must not change."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            spec = ExperimentSpec(
+                assignment=NodeAssignment.balanced(small_params, 14),
+                pipeline="embedded",
+                params=small_params,
+            )
+            assert spec.build_pipeline().tasks
+            assert spec.strategy == "embedded-io"

@@ -151,7 +151,7 @@ class TestStructuredExport:
         assert rebuilt.to_dict() == res.to_dict()
 
         path = tmp_path / "result.json"
-        write_result_json(res, str(path), indent=2)
+        write_result_json(res, str(path), pretty=True)
         on_disk = json.loads(path.read_text())
         assert on_disk == json.loads(json.dumps(env))
 

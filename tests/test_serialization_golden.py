@@ -1,0 +1,107 @@
+"""Golden serialization-key conventions: snake_case out, camel tolerated in."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineExecutor, PipelineResult
+from repro.core.metrics import PipelineMeasurement
+from repro.core.pipeline import NodeAssignment, build_embedded_pipeline
+from repro.core.serialize import camel, compat_get
+from repro.machine.presets import paragon
+
+_CAMEL = re.compile(r"[a-z][A-Z]")
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.stap.params import STAPParams
+
+    params = STAPParams(
+        n_channels=8, n_pulses=32, n_ranges=256, n_beams=6, n_hard_bins=8,
+        n_training=64, pulse_len=16, cfar_window=12, cfar_guard=3, pfa=1e-6,
+    )
+    return PipelineExecutor(
+        build_embedded_pipeline(NodeAssignment.balanced(params, 14)),
+        params, paragon(), FSConfig("pfs", stripe_factor=8),
+        ExecutionConfig(n_cpis=3, warmup=1, metrics_interval=0.5),
+    ).run()
+
+
+def _all_keys(obj, out=None):
+    if out is None:
+        out = set()
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            if isinstance(k, str):
+                out.add(k)
+            _all_keys(v, out)
+    elif isinstance(obj, list):
+        for v in obj:
+            _all_keys(v, out)
+    return out
+
+
+class TestGoldenKeys:
+    def test_result_dict_is_pure_snake_case(self, result):
+        d = result.to_dict()
+        # The metrics artifact holds qualified instrument names
+        # (name{label="v"}), not struct keys — exempt from the rule.
+        d.pop("metrics", None)
+        offenders = {
+            k for k in _all_keys(d)
+            if _CAMEL.search(k) and "->" not in k
+        }
+        assert offenders == set()
+
+    def test_round_trip_preserves_every_key(self, result):
+        d = json.loads(json.dumps(result.to_dict()))
+        clone = PipelineResult.from_dict(d)
+        assert clone.to_dict() == result.to_dict()
+
+
+class TestCamelCompatReads:
+    def test_helpers(self):
+        assert camel("task_stats") == "taskStats"
+        assert camel("fs_label") == "fsLabel"
+        assert camel("seed") == "seed"
+        assert compat_get({"taskStats": 1}, "task_stats") == 1
+        assert compat_get({"task_stats": 1, "taskStats": 2}, "task_stats") == 1
+        assert compat_get({}, "task_stats", None) is None
+        with pytest.raises(KeyError, match="task_stats"):
+            compat_get({}, "task_stats")
+
+    def test_measurement_reads_camel(self, result):
+        d = result.measurement.to_dict()
+        legacy = {
+            "taskStats": d["task_stats"],
+            "throughput": d["throughput"],
+            "latency": d["latency"],
+            "modelThroughput": d["model_throughput"],
+            "modelLatency": d["model_latency"],
+            "steadyCpis": d["steady_cpis"],
+            "latencies": d["latencies"],
+        }
+        clone = PipelineMeasurement.from_dict(legacy)
+        assert clone.to_dict() == d  # re-emitted snake_case
+
+    def test_result_reads_camel_top_level(self, result):
+        d = json.loads(json.dumps(result.to_dict()))
+        legacy = dict(d)
+        for key in ("fs_label", "machine_name", "elapsed_sim_time",
+                    "disk_stats", "rank_traffic", "rank_task"):
+            legacy[camel(key)] = legacy.pop(key)
+        clone = PipelineResult.from_dict(legacy)
+        assert clone.to_dict() == d
+
+    def test_writes_never_emit_camel(self, result):
+        """The compat path is read-only: a camelCase round trip comes
+        back out canonically snake_case."""
+        legacy = json.loads(json.dumps(result.to_dict()))
+        legacy["fsLabel"] = legacy.pop("fs_label")
+        emitted = PipelineResult.from_dict(legacy).to_dict()
+        assert "fs_label" in emitted and "fsLabel" not in emitted
