@@ -20,7 +20,10 @@ The package layers, bottom to top:
   pipeline model, its two I/O strategies, the task-combination
   transform, the analytic equations (1)-(14), and the executor;
 * :mod:`repro.trace` / :mod:`repro.bench` — measurement and the
-  per-table/figure experiment harness.
+  per-table/figure experiment harness;
+* :mod:`repro.service` — the experiment service tier: a job/stage/task
+  scheduler with persistent workers, streaming results, and a shared
+  cache, serving many clients (``repro serve`` / ``repro submit``).
 
 Quick start — the one-call facade::
 
@@ -64,6 +67,7 @@ from repro.core.pipeline import (
 )
 from repro.machine.presets import MachinePreset, generic_cluster, ibm_sp, paragon
 from repro.obs import MetricsRegistry
+from repro.service import ExperimentScheduler, JobHandle
 from repro.stap.chain import run_cpi_stream, stap_chain
 from repro.stap.params import STAPParams
 from repro.stap.scenario import Jammer, Scenario, Target, make_cube
@@ -77,6 +81,8 @@ __all__ = [
     "ExecutionConfig",
     "ExperimentSpec",
     "SweepRunner",
+    "ExperimentScheduler",
+    "JobHandle",
     "ResultStore",
     "run_spec",
     "FSConfig",

@@ -102,6 +102,7 @@ def run(
     jobs: int = 1,
     store: Union[ResultStore, str, None] = None,
     seed: Optional[int] = None,
+    scheduler=None,
     **kwargs,
 ) -> PipelineResult:
     """Run one experiment cell and return its ``PipelineResult``.
@@ -119,6 +120,11 @@ def run(
         a previously-computed identical cell is returned from disk.
     seed:
         Overrides the spec's seed (including on a ready-made spec).
+    scheduler:
+        A running :class:`~repro.service.ExperimentScheduler` to submit
+        the cell to instead of a throwaway :class:`SweepRunner` — the
+        cell shares the service's warm workers, in-flight dedupe, and
+        cache tier (``jobs`` and ``store`` are then the scheduler's).
     **kwargs:
         Spec fields when building one: ``case`` *or* ``assignment``,
         ``pipeline``, ``machine``, ``params``, ``cfg`` or any of
@@ -148,6 +154,10 @@ def run(
             "repro.run takes an ExperimentSpec, a dict, or keyword "
             f"arguments; got {type(spec_or_kwargs).__name__}"
         )
+    if scheduler is not None:
+        payload = scheduler.submit([spec], client="api").wait()[0]
+        return PipelineResult.from_dict(payload)
     if isinstance(store, str):
         store = ResultStore(store)
-    return SweepRunner(jobs=jobs, store=store).run_one(spec)
+    with SweepRunner(jobs=jobs, store=store) as runner:
+        return runner.run_one(spec)

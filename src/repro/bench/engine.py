@@ -14,11 +14,13 @@ each grid cell a first-class, serializable value:
 * :func:`run_spec` executes one cell and returns the
   :class:`~repro.core.executor.PipelineResult`.
 * :class:`SweepRunner` executes a list of specs — in-process at
-  ``jobs=1`` (debuggable), or across a ``ProcessPoolExecutor`` at
+  ``jobs=1`` (debuggable), or over a persistent worker pool at
   ``jobs>1`` (the DES is single-threaded pure Python, so cells are
   embarrassingly parallel) — consulting an optional
   :class:`~repro.bench.store.ResultStore` so previously-computed cells
-  are never re-simulated.
+  are never re-simulated.  Execution is delegated to the service tier
+  (:mod:`repro.service`): the runner is a thin client of a private
+  :class:`~repro.service.scheduler.ExperimentScheduler`.
 
 The simulation is deterministic, so ``run_spec(spec)`` is a pure
 function of the spec: equal specs yield bit-identical results, which is
@@ -31,7 +33,6 @@ import hashlib
 import json
 import warnings
 from collections.abc import Mapping
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -533,25 +534,29 @@ def run_spec(spec: ExperimentSpec) -> PipelineResult:
     return ex.run()
 
 
-def _run_payload(payload: dict) -> dict:
-    """Pool worker: spec dict in, result dict out (both picklable)."""
-    return run_spec(ExperimentSpec.from_dict(payload)).to_dict()
-
-
 class SweepRunner:
     """Execute experiment specs with caching and process parallelism.
+
+    A thin client of the experiment service tier: the runner owns a
+    private :class:`~repro.service.scheduler.ExperimentScheduler` whose
+    worker pool persists for the runner's lifetime, so successive
+    ``run()`` calls reuse warm workers instead of respawning a pool per
+    sweep.  Cells are submitted as one job and stream back as they
+    complete; a ``Ctrl-C`` mid-sweep cancels the job (workers shut
+    down, already-finished cells stay cached).
 
     Parameters
     ----------
     jobs:
         Worker processes.  ``1`` (default) runs in-process — same
         results, synchronous and debuggable.  ``>1`` fans uncached cells
-        out over a ``ProcessPoolExecutor``; results return via the
+        out over persistent worker processes; results return via the
         lossless JSON layer, so they are identical to in-process runs.
     store:
         Optional :class:`~repro.bench.store.ResultStore`.  When set,
         cells already present are returned from disk (counted in
-        :attr:`cache_hits`) and newly computed cells are written back.
+        :attr:`cache_hits`) and newly computed cells are written back
+        as they complete.
 
     Attributes
     ----------
@@ -571,50 +576,73 @@ class SweepRunner:
         self.cache_hits = 0
         self.cache_misses = 0
         self.executed = 0
+        self._scheduler = None
+
+    def _get_scheduler(self):
+        """The runner's private scheduler, created on first use."""
+        if self._scheduler is None:
+            from repro.service.scheduler import ExperimentScheduler
+
+            self._scheduler = ExperimentScheduler(
+                workers=self.jobs if self.jobs > 1 else 0,
+                store=self.store,
+            )
+        return self._scheduler
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._scheduler is not None:
+            self._scheduler.shutdown()
+            self._scheduler = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing varies
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def run_one(self, spec: ExperimentSpec) -> PipelineResult:
         """Execute (or fetch) a single cell."""
         return self.run([spec])[0]
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[PipelineResult]:
-        """Execute (or fetch) every cell, preserving input order."""
+        """Execute (or fetch) every cell, preserving input order.
+
+        An interrupt (``Ctrl-C``) mid-sweep cancels the in-flight job
+        and stops the workers before re-raising; cells that finished
+        before the interrupt are already in the store.
+        """
         specs = list(specs)
-        results: List[Optional[PipelineResult]] = [None] * len(specs)
-
-        # Partition into cache hits and distinct cells to simulate.
-        to_run: List[int] = []          # first index of each distinct cell
-        aliases: Dict[int, int] = {}    # duplicate index -> first index
-        first_by_hash: Dict[str, int] = {}
-        for i, spec in enumerate(specs):
-            h = spec.spec_hash()
-            if h in first_by_hash:
-                aliases[i] = first_by_hash[h]
-                continue
-            cached = self.store.get(spec) if self.store is not None else None
-            if cached is not None:
-                self.cache_hits += 1
-                results[i] = cached
-                first_by_hash[h] = i
-                continue
-            self.cache_misses += 1
-            first_by_hash[h] = i
-            to_run.append(i)
-
-        if to_run:
-            self.executed += len(to_run)
-            if self.jobs > 1 and len(to_run) > 1:
-                payloads = [specs[i].to_dict() for i in to_run]
-                workers = min(self.jobs, len(to_run))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for i, rd in zip(to_run, pool.map(_run_payload, payloads)):
-                        results[i] = PipelineResult.from_dict(rd)
-            else:
-                for i in to_run:
-                    results[i] = run_spec(specs[i])
-            if self.store is not None:
-                for i in to_run:
-                    self.store.put(specs[i], results[i])
-
-        for dup, first in aliases.items():
-            results[dup] = results[first]
-        return results
+        scheduler = self._get_scheduler()
+        handle = scheduler.submit(specs, client="sweep")
+        try:
+            payloads = handle.wait()
+        except (KeyboardInterrupt, SystemExit):
+            # Interrupt: stop dispatching, kill in-flight workers, keep
+            # whatever already landed in the store.
+            handle.cancel()
+            self.close()
+            raise
+        except BaseException:
+            # Task failure: the job is already terminal; the pool stays
+            # warm for the next run() call.
+            handle.cancel()
+            raise
+        counters = handle.counters
+        self.cache_hits += counters["cache_hits"]
+        self.cache_misses += counters["cache_misses"]
+        self.executed += counters["executed"]
+        results = [PipelineResult.from_dict(p) for p in payloads]
+        # Duplicate specs alias one result object, as before.
+        seen: Dict[int, PipelineResult] = {}
+        out: List[PipelineResult] = []
+        for spec, result in zip(specs, results):
+            first = handle.job.first_index_by_key[spec.spec_hash()]
+            out.append(seen.setdefault(first, result))
+        return out

@@ -8,8 +8,12 @@ Entries embed the full spec alongside the result, making every cached
 cell a self-describing, diffable reproduction artifact; lookups verify
 the embedded spec to rule out hash collisions and schema drift.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent sweep
-workers and interrupted runs never leave a truncated entry behind.
+Writes are atomic (temp file + ``os.replace``) and **first-write-wins**:
+because entries are content-addressed, any two valid writers of the same
+hash are writing identical bytes, so a writer that finds a valid entry
+already in place simply skips its own write.  Concurrent sweep workers,
+scheduler threads, and interrupted runs never leave a truncated entry
+behind; temp files orphaned by a killed writer are swept on store open.
 
 Entries additionally embed a **substrate fingerprint** — a hash over the
 spec schema and the source of the simulation substrate packages
@@ -22,8 +26,10 @@ miss instead of silently serving stale physics.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -80,11 +86,40 @@ def substrate_fingerprint() -> str:
     return _fingerprint_cache
 
 
+#: A ``*.tmp`` older than this on store open belongs to a dead writer.
+_ORPHAN_TMP_AGE = 60.0
+
+#: Distinguishes temp files of concurrent writers in one process (the
+#: scheduler's dispatcher and a client thread may both write).
+_tmp_seq = itertools.count(1)
+
+
 class ResultStore:
     """A directory of ``<spec-hash>.json`` experiment results."""
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
+        self.sweep_orphans()
+
+    def sweep_orphans(self, max_age: float = _ORPHAN_TMP_AGE) -> int:
+        """Remove temp files abandoned by killed writers.
+
+        Only temp files older than ``max_age`` seconds go — a younger
+        one may belong to a live writer about to rename it into place.
+        Returns the number removed.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        cutoff = time.time() - max_age
+        for tmp in self.root.glob(".*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     def path_for(self, spec_hash: str) -> Path:
         """File that does / would hold the given spec hash's result."""
@@ -113,40 +148,67 @@ class ResultStore:
             return None
         return payload
 
-    def get(self, spec) -> Optional[PipelineResult]:
-        """The stored result of ``spec``, or None on a miss.
+    def get_dict(self, spec) -> Optional[dict]:
+        """The stored *raw result dict* of ``spec``, or None on a miss.
 
         The embedded spec must match exactly — a hash collision or a
         serialization-schema drift reads as a miss, never as a wrong
         result.  Likewise the entry's substrate fingerprint: a result
         simulated by a since-modified simulator reads as a miss.
+
+        This is the service-tier lookup: the scheduler streams raw
+        payload dicts and only the final consumer rehydrates them.
         """
         payload = self.load(spec.spec_hash())
         if payload is None or payload.get("spec") != spec.to_dict():
             return None
         if payload.get("substrate") != substrate_fingerprint():
             return None
+        result = payload.get("result")
+        return result if isinstance(result, dict) else None
+
+    def get(self, spec) -> Optional[PipelineResult]:
+        """The stored result of ``spec``, or None on a miss."""
+        result = self.get_dict(spec)
+        if result is None:
+            return None
         try:
-            return PipelineResult.from_dict(payload["result"])
+            return PipelineResult.from_dict(result)
         except (KeyError, TypeError, ValueError):
             return None
 
-    def put(self, spec, result: PipelineResult) -> Path:
-        """Store ``result`` under ``spec``'s hash (atomically)."""
+    def put_dict(self, spec, result: dict) -> Path:
+        """Store a raw result dict under ``spec``'s hash (atomically).
+
+        First write wins: the store is content-addressed, so any two
+        valid writers of one hash carry identical results, and a writer
+        that finds a valid current entry in place skips rewriting it —
+        the only cross-writer race left is ``os.replace`` against
+        identical bytes, which is safe in either order.  A present but
+        stale entry (old substrate, corrupt JSON) *is* overwritten.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         spec_hash = spec.spec_hash()
         target = self.path_for(spec_hash)
+        if self.get_dict(spec) is not None:
+            return target
         payload = {
             "schema": STORE_SCHEMA,
             "substrate": substrate_fingerprint(),
             "spec_hash": spec_hash,
             "spec": spec.to_dict(),
-            "result": result.to_dict(),
+            "result": result,
         }
-        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        tmp = target.with_name(
+            f".{target.name}.{os.getpid()}.{next(_tmp_seq)}.tmp"
+        )
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         tmp.replace(target)
         return target
+
+    def put(self, spec, result: PipelineResult) -> Path:
+        """Store ``result`` under ``spec``'s hash (atomically)."""
+        return self.put_dict(spec, result.to_dict())
 
     def entries(self) -> List[dict]:
         """One summary dict per stored cell (for listings)."""
@@ -158,9 +220,16 @@ class ResultStore:
             spec = payload.get("spec", {})
             result = payload.get("result", {})
             meas = result.get("measurement", {})
+            try:
+                st = self.path_for(spec_hash).stat()
+                size_bytes, mtime = st.st_size, st.st_mtime
+            except OSError:
+                size_bytes, mtime = 0, 0.0
             out.append(
                 {
                     "hash": spec_hash,
+                    "size_bytes": size_bytes,
+                    "mtime": mtime,
                     "pipeline": spec.get("pipeline"),
                     "machine": spec.get("machine"),
                     "fs": result.get("fs_label"),
@@ -174,6 +243,19 @@ class ResultStore:
                 }
             )
         return out
+
+    def summary(self) -> dict:
+        """Store-level totals for listing footers: entry count, total
+        bytes on disk, and the on-disk schema version."""
+        total = 0
+        count = 0
+        for spec_hash in self.hashes():
+            count += 1
+            try:
+                total += self.path_for(spec_hash).stat().st_size
+            except OSError:
+                pass
+        return {"entries": count, "total_bytes": total, "schema": STORE_SCHEMA}
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

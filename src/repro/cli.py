@@ -16,9 +16,12 @@ Examples::
     python -m repro detect --cpis 4
     python -m repro sweep-stripe --factors 4,8,16,32,64
     python -m repro reproduce --jobs 4
-    python -m repro results list
+    python -m repro results list --sort size
     python -m repro results show <hash-prefix>
     python -m repro results clear
+    python -m repro serve --workers 4
+    python -m repro submit --case 1,2,3 --stripe-factor 16,64 --follow
+    python -m repro jobs list
 
 Sweep commands run their cells through the declarative experiment
 engine: ``--jobs N`` simulates cells in N worker processes, and results
@@ -188,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spec hash (any unique prefix) for 'show'")
     p_res.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
                        help="content-addressed result cache directory")
+    p_res.add_argument("--sort", choices=("size", "age"), default=None,
+                       help="order 'list' by entry size or by recency "
+                       "(default: spec hash)")
 
     p_met = sub.add_parser(
         "metrics", help="inspect the metrics artifact of a cached or saved run"
@@ -216,6 +222,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_strat.add_argument("--fs", choices=("pfs", "piofs"), default="pfs",
                          help="file system for 'smoke' (default pfs)")
     p_strat.add_argument("--stripe-factor", type=int, default=8)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the experiment service (scheduler behind TCP)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7077,
+                       help="TCP port (0 picks a free one; default 7077)")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="persistent worker processes (0 = in-process)")
+    p_srv.add_argument("--backpressure", type=int, default=64,
+                       help="max undelivered cells per job before its "
+                       "dispatch pauses (default 64)")
+    p_srv.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help="shared content-addressed result cache")
+    p_srv.add_argument("--no-cache", action="store_true",
+                       help="run the service without the shared cache")
+
+    p_sub = sub.add_parser(
+        "submit", help="submit an experiment batch to a running service"
+    )
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=7077)
+    p_sub.add_argument("--client", default=None,
+                       help="client name for fair queueing "
+                       "(default: the OS user name)")
+    p_sub.add_argument("--label", default="",
+                       help="free-form job label shown in 'repro jobs list'")
+    p_sub.add_argument("--follow", action="store_true",
+                       help="stream results back as cells complete")
+    p_sub.add_argument("--pipeline", choices=_PIPELINE_CHOICES,
+                       default="embedded")
+    p_sub.add_argument("--case", default="1",
+                       help="comma-separated paper cases, e.g. 1,2,3")
+    p_sub.add_argument("--machine", choices=_MACHINE_CHOICES, default="paragon")
+    p_sub.add_argument("--fs", choices=("pfs", "piofs"), default="pfs")
+    p_sub.add_argument("--stripe-factor", default="64",
+                       help="comma-separated stripe factors, e.g. 16,32,64")
+    p_sub.add_argument("--cpis", type=int, default=8)
+    p_sub.add_argument("--warmup", type=int, default=2)
+    p_sub.add_argument("--seed", type=int, default=0)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list/inspect/cancel jobs on a running service"
+    )
+    p_jobs.add_argument("action", choices=("list", "show", "cancel"))
+    p_jobs.add_argument("id", nargs="?", default=None,
+                        help="job id for 'show'/'cancel'")
+    p_jobs.add_argument("--host", default="127.0.0.1")
+    p_jobs.add_argument("--port", type=int, default=7077)
 
     sub.add_parser("info", help="show dimensions, costs, and node assignments")
     return parser
@@ -582,18 +637,28 @@ def _cmd_results(args) -> int:
         if not entries:
             print(f"no cached results in {store.root}")
             return 0
+        if args.sort == "size":
+            entries.sort(key=lambda e: e["size_bytes"], reverse=True)
+        elif args.sort == "age":
+            entries.sort(key=lambda e: e["mtime"], reverse=True)
         rows = [
             [e["hash"][:12], e["pipeline"], e["machine"], e["fs"],
-             e["nodes"], e["n_cpis"], e["throughput"], e["latency"]]
+             e["nodes"], e["n_cpis"], e["throughput"], e["latency"],
+             f"{e['size_bytes'] / 1024:.1f}"]
             for e in entries
         ]
         print(
             format_table(
                 ["hash", "pipeline", "machine", "file system",
-                 "nodes", "CPIs", "throughput", "latency (s)"],
+                 "nodes", "CPIs", "throughput", "latency (s)", "KiB"],
                 rows,
                 title=f"{len(entries)} cached cell(s) in {store.root}",
             )
+        )
+        s = store.summary()
+        print(
+            f"{s['entries']} entries, {s['total_bytes']} bytes total, "
+            f"store schema v{s['schema']}"
         )
         return 0
     # show
@@ -680,6 +745,132 @@ def _cmd_strategies(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the experiment service until interrupted."""
+    from repro.service.scheduler import ExperimentScheduler
+    from repro.service.server import ExperimentServer
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    scheduler = ExperimentScheduler(
+        workers=args.workers, store=store, backpressure=args.backpressure,
+    )
+    server = ExperimentServer(scheduler, host=args.host, port=args.port)
+    pool = (f"{args.workers} worker process(es)" if args.workers
+            else "in-process execution")
+    cache = "no cache" if args.no_cache else f"cache {args.cache_dir}"
+    print(f"repro service on {server.address} — {pool}, {cache}")
+    print("submit with: repro submit --port "
+          f"{server.port} --follow  (Ctrl-C stops the service)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+        scheduler.shutdown()
+    return 0
+
+
+def _parse_int_list(text: str, flag: str) -> List[int]:
+    try:
+        values = [int(v) for v in str(text).split(",") if v.strip()]
+    except ValueError:
+        raise ReproError(f"{flag} wants comma-separated integers, got {text!r}")
+    if not values:
+        raise ReproError(f"{flag} got an empty list")
+    return values
+
+
+def _cmd_submit(args) -> int:
+    """Submit a batch (cases x stripe factors) to a running service."""
+    import getpass
+
+    from repro.service.server import submit_batch
+
+    params = STAPParams()
+    cfg = ExecutionConfig(n_cpis=args.cpis, warmup=args.warmup)
+    cases = _parse_int_list(args.case, "--case")
+    factors = _parse_int_list(args.stripe_factor, "--stripe-factor")
+    specs = [
+        ExperimentSpec(
+            assignment=NodeAssignment.case(case, params),
+            pipeline=args.pipeline,
+            machine=args.machine,
+            fs=FSConfig(kind=args.fs, stripe_factor=factor),
+            params=params,
+            cfg=cfg,
+            seed=args.seed,
+        ).to_dict()
+        for case in cases
+        for factor in factors
+    ]
+    client = args.client or getpass.getuser()
+    events = submit_batch(
+        args.host, args.port, specs,
+        client=client, follow=args.follow, label=args.label,
+    )
+    accepted = next(events)
+    print(f"job {accepted['job']} accepted: {accepted['cells']} cell(s) "
+          f"as client {client!r}")
+    if not args.follow:
+        print(f"follow with: repro jobs show {accepted['job']} "
+              f"--port {args.port}")
+        return 0
+    for event in events:
+        kind = event.get("event")
+        if kind == "result":
+            meas = event["payload"]["measurement"]
+            print(f"  [{event['index']:>3}] {event['source']:>8}  "
+                  f"throughput {meas['throughput']:.4f} CPIs/s  "
+                  f"latency {meas['latency']:.4f} s")
+        elif kind == "done":
+            c = event["counters"]
+            print(f"job done: {c['executed']} executed, "
+                  f"{c['cache_hits']} from cache, {c['deduped']} deduped, "
+                  f"{c['retries']} retried")
+            return 0
+        else:
+            print(f"job {kind}: {event.get('error', '')}", file=sys.stderr)
+            return 1
+    print("error: server stream ended unexpectedly", file=sys.stderr)
+    return 1
+
+
+def _cmd_jobs(args) -> int:
+    """List, inspect, or cancel jobs on a running service."""
+    import json
+
+    from repro.service.server import request
+
+    if args.action == "list":
+        jobs = request(args.host, args.port, {"op": "jobs"})["jobs"]
+        if not jobs:
+            print("no jobs")
+            return 0
+        rows = [
+            [j["id"], j["client"], j["state"], j["cells"],
+             j["counters"]["executed"], j["counters"]["cache_hits"],
+             j["label"]]
+            for j in jobs
+        ]
+        print(format_table(
+            ["job", "client", "state", "cells", "executed", "cached", "label"],
+            rows, title=f"{len(jobs)} job(s)",
+        ))
+        return 0
+    if not args.id:
+        print(f"error: 'jobs {args.action}' needs a job id", file=sys.stderr)
+        return 2
+    if args.action == "show":
+        info = request(args.host, args.port, {"op": "job", "id": args.id})
+        print(json.dumps(info["job"], indent=2, sort_keys=True))
+        return 0
+    resp = request(args.host, args.port, {"op": "cancel", "id": args.id})
+    print(f"job {args.id} "
+          + ("cancelled" if resp["cancelled"] else "already finished"))
+    return 0
+
+
 def _cmd_info(_args) -> int:
     params = STAPParams()
     costs = STAPCosts(params)
@@ -717,6 +908,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "spectrum": _cmd_spectrum,
         "strategies": _cmd_strategies,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "info": _cmd_info,
     }
     try:

@@ -82,6 +82,15 @@ class AsyncUnsupportedError(FileSystemError):
     """
 
 
+class ServiceError(ReproError):
+    """Failure in the experiment service tier (scheduler, worker pool,
+    or the serve/submit wire protocol)."""
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled before (or while) producing its results."""
+
+
 class PipelineError(ReproError):
     """Invalid pipeline structure or execution failure."""
 

@@ -13,7 +13,10 @@ visible over simulated time instead of only post-hoc:
 * :mod:`repro.obs.instrument` — :func:`instrument_pipeline`, the
   standard gauge set over a live executor's hot seams;
 * :mod:`repro.obs.report` — read-side analysis of the exported JSON
-  artifact (:func:`bottleneck_profile`, summaries, sparklines).
+  artifact (:func:`bottleneck_profile`, summaries, sparklines);
+* :mod:`repro.obs.service` — :class:`ServiceMetrics`, the experiment
+  scheduler's instrument set (queue depth per client, tasks in flight,
+  worker respawns, cache and dedupe hits).
 
 Enable per run with ``ExecutionConfig(metrics_interval=0.1)`` or
 ``repro run --metrics``; the artifact lands on
@@ -39,8 +42,10 @@ from repro.obs.report import (
     time_weighted_mean,
 )
 from repro.obs.sampler import Sampler
+from repro.obs.service import ServiceMetrics
 
 __all__ = [
+    "ServiceMetrics",
     "METRICS_SCHEMA",
     "Counter",
     "Gauge",

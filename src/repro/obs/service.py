@@ -1,0 +1,115 @@
+"""Service-level instruments for the experiment scheduler.
+
+The per-run instruments in :mod:`repro.obs.instrument` watch one
+simulation from the inside; :class:`ServiceMetrics` watches the
+*service* from the outside: how deep each client's queue is, how many
+tasks are in flight on the worker pool, how often workers die and tasks
+are rescheduled, and how much work the shared cache tier absorbed
+(store hits and in-flight dedupe).
+
+All instruments live in an ordinary
+:class:`~repro.obs.instruments.MetricsRegistry`, so the same exporters
+(`to_metrics_dict` consumers, Prometheus text) and the same get-or-create
+semantics apply.  The scheduler mutates counters from its dispatcher
+thread and client threads; counter increments are guarded by the
+scheduler's own lock, so the registry needs none of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.instruments import Counter, Gauge, MetricsRegistry
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """The scheduler's standard instrument set.
+
+    Attributes map one-to-one onto instruments:
+
+    * ``tasks_in_flight`` (gauge) — tasks dispatched and not yet
+      reported back by the pool;
+    * ``queue_depth(client)`` (gauge per client) — ready tasks waiting
+      for a worker;
+    * ``tasks_completed`` / ``tasks_failed`` / ``tasks_cancelled``
+      (counters) — terminal task outcomes;
+    * ``task_retries`` (counter) — worker-death reschedules;
+    * ``worker_respawns`` (counter) — replacement workers spawned;
+    * ``cache_hits`` / ``cache_misses`` (counters) — shared-store
+      probes at submission;
+    * ``dedupe_hits`` (counter) — submissions satisfied by subscribing
+      to another job's in-flight task;
+    * ``jobs_submitted`` / ``jobs_completed`` / ``jobs_cancelled``
+      (counters) — job lifecycle volume.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.tasks_in_flight: Gauge = r.gauge(
+            "service_tasks_in_flight",
+            help="tasks dispatched to workers and not yet resolved",
+        )
+        self.tasks_completed: Counter = r.counter(
+            "service_tasks_completed_total", help="tasks finished successfully"
+        )
+        self.tasks_failed: Counter = r.counter(
+            "service_tasks_failed_total", help="tasks that raised"
+        )
+        self.tasks_cancelled: Counter = r.counter(
+            "service_tasks_cancelled_total", help="tasks cancelled"
+        )
+        self.task_retries: Counter = r.counter(
+            "service_task_retries_total",
+            help="tasks rescheduled after a worker death",
+        )
+        self.worker_respawns: Counter = r.counter(
+            "service_worker_respawns_total",
+            help="replacement workers spawned after a death",
+        )
+        self.cache_hits: Counter = r.counter(
+            "service_cache_hits_total",
+            help="submitted cells served from the shared result store",
+        )
+        self.cache_misses: Counter = r.counter(
+            "service_cache_misses_total",
+            help="submitted cells not present in the shared result store",
+        )
+        self.dedupe_hits: Counter = r.counter(
+            "service_cache_dedupe_hits_total",
+            help="submitted cells that subscribed to an in-flight task",
+        )
+        self.jobs_submitted: Counter = r.counter(
+            "service_jobs_submitted_total", help="jobs accepted"
+        )
+        self.jobs_completed: Counter = r.counter(
+            "service_jobs_completed_total", help="jobs that finished"
+        )
+        self.jobs_cancelled: Counter = r.counter(
+            "service_jobs_cancelled_total", help="jobs cancelled"
+        )
+        self._queue_depth: Dict[str, Gauge] = {}
+
+    def queue_depth(self, client: str) -> Gauge:
+        """The named client's ready-queue depth gauge (get-or-create)."""
+        g = self._queue_depth.get(client)
+        if g is None:
+            g = self.registry.gauge(
+                "service_queue_depth",
+                help="ready tasks awaiting dispatch, per client",
+                client=client,
+            )
+            self._queue_depth[client] = g
+        return g
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``qualified name -> value`` view (for listings/tests)."""
+        out: Dict[str, float] = {}
+        for inst in self.registry.instruments():
+            if isinstance(inst, Counter):
+                out[inst.qualified_name] = inst.value
+            elif isinstance(inst, Gauge):
+                out[inst.qualified_name] = inst.read()
+        return out

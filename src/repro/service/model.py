@@ -1,0 +1,258 @@
+"""Job → stage → task model with lifecycle signals.
+
+The service executes work as a three-level hierarchy, the shape bndl's
+scheduler popularised for bulk-synchronous engines:
+
+* a :class:`Job` is one client submission (e.g. an experiment batch);
+* a :class:`Stage` is an ordered step inside the job — stage *N + 1*
+  only starts once stage *N* is done, so multi-phase workloads
+  (simulate, then post-process) sequence without client round-trips;
+* a :class:`Task` is one unit of schedulable work (one experiment
+  cell), dispatched eagerly over the worker pool and retried on worker
+  death.
+
+Every level is a :class:`Lifecycle`: it moves through
+``PENDING → RUNNING → DONE | FAILED | CANCELLED`` and notifies
+listeners on each transition.  Cancellation propagates *down* the
+hierarchy (job → stages → tasks) and completion aggregates *up* (all
+tasks done → stage done; last stage done → job done; any task failed →
+job failed).
+
+Nothing in this module touches threads, processes, or the store — it is
+pure bookkeeping the :class:`~repro.service.scheduler.ExperimentScheduler`
+drives, which keeps the state machine independently testable.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "State",
+    "Lifecycle",
+    "TaskSpec",
+    "Task",
+    "Stage",
+    "Job",
+    "JobCounters",
+]
+
+
+class State(str, enum.Enum):
+    """Lifecycle state shared by jobs, stages, and tasks."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (State.DONE, State.FAILED, State.CANCELLED)
+
+
+#: Legal state transitions; anything else is a scheduler bug.
+#: RUNNING -> PENDING is the reschedule path: a task whose worker died
+#: goes back to the ready queue for another attempt.
+_TRANSITIONS = {
+    State.PENDING: {State.RUNNING, State.DONE, State.FAILED, State.CANCELLED},
+    State.RUNNING: {State.PENDING, State.DONE, State.FAILED, State.CANCELLED},
+    State.DONE: set(),
+    State.FAILED: set(),
+    State.CANCELLED: set(),
+}
+
+
+class Lifecycle:
+    """State machine with transition listeners.
+
+    Terminal states are sticky: a second transition request against a
+    terminal object is ignored (the first signal wins), which is what
+    makes concurrent completion/cancellation races safe to express as
+    plain calls.
+    """
+
+    def __init__(self) -> None:
+        self.state = State.PENDING
+        self._listeners: List[Callable[["Lifecycle"], None]] = []
+
+    def add_listener(self, fn: Callable[["Lifecycle"], None]) -> None:
+        """Call ``fn(self)`` after every subsequent state transition."""
+        self._listeners.append(fn)
+
+    def signal(self, state: State) -> bool:
+        """Move to ``state``; returns False if the move was a no-op.
+
+        Transitions out of a terminal state never happen; an illegal
+        non-terminal transition raises (it means the scheduler lost
+        track of this object).
+        """
+        if self.state is state:
+            return False
+        if self.state.terminal:
+            return False
+        if state not in _TRANSITIONS[self.state]:
+            raise RuntimeError(
+                f"illegal lifecycle transition {self.state.value} -> "
+                f"{state.value} on {self!r}"
+            )
+        self.state = state
+        for fn in list(self._listeners):
+            fn(self)
+        return True
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Immutable description of one unit of work.
+
+    ``key`` is the content address used for caching and dedupe (for
+    experiment cells it is the spec hash).  ``runner`` names the worker
+    entry point as ``"module.path:function"`` — an import string rather
+    than a callable so the payload crosses process boundaries without
+    pickling code.  ``spec`` optionally carries the originating
+    :class:`~repro.bench.engine.ExperimentSpec` so results can be
+    written to the shared :class:`~repro.bench.store.ResultStore`.
+    """
+
+    key: str
+    payload: Dict[str, Any]
+    runner: str
+    spec: Optional[Any] = None
+    label: str = ""
+
+
+class Task(Lifecycle):
+    """One schedulable attempt-tracked unit of a stage."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, spec: TaskSpec, stage: "Stage") -> None:
+        super().__init__()
+        self.id = f"t{next(self._ids)}"
+        self.spec = spec
+        self.stage = stage
+        #: The job whose counters get "executed" credit.  Cleared when
+        #: that job is cancelled but other jobs still need the result
+        #: (ownership transfer keeps the task running).
+        self.owner: Optional["Job"] = stage.job
+        #: Dispatch attempts so far (1 on first dispatch).
+        self.attempts = 0
+        #: Worker-death reschedules consumed.
+        self.retries = 0
+        #: Worker currently (or last) executing this task.
+        self.worker_id: Optional[int] = None
+        #: Result payload dict once DONE.
+        self.result: Optional[Dict[str, Any]] = None
+        #: The exception that failed this task, once FAILED.
+        self.error: Optional[BaseException] = None
+        #: ``(job, stage, index)`` triples to deliver the result to.
+        #: The first entry is the owning cell; extras are in-flight
+        #: dedupe subscribers from other submissions.
+        self.subscribers: List[Tuple["Job", "Stage", int]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Task {self.id} {self.state.value} key={self.spec.key[:12]} "
+            f"attempts={self.attempts}>"
+        )
+
+
+class Stage(Lifecycle):
+    """An ordered step of a job: a set of tasks with a barrier after."""
+
+    def __init__(self, job: "Job", index: int, name: str = "") -> None:
+        super().__init__()
+        self.job = job
+        self.index = index
+        self.name = name or f"stage-{index}"
+        self.tasks: List[Task] = []
+        #: Keys this stage subscribed to on *other jobs'* in-flight
+        #: tasks and is still waiting for, mapped to the submission
+        #: index they fill (in-flight dedupe).
+        self.pending_keys: Dict[str, int] = {}
+
+    @property
+    def settled(self) -> bool:
+        """True when every task (and dedupe subscription) has resolved."""
+        return all(t.state.terminal for t in self.tasks) and not self.pending_keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Stage {self.job.id}/{self.index} {self.state.value}>"
+
+
+@dataclass
+class JobCounters:
+    """Per-job accounting, mirroring ``SweepRunner``'s counters.
+
+    ``cache_hits``/``cache_misses`` count distinct-spec store probes at
+    submission; ``executed`` counts cells this job's own tasks
+    simulated; ``deduped`` counts cells served by subscribing to another
+    job's in-flight task; ``retries`` counts worker-death reschedules.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    deduped: int = 0
+    retries: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "deduped": self.deduped,
+            "retries": self.retries,
+        }
+
+
+class Job(Lifecycle):
+    """One client submission: ordered stages over a list of cells."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, client: str, n_cells: int, label: str = "") -> None:
+        super().__init__()
+        self.id = f"j{next(self._ids)}"
+        self.client = client
+        self.label = label
+        self.n_cells = n_cells
+        self.stages: List[Stage] = []
+        self.counters = JobCounters()
+        #: Set by the scheduler: the first task failure, re-raised to
+        #: the client from :meth:`JobHandle.wait`.
+        self.error: Optional[BaseException] = None
+        #: submission index -> result payload, for duplicate aliasing.
+        self.results_by_index: Dict[int, Any] = {}
+        #: key -> first submission index (intra-job duplicate aliasing).
+        self.first_index_by_key: Dict[str, int] = {}
+        #: first index -> later duplicate indices still to fill.
+        self.alias_map: Dict[int, List[int]] = {}
+
+    @property
+    def tasks(self) -> List[Task]:
+        return [t for s in self.stages for t in s.tasks]
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able snapshot for ``repro jobs list|show``."""
+        by_state: Dict[str, int] = {}
+        for t in self.tasks:
+            by_state[t.state.value] = by_state.get(t.state.value, 0) + 1
+        return {
+            "id": self.id,
+            "client": self.client,
+            "label": self.label,
+            "state": self.state.value,
+            "cells": self.n_cells,
+            "stages": len(self.stages),
+            "tasks": by_state,
+            "counters": self.counters.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Job {self.id} {self.state.value} client={self.client!r}>"

@@ -1,0 +1,28 @@
+"""Worker-side task entry points.
+
+Task runners are addressed by import string (``"module:function"``) so
+that a :class:`~repro.service.model.TaskSpec` stays a plain data value
+across process boundaries.  The production runner is
+:func:`run_spec_payload`; synthetic runners for tests and drills live
+in :mod:`repro.service.testing`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RUN_SPEC_RUNNER", "run_spec_payload"]
+
+#: Import string of the production experiment-cell runner.
+RUN_SPEC_RUNNER = "repro.service.tasks:run_spec_payload"
+
+
+def run_spec_payload(payload: dict) -> dict:
+    """Simulate one experiment cell: spec dict in, result dict out.
+
+    Both sides of the call are JSON-able, so the same runner serves the
+    inline pool, process workers, and the wire protocol.  The DES is
+    deterministic and the serialization lossless, which is what makes
+    results bit-identical regardless of where the cell ran.
+    """
+    from repro.bench.engine import ExperimentSpec, run_spec
+
+    return run_spec(ExperimentSpec.from_dict(payload)).to_dict()

@@ -70,6 +70,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_results_sort_option(self):
+        assert build_parser().parse_args(["results", "list"]).sort is None
+        args = build_parser().parse_args(["results", "list", "--sort", "size"])
+        assert args.sort == "size"
+        args = build_parser().parse_args(["results", "list", "--sort", "age"])
+        assert args.sort == "age"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["results", "list", "--sort", "name"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7077 and args.workers == 0
+        assert not args.no_cache
+
+    def test_submit_defaults_and_lists(self):
+        args = build_parser().parse_args(
+            ["submit", "--case", "1,2", "--stripe-factor", "16,64",
+             "--follow"]
+        )
+        assert args.case == "1,2" and args.stripe_factor == "16,64"
+        assert args.follow and args.port == 7077
+
+    def test_jobs_actions(self):
+        args = build_parser().parse_args(["jobs", "list"])
+        assert args.action == "list" and args.id is None
+        args = build_parser().parse_args(["jobs", "cancel", "j3"])
+        assert args.action == "cancel" and args.id == "j3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs", "frobnicate"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -144,7 +174,9 @@ class TestResultCache:
         assert main(["results", "list"]) == 0
         out = capsys.readouterr().out
         assert "1 cached cell(s)" in out and "embedded" in out
-        spec_hash = out.splitlines()[-1].split("|")[0].strip()
+        # last table row sits just above the summary footer
+        spec_hash = out.splitlines()[-2].split("|")[0].strip()
+        assert "entries" in out.splitlines()[-1]
 
         assert main(["results", "show", spec_hash]) == 0
         out = capsys.readouterr().out
@@ -166,6 +198,74 @@ class TestResultCache:
         assert "needs a spec hash" in capsys.readouterr().err
         assert main(["results", "show", "deadbeef"]) == 2
         assert "no cached result" in capsys.readouterr().err
+
+    def test_results_list_sort_and_footer(self, capsys):
+        # Two differently-sized entries, written oldest-first.
+        import os
+        import time
+
+        from repro.bench.store import ResultStore
+
+        assert main(self.RUN) == 0
+        assert main(["run", "--case", "1", "--cpis", "4", "--warmup", "1",
+                     "--stripe-factor", "16"]) == 0
+        capsys.readouterr()
+        store = ResultStore()
+        (a, b) = store.hashes()
+        # force a deterministic size/mtime ordering regardless of runs
+        big, small = store.path_for(a), store.path_for(b)
+        big.write_text(big.read_text() + " " * 4096)
+        old = time.time() - 1000
+        os.utime(big, (old, old))
+
+        assert main(["results", "list", "--sort", "size"]) == 0
+        out = capsys.readouterr().out
+        rows = [ln for ln in out.splitlines() if ln.startswith((a[:12], b[:12]))]
+        assert rows[0].startswith(a[:12])       # biggest first
+        footer = out.splitlines()[-1]
+        assert "2 entries" in footer
+        assert "bytes total" in footer and "schema v" in footer
+
+        assert main(["results", "list", "--sort", "age"]) == 0
+        out = capsys.readouterr().out
+        rows = [ln for ln in out.splitlines() if ln.startswith((a[:12], b[:12]))]
+        assert rows[0].startswith(b[:12])       # newest first
+
+
+class TestServiceCommands:
+    def test_jobs_list_unreachable_server_is_clean_error(self, capsys):
+        assert main(["jobs", "list", "--port", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_bad_case_list_is_clean_error(self, capsys):
+        assert main(["submit", "--case", "x,y"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_serve_submit_jobs_round_trip(self, capsys):
+        # In-process server on a free port; tiny 2-cell batch.
+        from repro.bench.store import ResultStore
+        from repro.service.scheduler import ExperimentScheduler
+        from repro.service.server import ExperimentServer
+
+        store = ResultStore(".cache/experiments")
+        with ExperimentScheduler(workers=0, store=store) as scheduler:
+            with ExperimentServer(scheduler, port=0) as server:
+                rc = main([
+                    "submit", "--port", str(server.port),
+                    "--case", "1", "--stripe-factor", "8,16",
+                    "--cpis", "2", "--warmup", "0",
+                    "--client", "cli-test", "--follow",
+                ])
+                out = capsys.readouterr().out
+                assert rc == 0
+                assert "accepted: 2 cell(s)" in out
+                assert out.count("executed") >= 2
+                assert "job done: 2 executed" in out
+
+                assert main(["jobs", "list", "--port",
+                             str(server.port)]) == 0
+                out = capsys.readouterr().out
+                assert "cli-test" in out and "done" in out
 
 
 class TestFaultFlags:

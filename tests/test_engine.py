@@ -1,6 +1,8 @@
 """Tests for the declarative experiment engine (spec / runner / store)."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -336,6 +338,122 @@ class TestResultStore:
         assert entry["throughput"] > 0
         assert store.clear() == 1
         assert len(store) == 0
+
+    def test_entries_carry_size_and_mtime(self, small_params, tmp_path):
+        spec = small_spec(small_params)
+        store = ResultStore(tmp_path / "cache")
+        store.put(spec, run_spec(spec))
+        (entry,) = store.entries()
+        assert entry["size_bytes"] == store.path_for(
+            spec.spec_hash()).stat().st_size
+        assert entry["size_bytes"] > 0
+        assert entry["mtime"] > 0
+
+    def test_summary_totals(self, small_params, tmp_path):
+        from repro.bench.store import STORE_SCHEMA
+
+        store = ResultStore(tmp_path / "cache")
+        assert store.summary() == {
+            "entries": 0, "total_bytes": 0, "schema": STORE_SCHEMA,
+        }
+        for seed in (0, 1):
+            spec = small_spec(small_params, seed=seed)
+            store.put(spec, run_spec(spec))
+        s = store.summary()
+        assert s["entries"] == 2
+        assert s["total_bytes"] == sum(
+            e["size_bytes"] for e in store.entries()
+        )
+
+
+class TestStoreConcurrentWriters:
+    """Satellite: first-write-wins puts and orphaned-tmp cleanup."""
+
+    def test_first_write_wins_skips_rewrite(self, small_params, tmp_path):
+        spec = small_spec(small_params)
+        store = ResultStore(tmp_path / "cache")
+        result = run_spec(spec)
+        target = store.put(spec, result)
+        stamp = (target.stat().st_mtime_ns, target.stat().st_ino)
+        store.put(spec, result)   # concurrent-writer replay: no-op
+        assert (target.stat().st_mtime_ns, target.stat().st_ino) == stamp
+        assert store.get(spec).to_dict() == result.to_dict()
+
+    def test_stale_entry_is_overwritten(self, small_params, tmp_path):
+        # First-write-wins applies only to *valid* entries: an entry
+        # with an outdated substrate fingerprint must be replaced.
+        spec = small_spec(small_params)
+        store = ResultStore(tmp_path / "cache")
+        result = run_spec(spec)
+        target = store.put(spec, result)
+        payload = json.loads(target.read_text())
+        payload["substrate"] = "f" * 64
+        target.write_text(json.dumps(payload))
+        store.put(spec, result)
+        assert store.get(spec) is not None
+
+    def test_concurrent_puts_from_processes(self, small_params, tmp_path):
+        # Many writers, one hash: all must succeed and the entry must
+        # be valid afterwards (atomic rename, identical content).
+        import multiprocessing
+
+        spec = small_spec(small_params)
+        store = ResultStore(tmp_path / "cache")
+        result = run_spec(spec)
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(target=_put_once,
+                        args=(str(tmp_path / "cache"), spec.to_dict(),
+                              result.to_dict()))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert store.get(spec).to_dict() == result.to_dict()
+        assert list((tmp_path / "cache").glob("*.tmp")) == []
+
+    def test_orphaned_tmp_swept_on_open(self, small_params, tmp_path):
+        # Satellite regression: a temp file left by a kill -9'd writer
+        # is removed when the store is next opened; fresh temps (live
+        # writers) are left alone.
+        root = tmp_path / "cache"
+        root.mkdir()
+        orphan = root / ".deadbeef.json.12345.1.tmp"
+        orphan.write_text("{truncated")
+        old = time.time() - 3600
+        os.utime(orphan, (old, old))
+        fresh = root / ".cafef00d.json.99999.2.tmp"
+        fresh.write_text("{in-progress")
+
+        store = ResultStore(root)
+        assert not orphan.exists()
+        assert fresh.exists()
+        # and the store works normally afterwards
+        spec = small_spec(small_params)
+        store.put(spec, run_spec(spec))
+        assert spec in store
+
+    def test_sweep_orphans_returns_count(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        store = ResultStore(root)   # opened before the writer died
+        for i in range(3):
+            p = root / f".h{i}.json.1.{i}.tmp"
+            p.write_text("x")
+            os.utime(p, (1, 1))
+        assert store.sweep_orphans() == 3
+        assert store.sweep_orphans() == 0
+
+
+def _put_once(root, spec_dict, result_dict):
+    from repro.bench.engine import ExperimentSpec
+    from repro.bench.store import ResultStore
+
+    ResultStore(root).put_dict(ExperimentSpec.from_dict(spec_dict),
+                               result_dict)
 
 
 class TestDriverReuse:
