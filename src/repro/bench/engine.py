@@ -619,6 +619,8 @@ class SweepRunner:
         before the interrupt are already in the store.
         """
         specs = list(specs)
+        if not specs:
+            return []
         scheduler = self._get_scheduler()
         handle = scheduler.submit(specs, client="sweep")
         try:

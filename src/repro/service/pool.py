@@ -18,9 +18,12 @@ import string (see :class:`~repro.service.model.TaskSpec`), so payloads
 stay plain JSON-able dicts and nothing code-shaped ever crosses the
 pipe.
 
-The pool is intentionally single-owner: only the scheduler's dispatcher
-thread calls :meth:`submit` / :meth:`poll` / :meth:`kill_worker`, which
-keeps the pool itself lock-free.
+Dispatch (:meth:`submit` / :meth:`poll`) belongs to the scheduler's
+dispatcher thread alone, but cancellation arrives on client threads:
+``Scheduler.cancel()`` / ``shutdown()`` call :meth:`worker_for_task` /
+:meth:`kill_worker` while the dispatcher may be mid-:meth:`poll`, so the
+worker table is guarded by its own lock (never held across a blocking
+wait or a process join).
 """
 
 from __future__ import annotations
@@ -206,6 +209,10 @@ class ProcessPool:
         self.size = size
         self._ctx = multiprocessing.get_context(mp_context)
         self._next_worker_id = 0
+        #: Guards ``_workers`` against the dispatcher's poll-time
+        #: mutations (death del + respawn insert) racing client-thread
+        #: cancellation reads (worker_for_task / kill_worker).
+        self._lock = threading.RLock()
         self._workers: Dict[int, _Worker] = {}
         #: Cross-thread wakeup: ``wakeup()`` (any thread) makes a
         #: blocked :meth:`poll` return immediately.
@@ -220,48 +227,55 @@ class ProcessPool:
     def _spawn(self) -> _Worker:
         worker = _Worker(self._next_worker_id, self._ctx)
         self._next_worker_id += 1
-        self._workers[worker.id] = worker
+        with self._lock:
+            self._workers[worker.id] = worker
         return worker
 
     def shutdown(self, timeout: float = 2.0) -> None:
         """Stop every worker: polite sentinel first, then terminate."""
-        for w in self._workers.values():
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for w in workers:
             try:
                 w.conn.send(None)
             except (BrokenPipeError, OSError):
                 pass
-        for w in self._workers.values():
+        for w in workers:
             w.proc.join(timeout=timeout)
             if w.proc.is_alive():
                 w.proc.terminate()
                 w.proc.join(timeout=timeout)
             w.close()
-        self._workers.clear()
         self._wake_recv.close()
         self._wake_send.close()
 
     # -- dispatch ----------------------------------------------------------
     @property
     def free(self) -> int:
-        return sum(1 for w in self._workers.values() if not w.busy)
+        with self._lock:
+            return sum(1 for w in self._workers.values() if not w.busy)
 
     def submit(self, task_id: str, runner: str, payload: dict) -> int:
         """Dispatch to a free worker; returns its worker id."""
-        for w in self._workers.values():
-            if not w.busy:
-                w.conn.send((task_id, runner, payload))
-                w.task_id = task_id
-                return w.id
+        with self._lock:
+            for w in self._workers.values():
+                if not w.busy:
+                    w.conn.send((task_id, runner, payload))
+                    w.task_id = task_id
+                    return w.id
         raise ServiceError("submit() with no free worker")  # scheduler bug
 
     def worker_pids(self) -> List[int]:
         """PIDs of live workers (test hook for kill-a-worker drills)."""
-        return [w.proc.pid for w in self._workers.values() if w.proc.pid]
+        with self._lock:
+            return [w.proc.pid for w in self._workers.values() if w.proc.pid]
 
     def worker_for_task(self, task_id: str) -> Optional[int]:
-        for w in self._workers.values():
-            if w.task_id == task_id:
-                return w.id
+        with self._lock:
+            for w in self._workers.values():
+                if w.task_id == task_id:
+                    return w.id
         return None
 
     def kill_worker(self, worker_id: int) -> None:
@@ -271,7 +285,8 @@ class ProcessPool:
         scheduler decides whether the orphaned task is rescheduled
         (worker death) or dropped (it was cancelled).
         """
-        w = self._workers.get(worker_id)
+        with self._lock:
+            w = self._workers.get(worker_id)
         if w is not None and w.proc.is_alive():
             w.proc.terminate()
 
@@ -286,8 +301,9 @@ class ProcessPool:
     def poll(self, timeout: float = 0.0) -> List[PoolEvent]:
         """Collect completions and deaths, waiting up to ``timeout``."""
         events: List[PoolEvent] = []
-        conns = {w.conn: w for w in self._workers.values() if w.busy}
-        sentinels = {w.proc.sentinel: w for w in self._workers.values()}
+        with self._lock:
+            conns = {w.conn: w for w in self._workers.values() if w.busy}
+            sentinels = {w.proc.sentinel: w for w in self._workers.values()}
         waitables: List[Any] = list(conns) + list(sentinels) + [self._wake_recv]
         ready = multiprocessing.connection.wait(waitables, timeout=timeout)
         dead: List[_Worker] = []
@@ -329,12 +345,13 @@ class ProcessPool:
                     )
         # Death detection second: a worker whose result we just consumed
         # has task_id None and its exit (if any) is not a task loss.
-        for sentinel, worker in sentinels.items():
-            if not worker.proc.is_alive() and worker.id in self._workers:
-                dead.append(worker)
+        with self._lock:
+            for sentinel, worker in sentinels.items():
+                if not worker.proc.is_alive() and worker.id in self._workers:
+                    dead.append(worker)
+                    del self._workers[worker.id]
         for worker in dead:
             orphan = worker.task_id
-            del self._workers[worker.id]
             worker.proc.join(timeout=0.5)
             worker.close()
             self.respawns += 1

@@ -53,6 +53,13 @@ __all__ = ["ExperimentScheduler"]
 #: dispatch is paused (see streaming docs).
 DEFAULT_BACKPRESSURE = 64
 
+#: Default count of terminal jobs kept fully resident (handle + result
+#: payloads) before the oldest are evicted down to describe() snapshots.
+DEFAULT_JOB_RETENTION = 256
+
+#: Cap on evicted-job snapshots kept for ``repro jobs list``.
+_ARCHIVE_CAP = 4096
+
 
 class ExperimentScheduler:
     """Job/stage/task scheduler over a persistent worker pool.
@@ -75,6 +82,13 @@ class ExperimentScheduler:
         that job pauses.
     max_task_retries:
         Worker-death reschedules allowed per task before the job fails.
+    job_retention:
+        Terminal jobs kept fully resident (handle, result payloads)
+        before the oldest are evicted to bounded ``describe()``
+        snapshots; bounds the long-running service's memory.  A client
+        still holding an evicted job's :class:`JobHandle` keeps it
+        usable (the handle owns the job object); only the scheduler's
+        references are dropped.
     """
 
     def __init__(
@@ -85,6 +99,7 @@ class ExperimentScheduler:
         metrics: Optional[ServiceMetrics] = None,
         backpressure: int = DEFAULT_BACKPRESSURE,
         max_task_retries: int = 3,
+        job_retention: int = DEFAULT_JOB_RETENTION,
         poll_interval: float = 0.25,
         mp_context: Optional[str] = None,
     ) -> None:
@@ -94,11 +109,16 @@ class ExperimentScheduler:
             raise ConfigurationError(
                 f"backpressure must be >= 1, got {backpressure}"
             )
+        if job_retention < 0:
+            raise ConfigurationError(
+                f"job_retention must be >= 0, got {job_retention}"
+            )
         self.workers = workers
         self.store = store
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.backpressure = backpressure
         self.max_task_retries = max_task_retries
+        self.job_retention = job_retention
         self._poll_interval = poll_interval
         self._pool = (
             InlinePool() if workers == 0 else ProcessPool(workers, mp_context)
@@ -108,6 +128,10 @@ class ExperimentScheduler:
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._handles: Dict[str, JobHandle] = {}
+        #: Terminal job ids in retirement order (eviction queue).
+        self._retired: Deque[str] = deque()
+        #: Evicted jobs' describe() snapshots (bounded, oldest dropped).
+        self._archive: Dict[str, Dict[str, Any]] = {}
         #: key -> live (non-terminal) task computing that cell.
         self._inflight: Dict[str, Task] = {}
         #: per-client FIFO of ready tasks (fair round-robin source).
@@ -212,14 +236,20 @@ class ExperimentScheduler:
         return True
 
     def jobs(self) -> List[Dict[str, Any]]:
-        """Snapshot of every job, newest last (for ``repro jobs list``)."""
+        """Snapshot of every job, newest last (for ``repro jobs list``).
+
+        Includes evicted jobs as their frozen terminal snapshots."""
         with self._lock:
-            return [job.describe() for job in self._jobs.values()]
+            return list(self._archive.values()) + [
+                job.describe() for job in self._jobs.values()
+            ]
 
     def job(self, job_id: str) -> Optional[Dict[str, Any]]:
         with self._lock:
             job = self._jobs.get(job_id)
-            return job.describe() if job is not None else None
+            if job is not None:
+                return job.describe()
+            return self._archive.get(job_id)
 
     def handle(self, job_id: str) -> Optional[JobHandle]:
         with self._lock:
@@ -240,7 +270,7 @@ class ExperimentScheduler:
             if self._closed:
                 return
             self._closed = True
-            for job in self._jobs.values():
+            for job in list(self._jobs.values()):
                 if not job.state.terminal:
                     self._cancel_job_locked(job, force=True)
             self._stop = True
@@ -320,6 +350,7 @@ class ExperimentScheduler:
         job.signal(State.DONE)
         self.metrics.jobs_completed.inc()
         self._handles[job.id]._push("done")
+        self._retire_job_locked(job)
 
     def _enqueue_stage_locked(self, job: Job, stage: Stage) -> None:
         dq = self._ready[job.client]
@@ -327,6 +358,22 @@ class ExperimentScheduler:
             if task.state is State.PENDING:
                 dq.append(task)
         self.metrics.queue_depth(job.client).set(len(dq))
+
+    # -- retention (locked) -------------------------------------------------
+    def _retire_job_locked(self, job: Job) -> None:
+        """A job just went terminal: queue it for eviction and evict the
+        oldest retirees past ``job_retention``, keeping only their
+        describe() snapshots (bounds service memory — every Job retains
+        its full result payloads)."""
+        self._retired.append(job.id)
+        while len(self._retired) > self.job_retention:
+            evicted_id = self._retired.popleft()
+            evicted = self._jobs.pop(evicted_id, None)
+            self._handles.pop(evicted_id, None)
+            if evicted is not None:
+                self._archive[evicted_id] = evicted.describe()
+        while len(self._archive) > _ARCHIVE_CAP:
+            del self._archive[next(iter(self._archive))]
 
     # -- cancellation (locked) ---------------------------------------------
     def _cancel_job_locked(self, job: Job, force: bool = False) -> None:
@@ -345,6 +392,7 @@ class ExperimentScheduler:
                     ]
             stage.pending_keys.clear()
         self._handles[job.id]._push("cancelled")
+        self._retire_job_locked(job)
 
     def _release_task_locked(self, job: Job, task: Task) -> None:
         """Cancel one of ``job``'s tasks — unless another job subscribed
@@ -518,6 +566,7 @@ class ExperimentScheduler:
             stage.pending_keys.clear()
         job.signal(State.FAILED)
         self._handles[job.id]._push("failed", error=error)
+        self._retire_job_locked(job)
 
     def _on_worker_died(self, event: PoolEvent) -> None:
         with self._lock:
@@ -560,7 +609,7 @@ class ExperimentScheduler:
     def _crash(self, exc: Exception) -> None:
         """Dispatcher hit an internal error: fail every live job."""
         with self._lock:
-            for job in self._jobs.values():
+            for job in list(self._jobs.values()):
                 if not job.state.terminal:
                     self._fail_job_locked(
                         job, ServiceError(f"scheduler crashed: {exc!r}")

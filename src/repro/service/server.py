@@ -160,6 +160,11 @@ class ExperimentServer:
         _send(wfile, {"ok": True, "event": "accepted", "job": handle.id,
                       "cells": handle.job.n_cells})
         if not req.get("follow"):
+            # Fire-and-forget: nobody will ever drain this stream, so
+            # detach the handle — otherwise `undelivered` only grows
+            # until backpressure permanently pauses the job (and every
+            # later job queued behind it for this client).
+            handle.detach()
             return
         try:
             for cell in handle.results():

@@ -67,15 +67,54 @@ class JobHandle:
         #: apply dispatch-side backpressure.
         self.undelivered = 0
         self._lock = threading.Lock()
-        self._drained = False
+        #: Fire-and-forget mode: results neither queue nor count toward
+        #: backpressure (see :meth:`detach`).
+        self._detached = False
+        #: ``(kind, error)`` of the consumed terminal event, so a second
+        #: results()/wait() call replays the outcome instead of blocking
+        #: forever on the already-drained queue.
+        self._terminal: Optional[tuple] = None
 
     # -- scheduler side ----------------------------------------------------
     def _push(self, kind: str, item: Optional[CellResult] = None,
               error: Optional[BaseException] = None) -> None:
-        if kind == _RESULT:
-            with self._lock:
+        with self._lock:
+            if kind == _RESULT:
+                if self._detached:
+                    # Nobody will ever drain this stream; the payload is
+                    # already in job.results_by_index (and the store).
+                    return
                 self.undelivered += 1
         self._queue.put((kind, item, error))
+
+    def detach(self) -> None:
+        """Switch to fire-and-forget: stop queueing streamed results and
+        stop counting them toward dispatch-side backpressure.
+
+        Used for submissions nobody follows (``repro submit`` without
+        ``--follow``): without this, ``undelivered`` would only grow
+        until the scheduler stopped dispatching the job.  Results remain
+        available through ``job.results_by_index`` / the shared store;
+        terminal events still queue, so a later :meth:`wait` returns
+        (or raises) correctly.  Idempotent.
+        """
+        with self._lock:
+            if self._detached:
+                return
+            self._detached = True
+            self.undelivered = 0
+            # Drop buffered results, keeping any terminal event.
+            buffered = []
+            try:
+                while True:
+                    buffered.append(self._queue.get_nowait())
+            except queue.Empty:
+                pass
+            for kind, item, error in buffered:
+                if kind != _RESULT:
+                    self._queue.put((kind, item, error))
+        # The job may already be backpressure-paused; let it resume.
+        self._scheduler._on_delivered()
 
     # -- client side -------------------------------------------------------
     @property
@@ -100,7 +139,17 @@ class JobHandle:
         Raises the job's failure (original exception when available) or
         :class:`~repro.errors.JobCancelledError` on cancellation.  A
         ``timeout`` bounds the wait for *each* cell.
+
+        Once the stream has been drained to its terminal event, further
+        calls replay the outcome immediately (an empty iterator for a
+        finished job, the same exception otherwise) rather than blocking
+        on the empty queue.
         """
+        with self._lock:
+            terminal = self._terminal
+        if terminal is not None:
+            self._finish(*terminal)
+            return
         while True:
             kind, item, error = self._queue.get(timeout=timeout)
             if kind == _RESULT:
@@ -108,16 +157,22 @@ class JobHandle:
                     self.undelivered -= 1
                 self._scheduler._on_delivered()
                 yield item
-            elif kind == _DONE:
+            else:
+                with self._lock:
+                    self._terminal = (kind, error)
+                self._finish(kind, error)
                 return
-            elif kind == _CANCELLED:
-                raise JobCancelledError(
-                    f"job {self.job.id} was cancelled"
-                )
-            else:  # _FAILED
-                raise error if error is not None else JobCancelledError(
-                    f"job {self.job.id} failed"
-                )
+
+    def _finish(self, kind: str, error: Optional[BaseException]) -> None:
+        """Raise (or return, for a clean finish) a terminal event."""
+        if kind == _DONE:
+            return
+        if kind == _CANCELLED:
+            raise JobCancelledError(f"job {self.job.id} was cancelled")
+        # _FAILED
+        raise error if error is not None else JobCancelledError(
+            f"job {self.job.id} failed"
+        )
 
     def wait(self, timeout: Optional[float] = None) -> List[Dict[str, Any]]:
         """Block until done; results ordered by submission index.

@@ -264,6 +264,64 @@ class TestSchedulerBasics:
             assert s.job(h.id)["state"] == "done"
             assert s.job("j999999") is None
 
+    def test_results_replay_after_stream_drained(self, tmp_path):
+        # A second results()/wait() call after the terminal event was
+        # consumed must return immediately, not block on the empty queue.
+        with ExperimentScheduler(workers=0) as s:
+            h = s.submit_stages(
+                [("sleep", [sleep_cell("k", tmp_path, value=3)])], client="a"
+            )
+            first = h.wait(timeout=DEADLINE)
+            again = h.wait(timeout=1)
+            assert again == first
+            assert list(h.results(timeout=1)) == []
+
+    def test_terminal_error_replays_after_drained(self, tmp_path):
+        with ExperimentScheduler(workers=0) as s:
+            bad = TaskSpec(key="bad", payload={"message": "synthetic"},
+                           runner=FAILING_RUNNER)
+            h = s.submit_stages([("x", [bad])], client="a")
+            with pytest.raises(ValueError, match="synthetic"):
+                h.wait(timeout=DEADLINE)
+            with pytest.raises(ValueError, match="synthetic"):
+                h.wait(timeout=1)
+
+
+class TestJobRetention:
+    def test_terminal_jobs_evicted_to_snapshots(self, tmp_path):
+        with ExperimentScheduler(workers=0, job_retention=2) as s:
+            handles = []
+            for i in range(4):
+                h = s.submit_stages(
+                    [("x", [sleep_cell(f"r{i}", tmp_path, value=i)])],
+                    client="a",
+                )
+                h.wait(timeout=DEADLINE)
+                handles.append(h)
+            oldest = handles[0]
+            # Evicted: the scheduler dropped its own references...
+            assert s.handle(oldest.id) is None
+            assert oldest.id not in s._jobs
+            # ...but `repro jobs list|show` still see the snapshot...
+            assert s.job(oldest.id)["state"] == "done"
+            assert [j["id"] for j in s.jobs()] == [h.id for h in handles]
+            # ...and the newest jobs stay fully resident.
+            assert s.handle(handles[-1].id) is handles[-1]
+            # A client still holding the evicted handle keeps it usable.
+            assert oldest.wait(timeout=1)[0]["value"] == 0
+
+    def test_cancel_evicted_job_is_false(self, tmp_path):
+        with ExperimentScheduler(workers=0, job_retention=0) as s:
+            h = s.submit_stages(
+                [("x", [sleep_cell("k", tmp_path)])], client="a"
+            )
+            h.wait(timeout=DEADLINE)
+            assert not s.cancel(h.id)
+
+    def test_retention_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScheduler(workers=0, job_retention=-1)
+
 
 class TestSchedulerWithStore:
     def test_cache_hit_streams_instantly(self, small_params, tmp_path):
@@ -448,6 +506,33 @@ class TestBackpressure:
             # Draining the stream releases the rest.
             assert len(h.wait(timeout=DEADLINE)) == 6
 
+    def test_detached_job_ignores_backpressure(self, tmp_path):
+        # A fire-and-forget submission (nobody drains the stream) must
+        # run to completion instead of stalling at the undelivered cap —
+        # and must not block later jobs from the same client.
+        with ExperimentScheduler(workers=1, backpressure=2) as s:
+            cells = [sleep_cell(f"d{i}", tmp_path) for i in range(6)]
+            h = s.submit_stages([("x", cells)], client="a")
+            h.detach()
+            assert wait_until(lambda: h.state is State.DONE)
+            assert len(list(tmp_path.glob("finished-d*"))) == 6
+            assert h.undelivered == 0
+            # the queue head is clear: a follow-up job runs normally
+            h2 = s.submit_stages(
+                [("x", [sleep_cell("after", tmp_path, value=1)])], client="a"
+            )
+            assert h2.wait(timeout=DEADLINE)[0]["value"] == 1
+
+    def test_detached_handle_wait_still_returns(self, tmp_path):
+        # detach() drops buffered results but keeps the terminal event;
+        # results stay reachable through the job's index map.
+        with ExperimentScheduler(workers=0, backpressure=1) as s:
+            cells = [sleep_cell(f"w{i}", tmp_path, value=i) for i in range(3)]
+            h = s.submit_stages([("x", cells)], client="a")
+            h.detach()
+            out = h.wait(timeout=DEADLINE)
+            assert [r["value"] for r in out] == [0, 1, 2]
+
 
 # ---------------------------------------------------------------------------
 # SweepRunner on the scheduler: equivalence acceptance
@@ -519,6 +604,13 @@ class TestSweepRunnerEquivalence:
         with SweepRunner(jobs=1) as runner:
             runner.run([small_spec(small_params)])
             assert runner.cache_misses == 1 and runner.executed == 1
+
+    def test_run_empty_grid_returns_empty_list(self):
+        # Pre-service behavior: an empty grid is a no-op, not an error.
+        with SweepRunner(jobs=1) as runner:
+            assert runner.run([]) == []
+            assert (runner.cache_hits, runner.cache_misses,
+                    runner.executed) == (0, 0, 0)
 
     def test_jobs_validated(self):
         with pytest.raises(ConfigurationError):
@@ -686,6 +778,32 @@ class TestServer:
         resp = request(server.host, server.port,
                        {"op": "cancel", "id": job_id})
         assert resp["cancelled"] is False
+
+    def test_no_follow_larger_than_backpressure_completes(self, small_params,
+                                                          tmp_path):
+        # Regression: a fire-and-forget submission with more uncached
+        # cells than the backpressure limit used to stall RUNNING
+        # forever (nothing drained the stream), wedging the client's
+        # whole queue.  The server now detaches the handle.
+        store = ResultStore(tmp_path / "cache")
+        with ExperimentScheduler(workers=0, store=store,
+                                 backpressure=1) as scheduler:
+            with ExperimentServer(scheduler, port=0) as server:
+                specs = [small_spec(small_params, seed=s).to_dict()
+                         for s in range(3)]
+                events = list(submit_batch(server.host, server.port, specs,
+                                           client="ff", follow=False))
+                job_id = events[0]["job"]
+                assert wait_until(
+                    lambda: scheduler.job(job_id)["state"] == "done"
+                )
+                # and a later job from the same client is not blocked
+                later = list(submit_batch(
+                    server.host, server.port,
+                    [small_spec(small_params, seed=9).to_dict()],
+                    client="ff", follow=True,
+                ))
+                assert later[-1]["event"] == "done"
 
     def test_overlapping_submissions_dedupe_via_shared_cache(
         self, served_scheduler, small_params
