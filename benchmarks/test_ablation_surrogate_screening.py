@@ -1,0 +1,213 @@
+"""Ablation: surrogate screening vs full simulation on a 132-cell sweep.
+
+The claim behind ``screening="screen"`` (:mod:`repro.bench.surrogate`)
+is that a sweep can skip simulating most of its cells — answering them
+from the bias-calibrated analytic model — *without changing any
+conclusion the sweep exists to draw*.  This bench runs both arms over
+the same grid and checks the claim end to end:
+
+* the screened arm executes (calibration + contested cells) at most 30%
+  of the grid;
+* every predicted cell's throughput and latency fall within the
+  prediction's stated error bound of the full-simulation value;
+* the strategy-winner conclusion (embedded vs separate, with the
+  screen's tie tolerance) matches the full arm on every scenario;
+* the bottleneck-crossover conclusion — the stripe-factor knee where
+  throughput saturates — matches the full arm on every curve;
+* ``screening="off"`` remains byte-identical to the plain engine.
+
+Grid: the three paper Paragon cases x {embedded, separate} x 11 stripe
+factors x 2 stripe units.  Calibration cells (5 per (pipeline, case)
+group) span the knee and both stripe units, because the first-order
+model's error regime shifts with both.
+"""
+
+import json
+import math
+from dataclasses import replace
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.cases import paper_cases
+from repro.bench.engine import ExperimentSpec, SweepRunner
+from repro.bench.store import ResultStore
+from repro.bench.surrogate import TIE_TOLERANCE, SurrogateScreen
+from repro.trace.report import format_table
+
+STRIPE_FACTORS = (4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+STRIPE_UNITS = (65536, 131072)
+PIPELINES = ("embedded", "separate")
+CASES = (1, 2, 3)
+
+#: (stripe_factor, stripe_unit) cells simulated per (case, pipeline)
+#: group to calibrate the screen: the sf extremes and the knee at the
+#: default stripe unit, plus two low-sf cells at the doubled unit (the
+#: model's I/O error is stripe-unit-dependent in the I/O-bound regime).
+CALIBRATION_POINTS = (
+    (4, 65536), (16, 65536), (128, 65536), (6, 131072), (16, 131072),
+)
+
+#: A cell's throughput is "saturated" within this fraction of the
+#: curve's plateau; the knee is the first saturated stripe factor.
+KNEE_TOLERANCE = 0.95
+
+MAX_EXECUTED_FRACTION = 0.30
+
+
+def _grid_specs():
+    paragon_cases = {
+        c.case_number: c
+        for c in paper_cases()
+        if c.preset.name == "Intel Paragon"
+    }
+    keys, specs = [], {}
+    for cn in CASES:
+        for pipe in PIPELINES:
+            for sf in STRIPE_FACTORS:
+                for su in STRIPE_UNITS:
+                    spec = ExperimentSpec.for_case(
+                        pipe, paragon_cases[cn], cfg=BENCH_CFG
+                    )
+                    spec = replace(
+                        spec,
+                        fs=replace(spec.fs, stripe_factor=sf, stripe_unit=su),
+                    )
+                    keys.append((cn, pipe, sf, su))
+                    specs[(cn, pipe, sf, su)] = spec
+    return keys, specs
+
+
+def _knee(curve):
+    """First stripe factor whose throughput reaches the plateau."""
+    plateau = max(curve.values())
+    return min(sf for sf in sorted(curve) if curve[sf] >= KNEE_TOLERANCE * plateau)
+
+
+def _winner(tp_embedded, tp_separate):
+    gap = math.log(tp_embedded) - math.log(tp_separate)
+    if abs(gap) <= TIE_TOLERANCE:
+        return "tie"
+    return "embedded" if gap > 0 else "separate"
+
+
+def _run_arms(tmp_path):
+    keys, specs = _grid_specs()
+
+    # Full arm: every cell simulated.
+    with SweepRunner(jobs=1, store=ResultStore(tmp_path / "full")) as runner:
+        full = dict(zip(keys, runner.run([specs[k] for k in keys])))
+
+    # Screened arm: simulate the calibration cells, plan, simulate only
+    # the contested cells, predict the rest.
+    screen_store = ResultStore(tmp_path / "screen")
+    cal_keys = [
+        (cn, pipe, sf, su)
+        for cn in CASES
+        for pipe in PIPELINES
+        for sf, su in CALIBRATION_POINTS
+    ]
+    with SweepRunner(jobs=1, store=screen_store) as runner:
+        runner.run([specs[k] for k in cal_keys])
+        screen = SurrogateScreen(screen_store)
+        plan = screen.plan([specs[k] for k in keys], "screen")
+        simulate_keys = {
+            keys[d.index] for d in plan.decisions if d.action == "simulate"
+        }
+        executed = set(cal_keys) | simulate_keys
+        runner.run([specs[k] for k in simulate_keys - set(cal_keys)])
+    screened = {}
+    for d in plan.decisions:
+        k = keys[d.index]
+        if k in executed:
+            screened[k] = ("simulated", screen_store.get(specs[k]))
+        else:
+            screened[k] = ("predicted", d.prediction)
+    return keys, specs, full, screened, executed, plan
+
+
+def test_ablation_surrogate_screening(benchmark, emit, tmp_path):
+    keys, specs, full, screened, executed, plan = benchmark.pedantic(
+        lambda: _run_arms(tmp_path), rounds=1, iterations=1
+    )
+
+    # 1. Execution budget: the screen must skip at least 70% of cells.
+    fraction = len(executed) / len(keys)
+    assert fraction <= MAX_EXECUTED_FRACTION, (len(executed), len(keys))
+
+    # 2. Soundness: every predicted metric within its stated bound.
+    violations = []
+    for k, (how, v) in screened.items():
+        if how != "predicted":
+            continue
+        sim = full[k]
+        err_tp = abs(v.throughput / sim.throughput - 1)
+        err_lat = abs(v.latency / sim.latency - 1)
+        if err_tp > v.bound_tp or err_lat > v.bound_lat:
+            violations.append((k, err_tp, v.bound_tp, err_lat, v.bound_lat))
+    assert not violations, violations
+
+    def tp(k):
+        how, v = screened[k]
+        return v.throughput
+
+    # 3. Strategy-winner conclusion identical on every scenario.
+    for cn in CASES:
+        for sf in STRIPE_FACTORS:
+            for su in STRIPE_UNITS:
+                ka = (cn, "embedded", sf, su)
+                kb = (cn, "separate", sf, su)
+                w_full = _winner(full[ka].throughput, full[kb].throughput)
+                w_scr = _winner(tp(ka), tp(kb))
+                assert w_full == w_scr, (cn, sf, su, w_full, w_scr)
+
+    # 4. Bottleneck-crossover conclusion (stripe-factor knee) identical
+    #    on every curve.
+    for cn in CASES:
+        for pipe in PIPELINES:
+            for su in STRIPE_UNITS:
+                curve_full = {
+                    sf: full[(cn, pipe, sf, su)].throughput
+                    for sf in STRIPE_FACTORS
+                }
+                curve_scr = {
+                    sf: tp((cn, pipe, sf, su)) for sf in STRIPE_FACTORS
+                }
+                assert _knee(curve_full) == _knee(curve_scr), (cn, pipe, su)
+
+    # 5. screening="off" is byte-identical to the plain engine path.
+    probe = replace(specs[keys[0]], screening="off")
+    with SweepRunner(jobs=1) as runner:
+        off = runner.run_one(probe).to_dict()
+    assert json.dumps(off, sort_keys=True) == json.dumps(
+        full[keys[0]].to_dict(), sort_keys=True
+    )
+
+    n_pred = sum(1 for how, _ in screened.values() if how == "predicted")
+    worst_tp = max(
+        (abs(v.throughput / full[k].throughput - 1)
+         for k, (how, v) in screened.items() if how == "predicted"),
+        default=0.0,
+    )
+    worst_lat = max(
+        (abs(v.latency / full[k].latency - 1)
+         for k, (how, v) in screened.items() if how == "predicted"),
+        default=0.0,
+    )
+    emit(
+        "ablation_surrogate_screening",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["grid cells", len(keys)],
+                ["executed (calibration + contested)", len(executed)],
+                ["executed fraction", f"{fraction:.1%}"],
+                ["predicted cells", n_pred],
+                ["plan reasons", json.dumps(plan.summary(), sort_keys=True)],
+                ["bound violations", 0],
+                ["worst predicted throughput error", f"{worst_tp:.3f}"],
+                ["worst predicted latency error", f"{worst_lat:.3f}"],
+                ["strategy-winner mismatches", 0],
+                ["knee mismatches", 0],
+            ],
+            title="Surrogate screening vs full simulation (132-cell sweep)",
+        ),
+    )

@@ -83,7 +83,7 @@ def _build_spec(seed: Optional[int], kwargs: dict) -> ExperimentSpec:
     }
     for key in (
         "pipeline", "machine", "disk_fault", "node_fault", "writer",
-        "server_crash", "flaky_disk",
+        "server_crash", "flaky_disk", "screening",
     ):
         if key in kwargs:
             spec_kwargs[key] = kwargs.pop(key)
@@ -131,9 +131,10 @@ def run(
         ``n_cpis / warmup / threaded / read_deadline /
         metrics_interval``, ``fs`` (an :class:`FSConfig` or a kind
         string) or any of ``stripe_factor / stripe_unit / disk_bw /
-        disk_overhead / replication``, and the fault-injection fields
+        disk_overhead / replication``, the fault-injection fields
         (``disk_fault``, ``node_fault``, ``writer``, ``server_crash``,
-        ``flaky_disk``).
+        ``flaky_disk``), and ``screening`` (``"off"`` / ``"screen"`` /
+        ``"predict-all"``, see :mod:`repro.bench.surrogate`).
     """
     if isinstance(spec_or_kwargs, ExperimentSpec):
         if kwargs:

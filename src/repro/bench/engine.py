@@ -308,6 +308,14 @@ class ExperimentSpec:
     writer: Optional[WriterLoad] = None
     server_crash: Optional[ServerCrash] = None
     flaky_disk: Optional[FlakyDisk] = None
+    #: Surrogate-screening mode (see :mod:`repro.bench.surrogate`):
+    #: ``"off"`` simulates every cell (the default), ``"screen"``
+    #: predicts cells far from decision boundaries, ``"predict-all"``
+    #: predicts every model-predictable cell.  Execution policy, not
+    #: experiment identity: excluded from comparison, serialization and
+    #: the spec hash, so a screened sweep shares cache entries with an
+    #: unscreened one.
+    screening: str = field(default="off", compare=False)
 
     def __post_init__(self) -> None:
         if self.pipeline not in PIPELINES:
@@ -318,6 +326,11 @@ class ExperimentSpec:
         if self.machine not in MACHINES:
             raise ConfigurationError(
                 f"unknown machine {self.machine!r}; choose from {sorted(MACHINES)}"
+            )
+        if self.screening not in ("off", "screen", "predict-all"):
+            raise ConfigurationError(
+                f"unknown screening mode {self.screening!r}; "
+                "choose from ('off', 'screen', 'predict-all')"
             )
 
     @property
@@ -566,6 +579,10 @@ class SweepRunner:
         Cells actually simulated by this runner (including duplicates
         resolved in-memory: a spec appearing twice in one ``run()`` call
         is simulated once).
+    predicted:
+        Cells answered by the analytic surrogate instead of simulation
+        (specs with ``screening != "off"``; see
+        :mod:`repro.bench.surrogate`).
     """
 
     def __init__(self, jobs: int = 1, store=None) -> None:
@@ -576,6 +593,7 @@ class SweepRunner:
         self.cache_hits = 0
         self.cache_misses = 0
         self.executed = 0
+        self.predicted = 0
         self._scheduler = None
 
     def _get_scheduler(self):
@@ -640,6 +658,7 @@ class SweepRunner:
         self.cache_hits += counters["cache_hits"]
         self.cache_misses += counters["cache_misses"]
         self.executed += counters["executed"]
+        self.predicted += counters.get("predicted", 0)
         results = [PipelineResult.from_dict(p) for p in payloads]
         # Duplicate specs alias one result object, as before.
         seen: Dict[int, PipelineResult] = {}

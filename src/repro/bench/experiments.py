@@ -401,8 +401,15 @@ def run_ablation_stripe_sweep(
     cfg: ExecutionConfig = DEFAULT_CFG,
     runner: Optional[SweepRunner] = None,
     seed: int = 0,
+    screening: str = "off",
 ) -> Dict[int, PipelineResult]:
-    """Locate the stripe-factor knee: case-3 throughput vs stripe factor."""
+    """Locate the stripe-factor knee: case-3 throughput vs stripe factor.
+
+    ``screening`` forwards to :class:`ExperimentSpec` — under
+    ``"screen"`` the engine answers cells far from the knee with the
+    calibrated surrogate (:mod:`repro.bench.surrogate`) and only
+    simulates the contested ones.
+    """
     params = params or STAPParams()
     a = NodeAssignment.case(case_number, params)
     specs = [
@@ -414,6 +421,7 @@ def run_ablation_stripe_sweep(
             params=params,
             cfg=cfg,
             seed=seed,
+            screening=screening,
         )
         for sf in stripe_factors
     ]

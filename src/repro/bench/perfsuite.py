@@ -1,10 +1,16 @@
 """Microbenchmark suite for the DES kernel and pipeline hot paths.
 
-Measures four things and records them in a JSON baseline file
-(``BENCH_pr2.json`` at the repository root):
+Measures the following and records them in a JSON baseline file
+(``BENCH_pr7.json`` at the repository root; ``BENCH_pr2.json`` is the
+committed pre-calendar-kernel baseline, kept for the cumulative
+speedup story):
 
 * ``kernel_ops`` — raw kernel throughput on a synthetic workload of
   timeouts, resource handoffs, and store transfers (events/second);
+* ``kernel_ops_calendar`` — calendar-ring stress: timers spread over
+  four decades of delay, so entries file into the calendar rather than
+  the now-lane and the width/occupancy feedback loops run (also records
+  the kernel's cumulative ``queue_stats()`` counters);
 * ``cell_embedded_case3`` / ``cell_separate_case3`` — one full pipeline
   simulation each (the paper's 100-node case), recording wall time,
   total function calls under cProfile, and the result hash;
@@ -25,8 +31,8 @@ never gated on — CI machines are too noisy for that.
 
 Usage::
 
-    python -m repro.bench.perfsuite --write BENCH_pr2.json
-    python -m repro.bench.perfsuite --check BENCH_pr2.json --only cell_smoke
+    python -m repro.bench.perfsuite --write BENCH_pr7.json
+    python -m repro.bench.perfsuite --check BENCH_pr7.json --only cell_smoke
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ __all__ = [
     "run_suite",
     "measure_cell",
     "measure_kernel_ops",
+    "measure_kernel_ops_calendar",
     "measure_metrics_overhead",
     "measure_reproduce_cold",
     "check_against",
@@ -116,6 +123,28 @@ def _kernel_workload(n_workers: int = 50, n_iters: int = 400) -> int:
     k.process(drainer(n_workers * n_iters), name="drain")
     k.run()
     return k._seq
+
+
+def _calendar_workload(n_timers: int = 1000, rounds: int = 16):
+    """Calendar-ring stress: pure timer traffic spread over four decades
+    of delay (0.01–10 s), so almost every entry files into the calendar
+    rather than the now-lane.  Each timer re-arms at a drifting decade,
+    forcing the width estimator to track a moving gap distribution and
+    the occupancy loop to resize as the ring drains.  Returns the kernel
+    (for ``queue_stats()``)."""
+    from repro.sim.kernel import Kernel
+
+    k = Kernel()
+
+    def timer(i: int):
+        for r in range(rounds):
+            scale = 10.0 ** ((i + r) % 4 - 2)
+            yield k.timeout(scale * (1 + (i * 7919) % 97) / 97.0)
+
+    for i in range(n_timers):
+        k.process(timer(i), name=f"t{i}")
+    k.run()
+    return k
 
 
 def _cell_spec(pipeline: str, case: int, n_cpis: int, warmup: int,
@@ -240,6 +269,25 @@ def measure_kernel_ops() -> Dict[str, Any]:
     }
 
 
+def measure_kernel_ops_calendar() -> Dict[str, Any]:
+    """Calendar-queue throughput plus the ring's cumulative counters."""
+    wall, calls, k = _profiled(_calendar_workload)
+    qs = k.queue_stats()
+    return {
+        "entries": qs["total_entries"],
+        "calendar_entries": qs["calendar_entries"],
+        "lane_ratio": round(qs["lane_ratio"], 4),
+        "advances": qs["advances"],
+        "fallback_scans": qs["fallback_scans"],
+        "resizes": qs["resizes"],
+        "wall_s": round(wall, 4),
+        "entries_per_s": (
+            round(qs["total_entries"] / wall) if wall > 0 else None
+        ),
+        "calls": calls,
+    }
+
+
 def measure_reproduce_cold() -> Dict[str, Any]:
     """Wall time of the full paper reproduction with a cold cache."""
     from repro.bench.engine import SweepRunner
@@ -273,6 +321,7 @@ def measure_reproduce_cold() -> Dict[str, Any]:
 #: name -> zero-argument producer of that section's measurement.
 _SECTIONS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "kernel_ops": measure_kernel_ops,
+    "kernel_ops_calendar": measure_kernel_ops_calendar,
     "cell_smoke": lambda: measure_cell(
         "embedded", 1, n_cpis=4, warmup=1, stripe_factor=16
     ),

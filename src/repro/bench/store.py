@@ -186,11 +186,22 @@ class ResultStore:
         the only cross-writer race left is ``os.replace`` against
         identical bytes, which is safe in either order.  A present but
         stale entry (old substrate, corrupt JSON) *is* overwritten.
+
+        The one asymmetric exception is surrogate predictions
+        (``result["source"] == "predicted"``, see
+        :mod:`repro.bench.surrogate`): a simulated result always
+        *upgrades* a stored prediction for the same spec, while a
+        prediction never overwrites any existing valid entry — the store
+        can only ever get more authoritative.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         spec_hash = spec.spec_hash()
         target = self.path_for(spec_hash)
-        if self.get_dict(spec) is not None:
+        existing = self.get_dict(spec)
+        if existing is not None and (
+            result.get("source") == "predicted"
+            or existing.get("source") != "predicted"
+        ):
             return target
         payload = {
             "schema": STORE_SCHEMA,
@@ -240,6 +251,7 @@ class ResultStore:
                     "seed": spec.get("seed"),
                     "throughput": meas.get("throughput"),
                     "latency": meas.get("latency"),
+                    "source": result.get("source", "simulated"),
                 }
             )
         return out

@@ -119,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request error probability (default 0.1)")
     p_run.add_argument("--flaky-seed", type=int, default=0,
                        help="seed of the flaky-disk error stream")
+    p_run.add_argument("--screening", choices=("off", "screen", "predict-all"),
+                       default="off",
+                       help="surrogate screening: 'screen' answers cells the "
+                            "calibrated analytic model can decide without "
+                            "simulating (see repro.bench.surrogate); "
+                            "'predict-all' never simulates")
     p_run.add_argument("--seed", type=int, default=0,
                        help="experiment seed (part of the cache key)")
     p_run.add_argument("--threaded", action="store_true",
@@ -158,6 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rows of the profile to print (default 25)")
     p_prof.add_argument("--sort", choices=("tottime", "cumtime", "ncalls"),
                         default="tottime", help="profile sort key")
+    p_prof.add_argument("--queue-stats", action="store_true",
+                        help="after the profile table, print the kernel's "
+                             "calendar-queue statistics (bucket occupancy, "
+                             "lane/calendar split, resizes)")
     p_prof.add_argument("--output", default=None, metavar="FILE",
                         help="also dump raw pstats data to FILE "
                         "(inspect with python -m pstats)")
@@ -172,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated stripe factors")
     p_sw.add_argument("--case", type=int, choices=(1, 2, 3), default=3)
     p_sw.add_argument("--cpis", type=int, default=8)
+    p_sw.add_argument("--screening", choices=("off", "screen", "predict-all"),
+                      default="off",
+                      help="let the calibrated surrogate answer cells the "
+                           "analytic model can decide (repro.bench.surrogate)")
     _add_engine_opts(p_sw)
 
     p_rep = sub.add_parser(
@@ -325,6 +339,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         server_crash=server_crash,
         flaky_disk=flaky_disk,
+        screening=args.screening,
     )
     runner = _make_runner(args)
     result = runner.run_one(exp)
@@ -348,6 +363,12 @@ def _cmd_run(args) -> int:
     print(f"\nthroughput : {result.throughput:.4f} CPIs/s")
     print(f"latency    : {result.latency:.4f} s")
     print(f"bottleneck : {m.bottleneck_task}")
+    if result.source == "predicted":
+        bound = result.prediction_bound
+        print(
+            "surrogate  : predicted by the analytic model, not simulated"
+            + (f" (error bound ±{bound:.0%})" if bound is not None else "")
+        )
     if result.dropped_cpis is not None:
         print(f"dropped    : {len(result.dropped_cpis)} CPI reads past deadline")
     if result.disk_stats and "requests_failed_per_server" in result.disk_stats:
@@ -460,7 +481,7 @@ def _cmd_profile(args) -> int:
     import cProfile
     import pstats
 
-    from repro.bench.engine import run_spec
+    from repro.bench.engine import build_executor
 
     params = STAPParams()
     spec = ExperimentSpec(
@@ -472,9 +493,12 @@ def _cmd_profile(args) -> int:
         cfg=ExecutionConfig(n_cpis=args.cpis, warmup=args.warmup),
         seed=args.seed,
     )
+    # Build outside the profile so only the simulation itself is timed;
+    # keeping the executor also keeps its kernel for --queue-stats.
+    ex = build_executor(spec)
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_spec(spec)
+    result = ex.run()
     profiler.disable()
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
@@ -484,10 +508,39 @@ def _cmd_profile(args) -> int:
         f"throughput {result.throughput:.4f} CPIs/s"
     )
     stats.sort_stats(args.sort).print_stats(args.lines)
+    if args.queue_stats:
+        print(render_queue_stats(ex.kernel.queue_stats()))
     if args.output:
         stats.dump_stats(args.output)
         print(f"raw pstats data written to {args.output}")
     return 0
+
+
+def render_queue_stats(qs: dict) -> str:
+    """Human-readable calendar-queue statistics (``profile --queue-stats``)."""
+    total = qs["total_entries"]
+    lane = qs["lane_entries"]
+    cal = qs["calendar_entries"]
+    lines = [
+        "calendar queue statistics",
+        f"  ring        : {qs['nbuckets']} buckets x {qs['width']:g} s wide, "
+        f"{qs['count']} live entries",
+        f"  events      : {total} scheduled — {lane} lane (zero-delay, "
+        f"{qs['lane_ratio']:.1%}), {cal} calendar",
+        f"  advances    : {qs['advances']} clock advances, "
+        f"{qs['fallback_scans']} fallback scans, {qs['resizes']} resizes",
+    ]
+    occ = qs["occupancy_hist"]
+    labels = ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127"]
+    cells = []
+    for i, n in enumerate(occ):
+        if n == 0:
+            continue
+        label = labels[i] if i < len(labels) else f"{1 << (i - 1)}+"
+        cells.append(f"{label} entries: {n}")
+    lines.append("  occupancy   : " + ("; ".join(cells) + " buckets"
+                                       if cells else "empty ring"))
+    return "\n".join(lines)
 
 
 def _cmd_detect(args) -> int:
@@ -529,11 +582,13 @@ def _cmd_sweep_stripe(args) -> int:
     if not factors or any(f < 1 for f in factors):
         print("error: factors must be positive integers", file=sys.stderr)
         return 2
+    runner = _make_runner(args)
     out = run_ablation_stripe_sweep(
         stripe_factors=factors,
         case_number=args.case,
         cfg=ExecutionConfig(n_cpis=args.cpis, warmup=2),
-        runner=_make_runner(args),
+        runner=runner,
+        screening=args.screening,
     )
     print(
         bar_chart(
@@ -541,6 +596,12 @@ def _cmd_sweep_stripe(args) -> int:
             title=f"case {args.case} throughput (CPIs/s) vs stripe factor",
         )
     )
+    predicted = sum(1 for r in out.values() if r.source == "predicted")
+    if predicted:
+        print(
+            f"({predicted}/{len(out)} cells answered by the analytic "
+            f"surrogate; {runner.executed} simulated)"
+        )
     return 0
 
 
@@ -659,8 +720,16 @@ def _cmd_results(args) -> int:
             )
         )
         s = store.summary()
+        predicted = sum(1 for e in entries if e.get("source") == "predicted")
+        simulated = len(entries) - predicted
+        counts = f"{s['entries']} entries"
+        if predicted:
+            counts = (
+                f"{s['entries']} entries ({simulated} simulated, "
+                f"{predicted} surrogate-predicted)"
+            )
         print(
-            f"{s['entries']} entries, {s['total_bytes']} bytes total, "
+            f"{counts}, {s['total_bytes']} bytes total, "
             f"store schema v{s['schema']}"
         )
         return 0

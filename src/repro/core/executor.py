@@ -127,6 +127,13 @@ class PipelineResult:
     #: JSON time-series metrics artifact (see :mod:`repro.obs`); None
     #: unless ``cfg.metrics_interval`` was set.
     metrics: "Optional[dict]" = None
+    #: ``"simulated"`` for real runs; ``"predicted"`` when the result was
+    #: synthesised from the analytic model by surrogate screening
+    #: (:mod:`repro.bench.surrogate`).
+    source: str = "simulated"
+    #: Relative error bound on predicted throughput/latency; None for
+    #: simulated results.
+    prediction_bound: "Optional[float]" = None
 
     def disk_utilization(self) -> float:
         """Mean busy fraction of the stripe directories' disks."""
@@ -174,6 +181,12 @@ class PipelineResult:
             d["dropped_cpis"] = [x.to_dict() for x in self.dropped_cpis]
         if self.metrics is not None:
             d["metrics"] = self.metrics
+        # Emitted only for predicted results, keeping simulated-result
+        # dicts (and hence all pre-existing result hashes) unchanged.
+        if self.source != "simulated":
+            d["source"] = self.source
+        if self.prediction_bound is not None:
+            d["prediction_bound"] = self.prediction_bound
         return d
 
     @staticmethod
@@ -210,6 +223,8 @@ class PipelineResult:
         if dropped is not None:
             result.dropped_cpis = [DroppedCpi.from_dict(x) for x in dropped]
         result.metrics = d.get("metrics")
+        result.source = d.get("source", "simulated")
+        result.prediction_bound = d.get("prediction_bound")
         return result
 
     def task_traffic(self) -> "dict":

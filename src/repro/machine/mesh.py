@@ -147,12 +147,21 @@ class MeshNetwork(Network):
         # are capacity-1, so the idle test and grant are inlined here
         # (equivalent to link.request(), minus the call per hop — this
         # loop runs once per hop of every message in the simulation).
+        kernel = self.kernel
         for link in links:
             if link._in_use:
                 yield link.request()
-            else:
+            elif kernel._lane or kernel._due:
                 link._in_use = 1
                 yield link._granted
+            else:
+                # Kernel quiescent: a yield on this born-fired grant would
+                # chain straight back here with nothing able to interleave,
+                # so taking the free link synchronously is order-identical
+                # and skips one full dispatch round for this hop.  Checked
+                # per hop — a wait on a busy link earlier in the path often
+                # resumes into a quiescent kernel again.
+                link._in_use = 1
         try:
             # Wormhole: pipelined flits => duration ~ startup + size/bw,
             # essentially independent of hop count once the worm is set up.
@@ -164,6 +173,42 @@ class MeshNetwork(Network):
                     link._waiters.popleft().succeed(link)
                 else:
                     link._in_use = 0
+
+    def deliver(self, src: int, dst: int, nbytes: int, mailbox, msg):
+        """Wormhole transfer fused with the mailbox deposit.
+
+        Body kept in lockstep with :meth:`transfer` — inlined rather than
+        delegated because every ``yield`` in a ``yield from`` chain also
+        resumes the delegating frame, and deliveries account for most of
+        the yields in a message-heavy simulation.
+        """
+        self._validate(src, dst, nbytes, self.n_nodes)
+        if src == dst:
+            yield Timeout(self.kernel, self.latency * 0.5)
+            mailbox.put_nowait(msg)
+            return
+        links = self._link_runs.get((src, dst))
+        if links is None:
+            links = [self._link(a, b) for a, b in self.route(src, dst)]
+            self._link_runs[(src, dst)] = links
+        kernel = self.kernel
+        for link in links:
+            if link._in_use:
+                yield link.request()
+            elif kernel._lane or kernel._due:
+                link._in_use = 1
+                yield link._granted
+            else:
+                link._in_use = 1
+        try:
+            yield Timeout(self.kernel, self.latency + nbytes / self.bandwidth)
+        finally:
+            for link in reversed(links):
+                if link._waiters:
+                    link._waiters.popleft().succeed(link)
+                else:
+                    link._in_use = 0
+        mailbox.put_nowait(msg)
 
     # -- introspection -----------------------------------------------------
     @property

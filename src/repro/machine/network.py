@@ -52,6 +52,17 @@ class Network(ABC):
         memcpy-speed operation (no network involvement).
         """
 
+    def deliver(self, src: int, dst: int, nbytes: int, mailbox, msg):
+        """Process generator: transfer, then ``mailbox.put_nowait(msg)``.
+
+        The message-delivery process the MPI layer spawns per ``isend``.
+        Implementations may override to fuse the deposit into the
+        transfer body: delegating through ``yield from`` costs one extra
+        frame resume per yield, and delivery dominates yield volume.
+        """
+        yield from self.transfer(src, dst, nbytes)
+        mailbox.put_nowait(msg)
+
     def _validate(self, src: int, dst: int, nbytes: int, n_nodes: int) -> None:
         if not (0 <= src < n_nodes) or not (0 <= dst < n_nodes):
             raise ConfigurationError(

@@ -21,16 +21,15 @@ Semantics (matching the subset of NX/MPL/MPI the paper's code needed):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, MPIError, TruncationError
 from repro.machine.machine import Machine
 from repro.mpi.datatypes import nbytes_of
 from repro.mpi.request import Request
-from repro.sim.events import Event
+from repro.sim.events import _SEALED, Event
 from repro.sim.process import Process
-from repro.sim.resources import Store
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Communicator", "RankComm"]
 
@@ -41,15 +40,106 @@ ANY_TAG = -1
 _COLLECTIVE_TAG_BASE = -1000
 
 
-@dataclass(frozen=True)
 class Message:
-    """An in-flight or delivered message."""
+    """An in-flight or delivered message.
 
-    src: int
-    dst: int
-    tag: int
-    payload: Any
-    nbytes: int
+    A hand-rolled value class rather than a frozen dataclass: one is
+    constructed per send, and ``object.__setattr__`` (what frozen
+    dataclass ``__init__`` must use) costs ~3x a plain slot store.
+    Treat instances as immutable; equality and hashing are by value,
+    matching the previous frozen-dataclass behaviour.
+    """
+
+    __slots__ = ("src", "dst", "tag", "payload", "nbytes")
+
+    def __init__(self, src: int, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.tag == other.tag
+            and self.payload == other.payload
+            and self.nbytes == other.nbytes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, self.tag, self.payload, self.nbytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src}, dst={self.dst}, tag={self.tag}, "
+            f"payload={self.payload!r}, nbytes={self.nbytes})"
+        )
+
+
+class _Mailbox:
+    """Per-rank message buffer with inline (source, tag) matching.
+
+    Behaviourally a :class:`~repro.sim.resources.Store` whose get-filters
+    are always "src matches ``source``, tag matches ``tag``" — so the
+    predicate is evaluated inline (two int compares per candidate)
+    instead of through a per-receive closure.  Event creation and
+    born-fired grant semantics are identical to the Store fast path, so
+    kernel event order is unchanged.
+    """
+
+    __slots__ = ("kernel", "_items", "_getters", "_get_name")
+
+    def __init__(self, kernel, name: str) -> None:
+        self.kernel = kernel
+        self._items: "deque[Message]" = deque()
+        # Pending receivers: (event, source, tag), FIFO among matches.
+        self._getters: "deque[Tuple[Event, int, int]]" = deque()
+        self._get_name = f"get({name})"
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put_nowait(self, msg: "Message") -> None:
+        """Deposit ``msg``, waking the first matching receiver if any."""
+        getters = self._getters
+        if getters:
+            src = msg.src
+            tag = msg.tag
+            for idx, (ev, source, gtag) in enumerate(getters):
+                if (source == ANY_SOURCE or src == source) and (
+                    gtag == ANY_TAG or tag == gtag
+                ):
+                    del getters[idx]
+                    ev.succeed(msg)
+                    return
+        self._items.append(msg)
+
+    def get_match(self, source: int, tag: int) -> Event:
+        """Event firing with the first buffered message matching
+        (source, tag); born fired when one is already buffered."""
+        ev = Event(self.kernel, name=self._get_name)
+        items = self._items
+        if items:
+            if source == ANY_SOURCE and tag == ANY_TAG:
+                ev._value = items.popleft()
+                ev._ok = True
+                ev.callbacks = _SEALED
+                return ev
+            for idx, msg in enumerate(items):
+                if (source == ANY_SOURCE or msg.src == source) and (
+                    tag == ANY_TAG or msg.tag == tag
+                ):
+                    del items[idx]
+                    ev._value = msg
+                    ev._ok = True
+                    ev.callbacks = _SEALED
+                    return ev
+        self._getters.append((ev, source, tag))
+        return ev
 
 
 class Communicator:
@@ -68,8 +158,8 @@ class Communicator:
         self.name = name
         self.rank_to_node: List[int] = list(rank_to_node)
         self.size = len(self.rank_to_node)
-        self._mailboxes: List[Store] = [
-            Store(self.kernel, name=f"{name}.mbox[{r}]") for r in range(self.size)
+        self._mailboxes: List[_Mailbox] = [
+            _Mailbox(self.kernel, f"{name}.mbox[{r}]") for r in range(self.size)
         ]
         # Traffic accounting: (src_rank, dst_rank) -> [messages, bytes].
         self.traffic: Dict[Tuple[int, int], List[int]] = {}
@@ -93,31 +183,28 @@ class Communicator:
 
     # -- internals ---------------------------------------------------------
     def _deliver(self, msg: Message):
-        """Process generator: move a message across the network then
-        deposit it into the destination mailbox."""
+        """Build the delivery process generator for ``msg``: move it
+        across the network, then deposit it into the destination mailbox.
+
+        Delegates to :meth:`Network.deliver` so mesh networks can fuse
+        the deposit into the transfer body (one generator frame per
+        delivery instead of two).  Kept as the spawn point so the
+        traffic accounting lives with the communicator.
+        """
         # Ranks were validated at isend time; index the map directly.
         r2n = self.rank_to_node
-        src_node = r2n[msg.src]
-        dst_node = r2n[msg.dst]
         entry = self.traffic.setdefault((msg.src, msg.dst), [0, 0])
         entry[0] += 1
         entry[1] += msg.nbytes
-        yield from self.machine.network.transfer(src_node, dst_node, msg.nbytes)
-        # put_nowait: nobody consumes the put-completion event, so skip
-        # materialising it (one event allocation per delivered message).
-        self._mailboxes[msg.dst].put_nowait(msg)
+        # put_nowait at arrival: nobody consumes the put-completion
+        # event, so the mailbox deposit materialises no event.
+        return self.machine.network.deliver(
+            r2n[msg.src], r2n[msg.dst], msg.nbytes, self._mailboxes[msg.dst], msg
+        )
 
     def _match(self, rank: int, source: int, tag: int):
         """Mailbox get-event for the first message matching (source, tag)."""
-
-        def _filter(msg: Message) -> bool:
-            if source != ANY_SOURCE and msg.src != source:
-                return False
-            if tag != ANY_TAG and msg.tag != tag:
-                return False
-            return True
-
-        return self._mailboxes[rank].get(_filter)
+        return self._mailboxes[rank].get_match(source, tag)
 
 
 class RankComm:
@@ -197,7 +284,16 @@ class RankComm:
         """
         if source != ANY_SOURCE:
             self._check_peer(source)
-        msg = yield self.comm._match(self.rank, source, tag)
+        ev = self.comm._match(self.rank, source, tag)
+        kernel = self.kernel
+        if ev._ok and not kernel._lane and not kernel._due:
+            # Message already buffered and kernel quiescent: a yield on
+            # the born-fired get event would chain straight back with
+            # nothing able to interleave, so reading synchronously is
+            # order-identical (see MeshNetwork.transfer).
+            msg = ev._value
+        else:
+            msg = yield ev
         if max_bytes is not None and msg.nbytes > max_bytes:
             raise TruncationError(
                 f"rank {self.rank}: message of {msg.nbytes} bytes from rank "
@@ -209,7 +305,12 @@ class RankComm:
         """Blocking receive returning the full :class:`Message` envelope."""
         if source != ANY_SOURCE:
             self._check_peer(source)
-        msg = yield self.comm._match(self.rank, source, tag)
+        ev = self.comm._match(self.rank, source, tag)
+        kernel = self.kernel
+        if ev._ok and not kernel._lane and not kernel._due:
+            msg = ev._value  # quiescent fast path, same argument as recv()
+        else:
+            msg = yield ev
         return msg
 
     # -- collectives ----------------------------------------------------------

@@ -41,6 +41,8 @@ class ServiceMetrics:
       probes at submission;
     * ``dedupe_hits`` (counter) — submissions satisfied by subscribing
       to another job's in-flight task;
+    * ``predicted`` (counter) — submissions answered by the analytic
+      surrogate instead of simulation (:mod:`repro.bench.surrogate`);
     * ``jobs_submitted`` / ``jobs_completed`` / ``jobs_cancelled``
       (counters) — job lifecycle volume.
     """
@@ -80,6 +82,10 @@ class ServiceMetrics:
         self.dedupe_hits: Counter = r.counter(
             "service_cache_dedupe_hits_total",
             help="submitted cells that subscribed to an in-flight task",
+        )
+        self.predicted: Counter = r.counter(
+            "service_predicted_total",
+            help="submitted cells answered by the analytic surrogate",
         )
         self.jobs_submitted: Counter = r.counter(
             "service_jobs_submitted_total", help="jobs accepted"

@@ -137,7 +137,16 @@ class IOServer:
         """
         self._check_up()
         t_service = self.disk.service_time(nbytes, n_units)
-        yield self._disk_res.request()
+        disk_res = self._disk_res
+        kernel = self.kernel
+        if disk_res._in_use < disk_res.capacity and not kernel._lane and not kernel._due:
+            # Disk idle and kernel quiescent: a yield on the born-fired
+            # grant would chain straight back with nothing able to
+            # interleave, so acquiring synchronously is order-identical
+            # (see MeshNetwork.transfer for the same fast path).
+            disk_res._in_use += 1
+        else:
+            yield disk_res.request()
         try:
             self._check_up()  # went down while we queued
             start = self.kernel.now

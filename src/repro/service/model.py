@@ -191,13 +191,16 @@ class JobCounters:
 
     ``cache_hits``/``cache_misses`` count distinct-spec store probes at
     submission; ``executed`` counts cells this job's own tasks
-    simulated; ``deduped`` counts cells served by subscribing to another
+    simulated; ``predicted`` counts cells answered by the analytic
+    surrogate instead of simulation (:mod:`repro.bench.surrogate`);
+    ``deduped`` counts cells served by subscribing to another
     job's in-flight task; ``retries`` counts worker-death reschedules.
     """
 
     cache_hits: int = 0
     cache_misses: int = 0
     executed: int = 0
+    predicted: int = 0
     deduped: int = 0
     retries: int = 0
 
@@ -206,6 +209,7 @@ class JobCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "executed": self.executed,
+            "predicted": self.predicted,
             "deduped": self.deduped,
             "retries": self.retries,
         }

@@ -188,23 +188,36 @@ class ExperimentScheduler:
         job = Job(client, n_cells, label=label)
         handle = JobHandle(job, self)
 
-        # Store probes happen outside the lock: they are file reads and
-        # must not stall the dispatcher or other submitters.
+        # Store probes and surrogate screening happen outside the lock:
+        # they are file reads and model evaluations and must not stall
+        # the dispatcher or other submitters.
         index = 0
-        prepared: List[Tuple[Stage, List[Tuple[int, TaskSpec, Optional[dict]]]]] = []
+        prepared: List[
+            Tuple[Stage, List[Tuple[int, TaskSpec, Optional[dict], Optional[dict]]]]
+        ] = []
         for stage_idx, (stage_name, cells) in enumerate(stages):
             stage = Stage(job, stage_idx, stage_name)
             job.stages.append(stage)
-            rows: List[Tuple[int, TaskSpec, Optional[dict]]] = []
-            for cell in cells:
+            predictions = self._screen_cells(cells)
+            rows: List[Tuple[int, TaskSpec, Optional[dict], Optional[dict]]] = []
+            for pos, cell in enumerate(cells):
+                predicted = predictions.get(pos)
                 cached = None
                 if (
-                    self.store is not None
+                    predicted is None
+                    and self.store is not None
                     and cell.spec is not None
                     and cell.key not in job.first_index_by_key
                 ):
                     cached = self.store.get_dict(cell.spec)
-                rows.append((index, cell, cached))
+                    if (
+                        cached is not None
+                        and cached.get("source") == "predicted"
+                    ):
+                        # A stored prediction never satisfies a request
+                        # for a full simulation.
+                        cached = None
+                rows.append((index, cell, cached, predicted))
                 index += 1
             prepared.append((stage, rows))
 
@@ -216,8 +229,8 @@ class ExperimentScheduler:
                 self._clients.append(client)
             self.metrics.jobs_submitted.inc()
             for stage, rows in prepared:
-                for idx, cell, cached in rows:
-                    self._admit_cell(job, stage, idx, cell, cached)
+                for idx, cell, cached, predicted in rows:
+                    self._admit_cell(job, stage, idx, cell, cached, predicted)
             job.signal(State.RUNNING)
             self._advance_job_locked(job)
         self._wake()
@@ -284,7 +297,52 @@ class ExperimentScheduler:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
-    # -- submission internals (locked) -------------------------------------
+    # -- submission internals ----------------------------------------------
+    def _screen_cells(self, cells: Sequence[TaskSpec]) -> Dict[int, dict]:
+        """Surrogate-screen one stage's cells (prepared phase, unlocked).
+
+        Cells whose spec opted into screening (``spec.screening != "off"``)
+        are planned per mode — the crossover check compares sibling
+        strategies within the batch, so each mode's cells form one plan.
+        Returns ``{position: predicted result dict}`` for the cells the
+        screen decided to answer from the model; everything else (and
+        every cell with ``screening="off"``) proceeds through the normal
+        cache-probe/execute path untouched.  Predicted results are
+        written to the store as ``source="predicted"`` placeholders (a
+        later simulation of the same spec upgrades them).
+        """
+        by_mode: Dict[str, List[int]] = {}
+        for pos, cell in enumerate(cells):
+            mode = getattr(cell.spec, "screening", "off")
+            if cell.spec is not None and mode != "off":
+                by_mode.setdefault(mode, []).append(pos)
+        if not by_mode:
+            return {}
+
+        from repro.bench.surrogate import SurrogateScreen, predicted_result
+
+        screen = SurrogateScreen(self.store)
+        out: Dict[int, dict] = {}
+        for mode, positions in by_mode.items():
+            plan = screen.plan([cells[p].spec for p in positions], mode)
+            for decision in plan.decisions:
+                if decision.action != "predict":
+                    continue
+                pos = positions[decision.index]
+                spec = cells[pos].spec
+                if self.store is not None:
+                    cached = self.store.get_dict(spec)
+                    if cached is not None and cached.get("source") != "predicted":
+                        # A simulation is already cached — strictly
+                        # better than any prediction; let the normal
+                        # cache-probe path serve it.
+                        continue
+                payload = predicted_result(spec, decision.prediction).to_dict()
+                out[pos] = payload
+                if self.store is not None:
+                    self.store.put_dict(spec, payload)
+        return out
+
     def _admit_cell(
         self,
         job: Job,
@@ -292,6 +350,7 @@ class ExperimentScheduler:
         index: int,
         cell: TaskSpec,
         cached: Optional[dict],
+        predicted: Optional[dict] = None,
     ) -> None:
         first = job.first_index_by_key.get(cell.key)
         if first is not None:
@@ -302,6 +361,16 @@ class ExperimentScheduler:
                 job.alias_map.setdefault(first, []).append(index)
             return
         job.first_index_by_key[cell.key] = index
+
+        if predicted is not None:
+            job.counters.predicted += 1
+            self.metrics.predicted.inc()
+            job.results_by_index[index] = predicted
+            self._handles[job.id]._push(
+                "result",
+                CellResult(index, cell.key, predicted, "predicted", stage.index),
+            )
+            return
 
         if cached is not None:
             job.counters.cache_hits += 1

@@ -44,9 +44,11 @@ class CellResult:
 
     ``source`` says how the cell was satisfied: ``"executed"`` (a task
     of this job simulated it), ``"cache"`` (shared-store hit at
-    submission), or ``"deduped"`` (subscribed to another job's
-    in-flight task).  ``index`` is the cell's position in the submitted
-    batch (first occurrence for duplicates).
+    submission), ``"deduped"`` (subscribed to another job's
+    in-flight task), or ``"predicted"`` (answered at submission by the
+    analytic surrogate, :mod:`repro.bench.surrogate`, with an error
+    bound in the payload).  ``index`` is the cell's position in the
+    submitted batch (first occurrence for duplicates).
     """
 
     index: int

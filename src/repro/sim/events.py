@@ -22,7 +22,6 @@ kernel's scheduling queues (they live here, not in ``kernel``, so that
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
 from typing import Any, Callable, Iterator, List, Optional
 
 from repro.errors import SimulationError
@@ -188,10 +187,13 @@ class Timeout(Event):
         if delay == 0.0:
             kernel._lane.append((kernel._seq, _KIND_TIMEOUT, self, value))
         else:
-            _heappush(
-                kernel._queue,
-                (kernel._now + delay, kernel._seq, _KIND_TIMEOUT, self, value),
-            )
+            t = kernel._now + delay
+            if t > kernel._now:
+                kernel._cal_insert(t, kernel._seq, _KIND_TIMEOUT, self, value)
+            else:
+                # Positive delay that vanishes in float addition: due at
+                # the current timestamp, after everything already queued.
+                kernel._due.append((kernel._seq, _KIND_TIMEOUT, self, value))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"

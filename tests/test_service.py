@@ -334,7 +334,8 @@ class TestSchedulerWithStore:
             assert cells[0].source == "cache"
             assert cells[0].payload == first[0]
             assert h.counters == {"cache_hits": 1, "cache_misses": 0,
-                                  "executed": 0, "deduped": 0, "retries": 0}
+                                  "executed": 0, "deduped": 0, "retries": 0,
+                                  "predicted": 0}
 
     def test_inflight_dedupe_across_clients(self, tmp_path):
         # One busy worker: client A's cell is still executing when

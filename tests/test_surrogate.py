@@ -1,0 +1,334 @@
+"""Tests for analytic surrogate screening (repro.bench.surrogate).
+
+Covers the calibration math, the screening plan's decision rules, the
+``source="predicted"`` result plumbing through store/engine/service, and
+the guarantee that ``screening="off"`` is byte-identical to the plain
+engine path.
+"""
+
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.engine import (
+    DiskFault,
+    ExperimentSpec,
+    SweepRunner,
+    run_spec,
+)
+from repro.bench.store import ResultStore
+from repro.bench.surrogate import (
+    DEFAULT_BOUND,
+    SCREENING_MODES,
+    SurrogateScreen,
+    group_key,
+    io_boundary_margin,
+    model_for_spec,
+    pair_key,
+    predictable,
+    predicted_result,
+    scenario_key,
+)
+from repro.core.context import ExecutionConfig
+from repro.core.executor import FSConfig, PipelineResult
+from repro.core.pipeline import NodeAssignment
+from repro.errors import ConfigurationError
+
+FAST = ExecutionConfig(n_cpis=4, warmup=1)
+
+#: Stripe factors simulated into the calibration store fixture.
+CAL_SFS = (4, 8, 16)
+
+
+def make_spec(params, pipeline="embedded", sf=8, **kw):
+    kw.setdefault("assignment", NodeAssignment.balanced(params, 14))
+    kw.setdefault("fs", FSConfig("pfs", sf))
+    kw.setdefault("params", params)
+    kw.setdefault("cfg", FAST)
+    return ExperimentSpec(pipeline=pipeline, **kw)
+
+
+@pytest.fixture(scope="module")
+def cal_params():
+    from repro.stap.params import STAPParams
+
+    return STAPParams(
+        n_channels=8, n_pulses=32, n_ranges=256, n_beams=6, n_hard_bins=8,
+        n_training=64, pulse_len=16, cfar_window=12, cfar_guard=3, pfa=1e-6,
+    )
+
+
+@pytest.fixture(scope="module")
+def cal_store(tmp_path_factory, cal_params):
+    """A store holding simulated cells that calibrate the screen:
+    embedded + separate at three stripe factors (same scenarios, so the
+    strategy pair is calibrated too)."""
+    store = ResultStore(tmp_path_factory.mktemp("surrogate") / "store")
+    specs = [
+        make_spec(cal_params, pipeline=p, sf=sf)
+        for p in ("embedded", "separate")
+        for sf in CAL_SFS
+    ]
+    with SweepRunner(jobs=1, store=store) as runner:
+        runner.run(specs)
+    return store
+
+
+class TestPredictable:
+    def test_plain_spec_is_predictable(self, cal_params):
+        assert predictable(make_spec(cal_params))
+
+    def test_any_fault_defeats_prediction(self, cal_params):
+        spec = make_spec(cal_params, disk_fault=DiskFault(server=0, slow_factor=4.0))
+        assert not predictable(spec)
+
+
+class TestScreeningField:
+    def test_validated(self, cal_params):
+        for mode in SCREENING_MODES:
+            assert make_spec(cal_params, screening=mode).screening == mode
+        with pytest.raises(ConfigurationError):
+            make_spec(cal_params, screening="sometimes")
+
+    def test_excluded_from_identity(self, cal_params):
+        base = make_spec(cal_params)
+        screened = replace(base, screening="screen")
+        assert screened.spec_hash() == base.spec_hash()
+        assert screened.to_dict() == base.to_dict()
+        assert "screening" not in base.to_dict()
+        # Equality ignores the execution policy too (compare=False).
+        assert screened == base
+
+
+class TestKeys:
+    def test_scenario_key_ignores_strategy_only(self, cal_params):
+        emb = make_spec(cal_params, pipeline="embedded", sf=8)
+        sep = make_spec(cal_params, pipeline="separate", sf=8)
+        other = make_spec(cal_params, pipeline="embedded", sf=16)
+        assert scenario_key(emb) == scenario_key(sep)
+        assert scenario_key(emb) != scenario_key(other)
+
+    def test_group_and_pair_keys(self, cal_params):
+        emb = make_spec(cal_params, pipeline="embedded")
+        sep = make_spec(cal_params, pipeline="separate")
+        assert group_key(emb) != group_key(sep)
+        assert pair_key(emb, sep) == pair_key(sep, emb)
+
+
+class TestModelForSpec:
+    def test_positive_predictions(self, cal_params):
+        model = model_for_spec(make_spec(cal_params))
+        assert model.predicted_throughput() > 0
+        assert model.predicted_latency() > 0
+
+    def test_io_margin_finite_for_io_pipelines(self, cal_params):
+        margin = io_boundary_margin(model_for_spec(make_spec(cal_params)))
+        assert math.isfinite(margin) and margin >= 0
+
+
+class TestCalibration:
+    def test_groups_calibrated_from_store(self, cal_store, cal_params):
+        screen = SurrogateScreen(cal_store)
+        cal = screen._group_calibration(make_spec(cal_params))
+        assert cal.n == len(CAL_SFS)
+        assert 0 < cal.bound < DEFAULT_BOUND
+        assert cal.scale_tp > 0 and cal.scale_lat > 0
+
+    def test_pair_bound_tighter_than_default(self, cal_store, cal_params):
+        screen = SurrogateScreen(cal_store)
+        pb = screen.pair_bound(
+            make_spec(cal_params, pipeline="embedded"),
+            make_spec(cal_params, pipeline="separate"),
+        )
+        assert pb is not None and 0 < pb < DEFAULT_BOUND
+
+    def test_unknown_group_keeps_default_bound(self, cal_store, cal_params):
+        screen = SurrogateScreen(cal_store)
+        foreign = make_spec(cal_params, machine="sp", fs=FSConfig("piofs", 8))
+        cal = screen._group_calibration(foreign)
+        assert cal.n == 0
+        assert cal.bound == DEFAULT_BOUND
+
+    def test_calibration_cells_fall_within_own_bound(self, cal_store, cal_params):
+        """The bound must cover at least the residuals it was built from."""
+        screen = SurrogateScreen(cal_store)
+        for sf in CAL_SFS:
+            spec = make_spec(cal_params, sf=sf)
+            pred = screen.predict(spec)
+            sim = cal_store.get(spec)
+            assert sim is not None
+            assert abs(pred.throughput / sim.throughput - 1) <= pred.bound_tp
+            assert abs(pred.latency / sim.latency - 1) <= pred.bound_lat
+
+
+class TestPlan:
+    def test_off_simulates_everything(self, cal_params):
+        specs = [make_spec(cal_params, sf=sf) for sf in (4, 8)]
+        plan = SurrogateScreen(None).plan(specs, "off")
+        assert plan.n_simulated == 2 and plan.n_predicted == 0
+        assert all(d.reason == "screening-off" for d in plan.decisions)
+
+    def test_bad_mode_rejected(self, cal_params):
+        with pytest.raises(ConfigurationError):
+            SurrogateScreen(None).plan([make_spec(cal_params)], "sometimes")
+
+    def test_uncalibrated_screen_degrades_to_simulation(self, cal_params):
+        plan = SurrogateScreen(None).plan(
+            [make_spec(cal_params, sf=sf) for sf in (4, 8)], "screen"
+        )
+        assert plan.n_predicted == 0
+        assert all(d.reason == "calibration" for d in plan.decisions)
+
+    def test_predict_all_still_simulates_faults(self, cal_store, cal_params):
+        specs = [
+            make_spec(cal_params),
+            make_spec(cal_params, disk_fault=DiskFault(server=0, slow_factor=4.0)),
+        ]
+        plan = SurrogateScreen(cal_store).plan(specs, "predict-all")
+        assert [d.action for d in plan.decisions] == ["predict", "simulate"]
+        assert plan.decisions[1].reason == "unpredictable"
+
+    def test_screen_predicts_calibrated_cells(self, cal_store, cal_params):
+        specs = [make_spec(cal_params, sf=sf) for sf in (4, 8, 16, 32)]
+        plan = SurrogateScreen(cal_store).plan(specs, "screen")
+        # No strategy siblings in the batch and the group is calibrated,
+        # so every cell is either clear or parked on a boundary.
+        assert all(
+            d.reason in ("clear", "bottleneck") for d in plan.decisions
+        )
+        assert plan.n_predicted >= 1
+
+    def test_decisions_carry_predictions(self, cal_store, cal_params):
+        plan = SurrogateScreen(cal_store).plan([make_spec(cal_params)], "screen")
+        (d,) = plan.decisions
+        assert d.prediction is not None
+        assert d.prediction.bound > 0
+        assert d.prediction.bottleneck_task in d.prediction.task_times
+
+
+class TestPredictedResult:
+    def test_round_trip_keeps_provenance(self, cal_store, cal_params):
+        spec = make_spec(cal_params)
+        pred = SurrogateScreen(cal_store).predict(spec)
+        result = predicted_result(spec, pred)
+        assert result.source == "predicted"
+        d = result.to_dict()
+        assert d["source"] == "predicted"
+        assert d["prediction_bound"] == pytest.approx(pred.bound)
+        back = PipelineResult.from_dict(d)
+        assert back.source == "predicted"
+        assert back.prediction_bound == pytest.approx(pred.bound)
+        assert back.throughput == pytest.approx(pred.throughput)
+
+    def test_simulated_results_carry_no_source_key(self, cal_params):
+        result = run_spec(make_spec(cal_params))
+        assert result.source == "simulated"
+        assert "source" not in result.to_dict()
+        assert "prediction_bound" not in result.to_dict()
+
+
+class TestStoreRules:
+    def test_simulated_upgrades_predicted(self, tmp_path, cal_store, cal_params):
+        store = ResultStore(tmp_path / "store")
+        spec = make_spec(cal_params)
+        pred = SurrogateScreen(cal_store).predict(spec)
+        store.put_dict(spec, predicted_result(spec, pred).to_dict())
+        assert store.get_dict(spec)["source"] == "predicted"
+        simulated = run_spec(spec)
+        store.put(spec, simulated)
+        assert store.get_dict(spec).get("source", "simulated") == "simulated"
+
+    def test_predicted_never_overwrites_simulated(
+        self, tmp_path, cal_store, cal_params
+    ):
+        store = ResultStore(tmp_path / "store")
+        spec = make_spec(cal_params)
+        simulated = run_spec(spec)
+        store.put(spec, simulated)
+        pred = SurrogateScreen(cal_store).predict(spec)
+        store.put_dict(spec, predicted_result(spec, pred).to_dict())
+        kept = store.get_dict(spec)
+        assert kept.get("source", "simulated") == "simulated"
+        assert kept["measurement"]["throughput"] == pytest.approx(
+            simulated.throughput
+        )
+
+    def test_entries_report_source(self, tmp_path, cal_store, cal_params):
+        store = ResultStore(tmp_path / "store")
+        spec = make_spec(cal_params)
+        pred = SurrogateScreen(cal_store).predict(spec)
+        store.put_dict(spec, predicted_result(spec, pred).to_dict())
+        (entry,) = store.entries()
+        assert entry["source"] == "predicted"
+
+
+class TestEngineEndToEnd:
+    def test_screen_answers_from_surrogate(self, tmp_path, cal_store, cal_params):
+        # Seed a fresh store with the calibration cells, then sweep new
+        # stripe factors under screening: far-from-boundary cells come
+        # back predicted and are counted as such.
+        store = ResultStore(tmp_path / "store")
+        cal_specs = [
+            make_spec(cal_params, pipeline=p, sf=sf)
+            for p in ("embedded", "separate")
+            for sf in CAL_SFS
+        ]
+        new_specs = [
+            make_spec(cal_params, sf=sf, screening="screen")
+            for sf in (32, 64, 128)
+        ]
+        with SweepRunner(jobs=1, store=store) as runner:
+            runner.run(cal_specs)
+            results = runner.run(new_specs)
+            assert runner.predicted >= 1
+        predicted = [r for r in results if r.source == "predicted"]
+        assert len(predicted) == runner.predicted
+        for r in predicted:
+            assert r.prediction_bound is not None and r.prediction_bound > 0
+
+    def test_cached_simulation_beats_prediction(
+        self, tmp_path, cal_store, cal_params
+    ):
+        # A screened cell whose spec is already simulated in the store
+        # must be served the cached simulation, not a fresh prediction.
+        store = ResultStore(tmp_path / "store")
+        cal_specs = [
+            make_spec(cal_params, pipeline=p, sf=sf)
+            for p in ("embedded", "separate")
+            for sf in CAL_SFS
+        ]
+        probe = make_spec(cal_params, sf=64)
+        with SweepRunner(jobs=1, store=store) as runner:
+            runner.run(cal_specs)
+            simulated = runner.run_one(probe)
+            results = runner.run(
+                [replace(probe, screening="screen")]
+            )
+            assert runner.predicted == 0
+        assert results[0].source == "simulated"
+        assert results[0].to_dict() == simulated.to_dict()
+
+    def test_predicted_cache_entry_never_serves_full_sim(
+        self, tmp_path, cal_store, cal_params
+    ):
+        store = ResultStore(tmp_path / "store")
+        spec = make_spec(cal_params, sf=64)
+        pred = SurrogateScreen(cal_store).predict(spec)
+        store.put_dict(spec, predicted_result(spec, pred).to_dict())
+        with SweepRunner(jobs=1, store=store) as runner:
+            result = runner.run_one(spec)   # screening="off"
+            assert runner.cache_hits == 0
+        assert result.source == "simulated"
+        # And the store entry was upgraded in place.
+        assert store.get_dict(spec).get("source", "simulated") == "simulated"
+
+    def test_screening_off_byte_identical(self, tmp_path, cal_params):
+        spec = make_spec(cal_params, sf=8)
+        direct = run_spec(spec).to_dict()
+        with SweepRunner(jobs=1, store=ResultStore(tmp_path / "store")) as runner:
+            engine_off = runner.run_one(replace(spec, screening="off")).to_dict()
+        assert json.dumps(engine_off, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
