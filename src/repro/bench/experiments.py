@@ -509,6 +509,60 @@ def run_ablation_io_strategy(
     return dict(zip(grid, results))
 
 
+def run_ablation_noncontiguous(
+    strategies: Tuple[str, ...] = (
+        "embedded-io", "data-sieving", "collective-two-phase",
+        "list-io", "server-directed",
+    ),
+    fs_kinds: Tuple[str, ...] = ("pfs", "piofs"),
+    stripe_factors: Tuple[int, ...] = (4, 16, 64),
+    case_number: int = 3,
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> Dict[Tuple[str, str, int], PipelineResult]:
+    """The noncontiguous-access family against the PR-4 matrix.
+
+    Crosses the two new strategies — list I/O (whole file-window access
+    lists batched into one request per stripe directory) and
+    server-directed placement (declared pattern remapped to contiguous
+    directory blocks) — with the established independent/sieving/two-
+    phase trio, on both file systems and across stripe factors.
+
+    Cells a strategy cannot run on are *omitted*, not failed: list I/O
+    needs the ``read_list`` call PIOFS lacks, and the async-only
+    strategies fall back to synchronous reads on PIOFS via their
+    adaptive readers.  Key: ``(strategy, fs_kind, stripe_factor)``.
+    """
+    from repro.strategies import get_strategy
+
+    params = params or STAPParams()
+    a = NodeAssignment.case(case_number, params)
+    grid = []
+    for strategy, kind, sf in (
+        (s, k, f) for s in strategies for k in fs_kinds for f in stripe_factors
+    ):
+        strat = get_strategy(strategy)
+        if kind == "piofs" and (strat.requires_async or strat.requires_list_io):
+            continue
+        grid.append((strategy, kind, sf))
+    specs = [
+        ExperimentSpec(
+            assignment=a,
+            pipeline=strategy,
+            machine="paragon",
+            fs=FSConfig(kind=kind, stripe_factor=sf),
+            params=params,
+            cfg=cfg,
+            seed=seed,
+        )
+        for strategy, kind, sf in grid
+    ]
+    results = _runner(runner).run(specs)
+    return dict(zip(grid, results))
+
+
 def run_ablation_async(
     case_number: int = 3,
     stripe_factor: int = 80,

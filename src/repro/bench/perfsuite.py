@@ -328,6 +328,9 @@ _SECTIONS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "cell_two_phase_smoke": lambda: measure_cell(
         "collective-two-phase", 1, n_cpis=4, warmup=1, stripe_factor=16
     ),
+    "cell_list_io_smoke": lambda: measure_cell(
+        "list-io", 1, n_cpis=4, warmup=1, stripe_factor=16
+    ),
     "cell_embedded_case3": lambda: measure_cell("embedded", 3),
     "cell_separate_case3": lambda: measure_cell("separate", 3),
     "metrics_overhead": measure_metrics_overhead,

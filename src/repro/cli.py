@@ -35,7 +35,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.bench.engine import ExperimentSpec, FlakyDisk, ServerCrash, SweepRunner
 from repro.strategies import get_strategy, strategy_names
@@ -103,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--replication", type=int, default=1,
                        help="stripe-unit mirror copies (chained declustering); "
                        ">1 enables fault-tolerant reads/writes")
+    p_run.add_argument("--hint", action="append", default=[], metavar="K=V",
+                       help="ROMIO-style file-system hint (repeatable): "
+                       "sieve_buffer_size, cb_nodes, or list_io_max_runs")
     p_run.add_argument("--read-deadline", type=float, default=None,
                        metavar="SECONDS",
                        help="per-CPI read deadline; late CPIs are dropped "
@@ -293,6 +296,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_hints(pairs: List[str]) -> Dict[str, int]:
+    """Parse repeated ``--hint k=v`` options into FSConfig hint kwargs."""
+    hints: Dict[str, int] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep or key not in FSConfig.HINT_FIELDS:
+            raise ReproError(
+                f"unknown hint {pair!r}; use k=v with k in "
+                f"{', '.join(FSConfig.HINT_FIELDS)}"
+            )
+        try:
+            hints[key] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"hint {key} needs an integer value, got {value!r}"
+            ) from None
+    return hints
+
+
 def _cmd_run(args) -> int:
     params = STAPParams()
     if args.read_deadline is not None and args.read_deadline <= 0:
@@ -333,6 +356,7 @@ def _cmd_run(args) -> int:
         fs=FSConfig(
             kind=args.fs, stripe_factor=args.stripe_factor,
             replication=args.replication,
+            **_parse_hints(args.hint),
         ),
         params=params,
         cfg=cfg,
@@ -770,12 +794,14 @@ def _cmd_strategies(args) -> int:
             rows.append([
                 name,
                 "yes" if s.requires_async else "no",
+                "yes" if s.requires_list_io else "no",
                 "yes" if s.supports_read_deadline else "no",
                 s.describe(),
             ])
         print(
             format_table(
-                ["strategy", "needs async", "read deadline", "description"],
+                ["strategy", "needs async", "needs list-io", "read deadline",
+                 "description"],
                 rows,
                 title=f"{len(rows)} registered I/O strategies",
             )
@@ -792,11 +818,15 @@ def _cmd_strategies(args) -> int:
     assignment = NodeAssignment.balanced(params, 14)
     cfg = ExecutionConfig(n_cpis=2, warmup=0)
     supports_async = args.fs != "piofs"
+    supports_list_io = args.fs != "piofs"
     failures = 0
     for name in strategy_names():
         strat = get_strategy(name)
         if strat.requires_async and not supports_async:
             print(f"{name:24s} SKIP (requires async reads; {args.fs} has none)")
+            continue
+        if strat.requires_list_io and not supports_list_io:
+            print(f"{name:24s} SKIP (requires list I/O; {args.fs} has none)")
             continue
         spec = ExperimentSpec(
             assignment=assignment, pipeline=name, machine="paragon",

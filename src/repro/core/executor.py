@@ -52,6 +52,16 @@ class FSConfig:
     ``replication > 1`` mirrors each stripe unit over that many
     directories (chained declustering) and switches clients to the
     fault-tolerant retry/failover path — see ``docs/fault_model.md``.
+
+    The three optional ROMIO-style hints tune the noncontiguous-access
+    strategies (``docs/io_strategies.md``): ``sieve_buffer_size``
+    replaces the data-sieving readers' whole-stripe-unit widening with an
+    arbitrary alignment granularity, ``cb_nodes`` caps how many of the
+    reading task's nodes act as phase-one aggregators in collective
+    two-phase I/O, and ``list_io_max_runs`` caps the contiguous pieces
+    one batched list-I/O request may carry.  Unset hints are omitted
+    from serialization, so hint-free configs keep their exact
+    pre-existing hashes.
     """
 
     kind: str = "pfs"            # "pfs" (async) or "piofs" (sync-only)
@@ -61,6 +71,20 @@ class FSConfig:
     disk_overhead: Optional[float] = None
     name: str = ""
     replication: int = 1
+    sieve_buffer_size: Optional[int] = None
+    cb_nodes: Optional[int] = None
+    list_io_max_runs: Optional[int] = None
+
+    #: The ROMIO-style hint field names, in serialization order.
+    HINT_FIELDS = ("sieve_buffer_size", "cb_nodes", "list_io_max_runs")
+
+    def hint_dict(self) -> Dict[str, int]:
+        """The hints that are actually set, as a plain dict."""
+        return {
+            k: getattr(self, k)
+            for k in self.HINT_FIELDS
+            if getattr(self, k) is not None
+        }
 
     def label(self) -> str:
         """Display label, e.g. ``"PFS sf=64"`` or ``"PFS sf=4 rep=2"``."""
@@ -75,8 +99,9 @@ class FSConfig:
     def to_dict(self) -> Dict[str, Any]:
         """Lossless JSON-able form.
 
-        ``replication`` is emitted only when mirroring is on, so
-        unreplicated configs keep their exact pre-existing hashes.
+        ``replication`` is emitted only when mirroring is on, and each
+        ROMIO-style hint only when set, so unreplicated hint-free
+        configs keep their exact pre-existing hashes.
         """
         d = {
             "kind": self.kind,
@@ -88,6 +113,7 @@ class FSConfig:
         }
         if self.replication != 1:
             d["replication"] = self.replication
+        d.update(self.hint_dict())
         return d
 
     @staticmethod
@@ -298,12 +324,36 @@ class PipelineExecutor:
             name=fs_config.label(),
             replication=fs_config.replication,
         )
+        # ROMIO-style hints ride on the FS instance: readers and the
+        # list-I/O request path consult fs.hints at run time.  Validate
+        # them against FS capabilities first — a hint for a call the FS
+        # doesn't have fails here, not mid-run.
+        for hint in fs_config.HINT_FIELDS:
+            value = getattr(fs_config, hint)
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"FS hint {hint} must be >= 1, got {value}"
+                )
+        if (
+            fs_config.list_io_max_runs is not None
+            and not self.fs.supports_list_io
+        ):
+            raise ConfigurationError(
+                f"hint list_io_max_runs set on {fs_config.kind!r}, which has "
+                "no list-I/O call — the hint only applies to list-I/O-capable "
+                "file systems (kind='pfs')"
+            )
+        self.fs.hints.update(fs_config.hint_dict())
         # Resolve the spec's I/O strategy (None for hand-built specs with
         # non-registry names) and reject FS/config mismatches before any
         # process is spawned — async-on-PIOFS fails here, not mid-run.
         self.strategy = strategy_for_spec(spec.name)
         if self.strategy is not None:
-            self.strategy.validate(self.fs.supports_async, self.cfg)
+            self.strategy.validate(
+                self.fs.supports_async,
+                self.cfg,
+                supports_list_io=self.fs.supports_list_io,
+            )
         source = (
             CubeSource(params, scenario) if (self.cfg.compute and scenario) else None
         )
@@ -387,6 +437,9 @@ class PipelineExecutor:
             ]
             result.disk_stats["outages_per_server"] = [
                 s.outages for s in self.fs.servers
+            ]
+            result.disk_stats["duplicate_ships_per_server"] = [
+                s.duplicate_ships for s in self.fs.servers
             ]
         if self.cfg.read_deadline is not None:
             result.dropped_cpis = sorted(self.results.get("dropped_cpis", []))

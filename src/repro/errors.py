@@ -73,6 +73,16 @@ class RetriesExhaustedError(IOFaultError):
     """A fault-tolerant client gave up after its retry budget."""
 
 
+class ListIOUnsupportedError(FileSystemError):
+    """List I/O requested from a file system without a list-I/O call.
+
+    The PIOFS case for noncontiguous access: the IBM parallel file
+    system exposes only plain ``read``/``write``, so batching an access
+    list into one request per stripe directory (``read_list``) raises
+    this error and callers must issue one request per piece instead.
+    """
+
+
 class AsyncUnsupportedError(FileSystemError):
     """Asynchronous I/O requested from a file system without async support.
 

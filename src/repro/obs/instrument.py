@@ -110,6 +110,11 @@ def _instrument_servers(registry: MetricsRegistry, fs) -> None:
             help="reads served by a non-primary replica",
             fn=lambda: fs.client_failovers,
         )
+        registry.gauge(
+            "pfs_duplicate_ships_total",
+            help="timed-out attempts whose late success still shipped bytes",
+            fn=lambda: sum(s.duplicate_ships for s in servers),
+        )
 
 
 def _instrument_network(registry: MetricsRegistry, network) -> None:

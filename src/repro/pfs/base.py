@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.errors import (
     FileNotOpenError,
     IOFaultError,
     IORequestTimeoutError,
+    ListIOUnsupportedError,
     NoSuchFileError,
     RetriesExhaustedError,
 )
@@ -37,7 +38,7 @@ from repro.mpi.datatypes import Phantom, nbytes_of
 from repro.pfs.backing import BackingStore
 from repro.pfs.blockdev import DiskSpec
 from repro.pfs.server import IOServer
-from repro.pfs.stripe import StripeLayout
+from repro.pfs.stripe import StripeLayout, UnitRun
 from repro.sim.resources import Resource
 
 __all__ = ["OpenMode", "FileHandle", "RetryPolicy", "ParallelFileSystem"]
@@ -137,6 +138,10 @@ class ParallelFileSystem:
 
     #: Whether this file system supports iread/iwrite (PFS yes, PIOFS no).
     supports_async: bool = False
+    #: Whether this file system supports list I/O — batching a whole
+    #: access list into one request per stripe directory (PFS yes,
+    #: PIOFS no; see :meth:`read_list`).
+    supports_list_io: bool = False
 
     def __init__(
         self,
@@ -181,6 +186,15 @@ class ParallelFileSystem:
         ]
         # Per-path shared-file-pointer tokens for M_UNIX handles.
         self._file_tokens: Dict[str, Resource] = {}
+        #: ROMIO-style hints (``sieve_buffer_size``, ``cb_nodes``,
+        #: ``list_io_max_runs``), populated by the executor from
+        #: :class:`~repro.core.executor.FSConfig`; readers and the
+        #: list-I/O path consult it.  Empty = all defaults.
+        self.hints: Dict[str, int] = {}
+        # Server-directed placement state: per-path declared access
+        # pattern and the unit -> directory remap computed from it.
+        self._declared: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+        self._placements: Dict[str, Dict[int, int]] = {}
 
     @property
     def fault_tolerant(self) -> bool:
@@ -251,6 +265,43 @@ class ParallelFileSystem:
             self._file_tokens[path] = res
         return res
 
+    # -- server-directed placement -------------------------------------------
+    def declare_access(
+        self, path: str, extents: Iterable[Tuple[int, int]]
+    ) -> Dict[int, int]:
+        """Declare ``path``'s access pattern; servers reorganise placement.
+
+        ViPIOS-style server-directed mode: the client announces at open
+        time which ``(offset, nbytes)`` extents it will access, and the
+        servers remap the declared stripe units from round-robin to
+        contiguous blocks over the directories (see
+        :meth:`~repro.pfs.stripe.StripeLayout.placement_for_extents`).
+        All subsequent reads and writes of ``path`` use the remap.
+
+        Declarations are idempotent: re-declaring the same pattern (every
+        node of a gopen declares identically) is a no-op, so declaration
+        order between nodes never matters.  No simulated time is charged
+        — placement is decided before the run's data is written, like the
+        real system reorganising at file-creation time.
+        """
+        if not self.backing.exists(path):
+            raise NoSuchFileError(path)
+        norm = tuple(sorted((int(o), int(n)) for o, n in extents if n > 0))
+        if self._declared.get(path) == norm:
+            return self._placements[path]
+        placement = self.layout.placement_for_extents(norm)
+        self._declared[path] = norm
+        self._placements[path] = placement
+        return placement
+
+    def declared_placement(self, path: str) -> Optional[Dict[int, int]]:
+        """The active unit -> directory remap for ``path``, if declared."""
+        return self._placements.get(path)
+
+    def _map(self, path: str, offset: int, nbytes: int):
+        """Per-directory runs of a byte range, honouring any placement."""
+        return self.layout.map_range(offset, nbytes, self._placements.get(path))
+
     # -- data path -------------------------------------------------------------
     def read(self, handle: FileHandle, offset: int, nbytes: int):
         """Process generator: blocking striped read.
@@ -266,7 +317,7 @@ class ParallelFileSystem:
         if token is not None:
             yield token.request()
         try:
-            runs = self.layout.map_range(offset, nbytes)
+            runs = self._map(handle.path, offset, nbytes)
             if self._fault_tolerant:
                 procs = [
                     self.kernel.process(
@@ -292,6 +343,91 @@ class ParallelFileSystem:
                 token.release()
         return self.backing.read(handle.path, offset, nbytes)
 
+    def read_list(self, accesses: List[Tuple[FileHandle, int, int]]):
+        """Process generator: one batched striped read of a whole access list.
+
+        List I/O (Thakur et al., *Optimizing Noncontiguous Accesses in
+        MPI-IO*): the client ships its entire access list — ``(handle,
+        offset, nbytes)`` triples, possibly spanning several files — to
+        the file system in one call.  All pieces landing on the same
+        stripe directory are served as **one** request: one disk-queue
+        entry and one seek-amortised service call, instead of one request
+        per contiguous piece as :meth:`read` issues per call.
+
+        The ``list_io_max_runs`` hint caps how many contiguous pieces one
+        batched request may carry; longer lists are split into ceil-sized
+        batches per directory.  Returns the per-access contents in input
+        order.  Raises :class:`~repro.errors.ListIOUnsupportedError` on
+        file systems without a list-I/O call (PIOFS).
+        """
+        if not self.supports_list_io:
+            raise ListIOUnsupportedError(
+                f"{self.name}: no list-I/O call on this file system; "
+                "issue one read() per piece instead"
+            )
+        for handle, offset, nbytes in accesses:
+            handle._check_open()
+            if nbytes < 0 or offset < 0:
+                raise ConfigurationError("offset and nbytes must be >= 0")
+        # Atomic-mode handles still serialise per file; tokens are taken
+        # in sorted path order so concurrent lists can never deadlock.
+        token_paths = sorted(
+            {h.path for h, _, _ in accesses if h.mode is OpenMode.M_UNIX}
+        )
+        tokens = [self._token(p) for p in token_paths]
+        for tok in tokens:
+            yield tok.request()
+        try:
+            per_dir: Dict[int, List[Tuple[UnitRun, FileHandle]]] = {}
+            for handle, offset, nbytes in accesses:
+                for run in self._map(handle.path, offset, nbytes):
+                    per_dir.setdefault(run.directory, []).append((run, handle))
+            max_runs = self.hints.get("list_io_max_runs")
+            batches: List[Tuple[UnitRun, FileHandle]] = []
+            for d in sorted(per_dir):
+                pieces = per_dir[d]
+                step = max_runs if max_runs else len(pieces)
+                for i in range(0, len(pieces), step):
+                    group = pieces[i : i + step]
+                    batches.append(
+                        (
+                            UnitRun(
+                                directory=d,
+                                file_offset=group[0][0].file_offset,
+                                nbytes=sum(r.nbytes for r, _ in group),
+                                n_units=sum(r.n_units for r, _ in group),
+                            ),
+                            group[0][1],
+                        )
+                    )
+            if self._fault_tolerant:
+                procs = [
+                    self.kernel.process(
+                        self._service_with_retry(run, handle),
+                        name=f"readl:{handle.path}@dir{run.directory}",
+                    )
+                    for run, handle in batches
+                ]
+            else:
+                procs = [
+                    self.kernel.process(
+                        self.servers[run.directory].service(
+                            run.nbytes, run.n_units, handle.node_id
+                        ),
+                        name=f"readl:{handle.path}@dir{run.directory}",
+                    )
+                    for run, handle in batches
+                ]
+            if procs:
+                yield self.kernel.all_of(procs)
+        finally:
+            for tok in reversed(tokens):
+                tok.release()
+        return [
+            self.backing.read(handle.path, offset, nbytes)
+            for handle, offset, nbytes in accesses
+        ]
+
     def write(self, handle: FileHandle, offset: int, data: Union[bytes, np.ndarray, Phantom]):
         """Process generator: blocking striped write.
 
@@ -304,7 +440,7 @@ class ParallelFileSystem:
         if token is not None:
             yield token.request()
         try:
-            runs = self.layout.map_range(offset, total)
+            runs = self._map(handle.path, offset, total)
             procs = []
             for run in runs:
                 procs.append(
@@ -345,8 +481,17 @@ class ParallelFileSystem:
         )
         fired, _ = yield self.kernel.any_of([proc, self.kernel.timeout(timeout_s)])
         if fired is not proc:
-            # The attempt is abandoned; if it fails later its error is
-            # swallowed by the already-fired any_of.
+            # The attempt is abandoned but keeps running; if it fails
+            # later its error is swallowed by the already-fired any_of,
+            # and if it *succeeds* later the payload still crosses the
+            # network to a client that no longer wants it.  Count that
+            # late success as a duplicate ship so traffic reports can
+            # separate real deliveries from retry double-ships.
+            def _count_duplicate(ev, server=server, nbytes=run.nbytes):
+                if ev._ok:
+                    server.record_duplicate(nbytes)
+
+            proc.callbacks.append(_count_duplicate)
             raise IORequestTimeoutError(
                 f"{server.name}: no reply within {timeout_s}s"
             )

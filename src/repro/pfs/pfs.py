@@ -31,6 +31,7 @@ class PFS(ParallelFileSystem):
     """Paragon Parallel File System (async-capable)."""
 
     supports_async = True
+    supports_list_io = True
 
     def iread(self, handle: FileHandle, offset: int, nbytes: int) -> Request:
         """Post an asynchronous read; returns a request immediately.
@@ -41,6 +42,21 @@ class PFS(ParallelFileSystem):
         proc = self.kernel.process(
             self.read(handle, offset, nbytes),
             name=f"iread:{handle.path}@{offset}",
+        )
+        return Request(proc, kind="iread")
+
+    def iread_list(self, accesses) -> Request:
+        """Post an asynchronous list-I/O read; returns a request.
+
+        ``accesses`` is a list of ``(handle, offset, nbytes)`` triples —
+        see :meth:`~repro.pfs.base.ParallelFileSystem.read_list`.  The
+        request's value on completion is the list of per-access contents
+        in input order.
+        """
+        label = accesses[0][0].path if accesses else "<empty>"
+        proc = self.kernel.process(
+            self.read_list(accesses),
+            name=f"iread_list:{label}+{len(accesses)}",
         )
         return Request(proc, kind="iread")
 

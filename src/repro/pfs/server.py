@@ -58,6 +58,8 @@ class IOServer:
         self.bytes_shipped = 0
         self.requests_failed = 0
         self.outages = 0
+        self.duplicate_ships = 0
+        self.duplicate_bytes = 0
         self.busy_time = 0.0
         # Fault state.
         self._up = True
@@ -90,12 +92,15 @@ class IOServer:
 
         ``down_for=None`` means the server never recovers (permanent
         crash); otherwise it comes back after ``down_for`` simulated
-        seconds.  Must be called before the simulation runs past
-        ``at_time``.
+        seconds.  ``at_time`` is absolute simulated time: arming an
+        outage from a process already past ``at_time`` (e.g. re-armed
+        mid-run via the service tier) crashes immediately rather than
+        ``at_time`` seconds later.
         """
         def body():
-            if at_time > 0:
-                yield self.kernel.timeout(at_time)
+            delay = at_time - self.kernel.now
+            if delay > 0:
+                yield self.kernel.timeout(delay)
             self.set_down()
             if down_for is not None:
                 yield self.kernel.timeout(down_for)
@@ -118,6 +123,12 @@ class IOServer:
         if not self._up:
             self.requests_failed += 1
             raise ServerDownError(f"{self.name} is down")
+
+    def record_duplicate(self, nbytes: int) -> None:
+        """Count a ship the client had already abandoned (timed-out
+        attempt that later succeeded) — see ``docs/fault_model.md``."""
+        self.duplicate_ships += 1
+        self.duplicate_bytes += nbytes
 
     # -- service ---------------------------------------------------------------
     def service(self, nbytes: int, n_units: int, dest_node: int, ship: bool = True):

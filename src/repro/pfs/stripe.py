@@ -15,7 +15,7 @@ respect unit boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -100,14 +100,53 @@ class StripeLayout:
             raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
         return -(-nbytes // self.stripe_unit)  # ceil division
 
-    def map_range(self, offset: int, nbytes: int) -> List[UnitRun]:
+    def placement_for_extents(
+        self, extents: Iterable[Tuple[int, int]]
+    ) -> Dict[int, int]:
+        """Server-directed placement for a declared access pattern.
+
+        ViPIOS-style reorganisation: the stripe units covered by the
+        declared ``(offset, nbytes)`` extents are laid out in *contiguous
+        blocks* over the stripe directories — declared unit at cumulative
+        position ``cu`` (of ``U`` declared units) moves to directory
+        ``cu * stripe_factor // U`` instead of round-robin
+        ``u % stripe_factor``.  A client whose slab covers a fraction of
+        the declared pattern then touches only the matching fraction of
+        the directories (the minimal set) with one long seek-amortised
+        run each, instead of every directory with short runs.  Units
+        outside the declared pattern keep their round-robin home.
+        """
+        unit = self.stripe_unit
+        units = sorted(
+            {
+                u
+                for off, nb in extents
+                if nb > 0
+                for u in range(off // unit, (off + nb - 1) // unit + 1)
+            }
+        )
+        total = len(units)
+        if total == 0:
+            return {}
+        sf = self.stripe_factor
+        return {u: (cu * sf) // total for cu, u in enumerate(units)}
+
+    def map_range(
+        self,
+        offset: int,
+        nbytes: int,
+        placement: Optional[Mapping[int, int]] = None,
+    ) -> List[UnitRun]:
         """Decompose ``[offset, offset+nbytes)`` into per-directory runs.
 
         Each :class:`UnitRun` aggregates *all* bytes of the range on one
         directory (they are round-robin interleaved on disk, but a
         parallel FS services them as one gather request per directory).
         Runs are returned ordered by directory index; directories not
-        touched by the range are absent.
+        touched by the range are absent.  ``placement`` optionally remaps
+        individual units to different directories (server-directed mode,
+        see :meth:`placement_for_extents`); unmapped units stay on their
+        round-robin directory.
         """
         if offset < 0 or nbytes < 0:
             raise ConfigurationError("offset and nbytes must be >= 0")
@@ -120,7 +159,10 @@ class StripeLayout:
             unit = pos // self.stripe_unit
             unit_end = (unit + 1) * self.stripe_unit
             chunk = min(end, unit_end) - pos
-            d = unit % self.stripe_factor
+            if placement:
+                d = placement.get(unit, unit % self.stripe_factor)
+            else:
+                d = unit % self.stripe_factor
             if d in per_dir:
                 acc = per_dir[d]
                 acc[1] += chunk

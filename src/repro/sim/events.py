@@ -81,7 +81,7 @@ class Event:
         Optional human-readable label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("kernel", "name", "_value", "_ok", "callbacks")
+    __slots__ = ("kernel", "name", "_value", "_ok", "callbacks", "_abandoned")
 
     def __init__(self, kernel: "Kernel", name: str = "") -> None:  # noqa: F821
         self.kernel = kernel
@@ -90,6 +90,10 @@ class Event:
         self._ok: Optional[bool] = None
         # Callbacks run when the event fires; each receives this event.
         self.callbacks: List[Callable[["Event"], None]] = []
+        # Set by Process.interrupt() when the last listener detaches from
+        # this still-pending event: nobody will ever consume its outcome.
+        # Resource queues use it to skip dead waiters (see resources.py).
+        self._abandoned = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -181,6 +185,7 @@ class Timeout(Event):
         self._value = _PENDING
         self._ok = None
         self.callbacks = []
+        self._abandoned = False
         self.delay = delay = float(delay)
         # Stays pending until the kernel's clock reaches now + delay.
         kernel._seq += 1

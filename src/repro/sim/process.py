@@ -50,6 +50,7 @@ class Process(Event):
         self._value = _PENDING
         self._ok = None
         self.callbacks = []
+        self._abandoned = False
         self.generator = generator
         self._waiting_on: Event | None = None
         # One bound method for the life of the process; appended to every
@@ -137,6 +138,11 @@ class Process(Event):
         waiting = self._waiting_on
         if waiting is not None and self._on_event_cb in waiting.callbacks:
             waiting.callbacks.remove(self._on_event_cb)
+            if not waiting.callbacks:
+                # Last listener gone from a still-pending event: nobody
+                # will ever consume its outcome.  Resource queues skip
+                # such dead waiters instead of granting them a slot.
+                waiting._abandoned = True
         self._waiting_on = None
         self.kernel._call_soon(self._resume, None, Interrupt(cause))
 

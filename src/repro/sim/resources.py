@@ -84,15 +84,24 @@ class Resource:
         return ev
 
     def release(self) -> None:
-        """Release a previously granted slot, waking the next waiter."""
+        """Release a previously granted slot, waking the next waiter.
+
+        Waiters whose requesting process was interrupted while queued
+        (``Process.interrupt`` marks the pending request event abandoned
+        when its last listener detaches) are skipped: granting such a
+        dead waiter would pin the slot forever and silently shrink
+        capacity.
+        """
         if self._in_use <= 0:
             raise SimulationError(f"release() of idle resource {self.name!r}")
-        if self._waiters:
-            # Hand the slot directly to the next waiter: _in_use unchanged.
-            ev = self._waiters.popleft()
-            ev.succeed(self)
-        else:
-            self._in_use -= 1
+        waiters = self._waiters
+        while waiters:
+            ev = waiters.popleft()
+            if not ev._abandoned:
+                # Hand the slot directly to this waiter: _in_use unchanged.
+                ev.succeed(self)
+                return
+        self._in_use -= 1
 
     def using(self, hold_time: float):
         """Generator: acquire, hold for ``hold_time``, release.
@@ -129,11 +138,13 @@ class PriorityResource(Resource):
     def release(self) -> None:  # type: ignore[override]
         if self._in_use <= 0:
             raise SimulationError(f"release() of idle resource {self.name!r}")
-        if self._pwaiters:
-            _, _, ev = heapq.heappop(self._pwaiters)
-            ev.succeed(self)
-        else:
-            self._in_use -= 1
+        pwaiters = self._pwaiters
+        while pwaiters:
+            _, _, ev = heapq.heappop(pwaiters)
+            if not ev._abandoned:
+                ev.succeed(self)
+                return
+        self._in_use -= 1
 
     @property
     def queue_length(self) -> int:  # type: ignore[override]

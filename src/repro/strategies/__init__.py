@@ -14,11 +14,13 @@ from repro.strategies.base import (
 from repro.strategies.readers import (
     DROPPED,
     AsyncPrefetchReader,
+    ListIOReader,
     SievingAsyncReader,
     SievingSyncReader,
     SlabReader,
     SyncReader,
     TwoPhaseReader,
+    declare_access_pattern,
     open_round_robin,
 )
 
@@ -38,7 +40,9 @@ __all__ = [
     "AsyncPrefetchReader",
     "SievingSyncReader",
     "SievingAsyncReader",
+    "ListIOReader",
     "TwoPhaseReader",
     "open_round_robin",
+    "declare_access_pattern",
     "make_adaptive_reader",
 ]

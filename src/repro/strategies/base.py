@@ -56,6 +56,8 @@ class IOStrategy:
     name: str = ""
     #: Requires an async-capable file system (PFS yes, PIOFS no).
     requires_async: bool = False
+    #: Requires a file system with a list-I/O call (``read_list``).
+    requires_list_io: bool = False
     #: Whether the reader honours ``ExecutionConfig.read_deadline``.
     supports_read_deadline: bool = True
 
@@ -77,11 +79,18 @@ class IOStrategy:
         """Build the slab reader for one reading node's range block."""
         raise NotImplementedError
 
-    def validate(self, supports_async: bool, cfg) -> None:
+    def validate(
+        self,
+        supports_async: bool,
+        cfg,
+        supports_list_io: Optional[bool] = None,
+    ) -> None:
         """Reject incompatible file systems / configs at build time.
 
         Raises :class:`~repro.errors.PipelineError` with an actionable
         message; called by the executor before any process is spawned.
+        ``supports_list_io=None`` (legacy two-argument callers) skips the
+        list-I/O capability check.
         """
         if self.requires_async and not supports_async:
             raise PipelineError(
@@ -89,6 +98,13 @@ class IOStrategy:
                 "which this file system does not provide (the paper's PIOFS "
                 "case) — use an async-capable FS (kind='pfs') or a strategy "
                 "without async requirements"
+            )
+        if self.requires_list_io and supports_list_io is False:
+            raise PipelineError(
+                f"I/O strategy {self.name!r} requires a list-I/O call "
+                "(read_list), which this file system does not provide "
+                "(the PIOFS case) — use kind='pfs' or a strategy that "
+                "issues one request per piece"
             )
         if cfg.read_deadline is not None and not self.supports_read_deadline:
             raise PipelineError(

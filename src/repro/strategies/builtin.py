@@ -20,10 +20,12 @@ from repro.core.pipeline import (
 from repro.strategies.base import IOStrategy, register
 from repro.strategies.readers import (
     AsyncPrefetchReader,
+    ListIOReader,
     SievingAsyncReader,
     SievingSyncReader,
     SyncReader,
     TwoPhaseReader,
+    declare_access_pattern,
 )
 
 
@@ -129,3 +131,33 @@ class DataSieving(IOStrategy):
         if ctx.fileset.fs.supports_async:
             return SievingAsyncReader(ctx, rlo, rhi)
         return SievingSyncReader(ctx, rlo, rhi)
+
+
+@register
+class ListIO(IOStrategy):
+    """List I/O: a whole file window batched into one request per directory."""
+
+    name = "list-io"
+    requires_list_io = True
+    #: A window's CPIs complete as one request; dropping one is undefined.
+    supports_read_deadline = False
+
+    def build_spec(self, assignment):
+        return replace(build_embedded_pipeline(assignment), name=self.name)
+
+    def make_reader(self, ctx, rlo, rhi):
+        return ListIOReader(ctx, rlo, rhi)
+
+
+@register
+class ServerDirected(IOStrategy):
+    """Server-directed placement: declared pattern reorganises the stripes."""
+
+    name = "server-directed"
+
+    def build_spec(self, assignment):
+        return replace(build_embedded_pipeline(assignment), name=self.name)
+
+    def make_reader(self, ctx, rlo, rhi):
+        declare_access_pattern(ctx)
+        return make_adaptive_reader(ctx, rlo, rhi)

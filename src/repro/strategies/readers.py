@@ -47,11 +47,13 @@ __all__ = [
     "DROPPED",
     "EXCHANGE_TAG_BASE",
     "open_round_robin",
+    "declare_access_pattern",
     "SlabReader",
     "SyncReader",
     "AsyncPrefetchReader",
     "SievingSyncReader",
     "SievingAsyncReader",
+    "ListIOReader",
     "TwoPhaseReader",
 ]
 
@@ -302,7 +304,12 @@ class _SievingMixin:
     """
 
     def _init_sieve(self) -> None:
-        unit = self.fs.layout.stripe_unit
+        # The ``sieve_buffer_size`` hint replaces the stripe unit as the
+        # alignment granularity: smaller buffers cap the pad below one
+        # unit, larger buffers widen the request to bigger conforming
+        # blocks (more pad, better seek amortisation).  Unset keeps the
+        # classic whole-stripe-unit widening bit-identically.
+        unit = self.fs.hints.get("sieve_buffer_size") or self.fs.layout.stripe_unit
         end = self.offset + self.nbytes
         lo = (self.offset // unit) * unit
         hi = min(-(-end // unit) * unit, self.ctx.params.cube_nbytes)
@@ -329,6 +336,92 @@ class SievingAsyncReader(_SievingMixin, AsyncPrefetchReader):
     def __init__(self, ctx, rlo: int, rhi: int, prefetch_depth: int = 1) -> None:
         super().__init__(ctx, rlo, rhi, prefetch_depth)
         self._init_sieve()
+
+
+class ListIOReader(SlabReader):
+    """List I/O: one batched multi-file request per directory per window.
+
+    The round-robin fileset holds ``n_files`` distinct files, so a whole
+    window of ``n_files`` consecutive CPIs touches ``n_files`` different
+    slabs that can all ship to the file system in **one** access list
+    (:meth:`~repro.pfs.base.ParallelFileSystem.read_list`): each stripe
+    directory services the window as a single seek-amortised request
+    instead of one request per CPI.  This is the Thakur et al. "list
+    I/O" optimisation mapped onto this reproduction's layout — the
+    noncontiguity lives *across files*, not within a slab.
+
+    The next window is posted only once the previous window's payloads
+    have been extracted: the radar overwrites the round-robin files
+    (``ensure_cpi``), so a still-in-flight read of file *f* must not
+    overlap re-population of file *f* with a newer CPI.
+    """
+
+    def __init__(self, ctx, rlo: int, rhi: int) -> None:
+        super().__init__(ctx, rlo, rhi)
+        self.window = ctx.fileset.n_files
+        self._req: Optional[Tuple[int, Request]] = None
+        self._results: Optional[Tuple[int, list]] = None
+
+    def _post_window(self, base: int) -> None:
+        hi = min(base + self.window, self.ctx.cfg.n_cpis)
+        accesses = []
+        for cpi in range(base, hi):
+            self.ctx.fileset.ensure_cpi(cpi)
+            accesses.append((self._handle(cpi), self.read_offset, self.read_nbytes))
+        self._req = (base, self.fs.iread_list(accesses))
+
+    def prefetch(self, cpi: int) -> None:
+        """Post the access list for ``cpi``'s window, if safe to do so."""
+        if cpi >= self.ctx.cfg.n_cpis or self._req is not None:
+            return
+        base = (cpi // self.window) * self.window
+        if self._results is not None and self._results[0] == base:
+            return  # window already extracted; nothing left to post
+        self._post_window(base)
+
+    def read(self, cpi: int):
+        base = (cpi // self.window) * self.window
+        if self._results is None or self._results[0] != base:
+            if self._req is None:
+                self._post_window(base)
+            posted_base, req = self._req
+            payloads = yield from req.wait()
+            self._req = None
+            self._results = (posted_base, payloads)
+        return self._extract(self._results[1][cpi - base])
+
+    def _inflight(self) -> List[Tuple[int, Event]]:
+        extra = []
+        if self._req is not None:
+            base, req = self._req
+            extra.append((base, req._event))
+        return list(self._orphans) + extra
+
+    def _drain(self) -> None:
+        super()._drain()
+        self._req = None
+
+
+def declare_access_pattern(ctx) -> None:
+    """Declare the reading task's collective access pattern (ViPIOS-style).
+
+    Every reading node declares the *union* of all participants' slab
+    extents for each round-robin file — the collective pattern, like an
+    MPI-IO file view — so the declaration is identical from every node
+    and :meth:`~repro.pfs.base.ParallelFileSystem.declare_access` is
+    idempotent regardless of setup order.  The servers then place the
+    pattern's stripe units in contiguous blocks over the directories,
+    landing each node's slab on the minimal directory set.
+    """
+    plan = ctx.plan
+    part = plan.ranges_read if ctx.name == "read" else plan.ranges_doppler
+    bounds = [part.bounds(i) for i in range(part.parts) if part.size(i) > 0]
+    lo = min(b[0] for b in bounds)
+    hi = max(b[1] for b in bounds)
+    off, nb = ctx.fileset.slab_extent(lo, hi)
+    fs = ctx.fileset.fs
+    for f in range(ctx.fileset.n_files):
+        fs.declare_access(f"{ctx.fileset.prefix}{f}.dat", [(off, nb)])
 
 
 class TwoPhaseReader(SlabReader):
@@ -359,15 +452,25 @@ class TwoPhaseReader(SlabReader):
         for local in self.participants:
             off, nb = ctx.fileset.slab_extent(*part.bounds(local))
             self._slabs[local] = (off, off + nb)
-        # Stripe-aligned contiguous chunks: near-equal runs of whole units.
+        # Stripe-aligned contiguous chunks: near-equal runs of whole
+        # units over the phase-one aggregators.  The ``cb_nodes`` hint
+        # (ROMIO's collective-buffering node count) caps how many
+        # participants aggregate; the rest read nothing in phase one and
+        # only receive their slab in the exchange.  Unset means every
+        # participant aggregates — the classic behaviour, bit-identically.
         unit = self.fs.layout.stripe_unit
         cube = ctx.params.cube_nbytes
         units_total = -(-cube // unit)
         m = len(self.participants)
+        cb = self.fs.hints.get("cb_nodes")
+        n_agg = min(cb, m) if cb else m
         self._chunks = {}
         for j, local in enumerate(self.participants):
-            lo = ((j * units_total) // m) * unit
-            hi = min((((j + 1) * units_total) // m) * unit, cube)
+            if j < n_agg:
+                lo = ((j * units_total) // n_agg) * unit
+                hi = min((((j + 1) * units_total) // n_agg) * unit, cube)
+            else:
+                lo = hi = 0
             self._chunks[local] = (lo, max(hi, lo))
         self.chunk_off, self.chunk_end = self._chunks[ctx.local]
         self.use_async = self.fs.supports_async
