@@ -1,0 +1,42 @@
+"""Ablation: multi-tenant pipelines contending for one shared PFS.
+
+The paper evaluates each I/O strategy with the machine to itself; this
+bench co-schedules 1..4 case-1 tenant pipelines on one substrate (shared
+stripe directories, shared mesh) and measures what each tenant keeps of
+its solo throughput, which strategy pairs interfere worst, and how many
+CPIs miss the read deadline once the disks are oversubscribed.
+"""
+
+from benchmarks.conftest import BENCH_CFG
+from repro.bench.experiments import run_ablation_interference
+
+
+def test_ablation_interference(benchmark, emit, engine_runner):
+    out = benchmark.pedantic(
+        lambda: run_ablation_interference(
+            tenant_counts=(1, 2, 3, 4),
+            strategies=("embedded-io", "separate-io"),
+            stripe_factors=(4, 16),
+            cfg=BENCH_CFG,
+            runner=engine_runner,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_interference", out.render())
+
+    # Sharing the stripe directories cannot make anyone faster, and by
+    # four tenants the contention must be plainly measurable.
+    for (sf, _n), scenario in out.scaling.items():
+        for name, tenant in zip(scenario.spec.tenant_names(),
+                                scenario.spec.tenants):
+            frac = out.degradation(
+                sf, tenant.pipeline, scenario.tenants[name].throughput
+            )
+            assert frac <= 1.02
+    worst = min(
+        out.degradation(sf, t.pipeline, s.tenants[n].throughput)
+        for (sf, cnt), s in out.scaling.items() if cnt == 4
+        for n, t in zip(s.spec.tenant_names(), s.spec.tenants)
+    )
+    assert worst < 0.9, "4-way sharing should cost real throughput"

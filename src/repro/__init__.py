@@ -65,8 +65,15 @@ from repro.core.pipeline import (
     build_separate_io_pipeline,
     combine_pulse_cfar,
 )
+from repro.core.arrivals import ArrivalSpec
 from repro.machine.presets import MachinePreset, generic_cluster, ibm_sp, paragon
 from repro.obs import MetricsRegistry
+from repro.scenario import (
+    ScenarioResult,
+    ScenarioSpec,
+    TenantSpec,
+    run_scenario,
+)
 from repro.service import ExperimentScheduler, JobHandle
 from repro.stap.chain import run_cpi_stream, stap_chain
 from repro.stap.params import STAPParams
@@ -88,6 +95,11 @@ __all__ = [
     "FSConfig",
     "PipelineExecutor",
     "PipelineResult",
+    "ArrivalSpec",
+    "ScenarioSpec",
+    "TenantSpec",
+    "ScenarioResult",
+    "run_scenario",
     "PipelineModel",
     "IOModel",
     "CombinationAnalysis",

@@ -110,8 +110,11 @@ def run(
     Parameters
     ----------
     spec_or_kwargs:
-        A ready :class:`ExperimentSpec`, a dict of the keyword arguments
-        below, or None (build the spec purely from ``**kwargs``).
+        A ready :class:`ExperimentSpec`, a
+        :class:`~repro.scenario.ScenarioSpec` (the multi-tenant case —
+        returns a :class:`~repro.scenario.ScenarioResult`), a dict of
+        the keyword arguments below, or None (build the spec purely
+        from ``**kwargs``).
     jobs:
         Forwarded to :class:`SweepRunner` — kept for signature symmetry
         with sweeps; a single cell always runs in one process.
@@ -136,7 +139,18 @@ def run(
         ``flaky_disk``), and ``screening`` (``"off"`` / ``"screen"`` /
         ``"predict-all"``, see :mod:`repro.bench.surrogate`).
     """
-    if isinstance(spec_or_kwargs, ExperimentSpec):
+    from repro.scenario import ScenarioSpec
+
+    if isinstance(spec_or_kwargs, ScenarioSpec):
+        if kwargs:
+            raise ConfigurationError(
+                "pass either a ready ScenarioSpec or keyword arguments, "
+                f"not both (got spec plus {sorted(kwargs)})"
+            )
+        spec = spec_or_kwargs
+        if seed is not None and seed != spec.seed:
+            spec = replace(spec, seed=seed)
+    elif isinstance(spec_or_kwargs, ExperimentSpec):
         if kwargs:
             raise ConfigurationError(
                 "pass either a ready ExperimentSpec or keyword arguments, "
@@ -155,9 +169,10 @@ def run(
             "repro.run takes an ExperimentSpec, a dict, or keyword "
             f"arguments; got {type(spec_or_kwargs).__name__}"
         )
+    rehydrate = getattr(type(spec), "result_from_dict", PipelineResult.from_dict)
     if scheduler is not None:
         payload = scheduler.submit([spec], client="api").wait()[0]
-        return PipelineResult.from_dict(payload)
+        return rehydrate(payload)
     if isinstance(store, str):
         store = ResultStore(store)
     with SweepRunner(jobs=jobs, store=store) as runner:

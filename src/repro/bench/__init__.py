@@ -23,9 +23,11 @@ from repro.bench.engine import (
 from repro.bench.experiments import (
     CellResult,
     ExperimentResult,
+    InterferenceAblation,
     run_ablation_async,
     run_ablation_bottleneck_migration,
     run_ablation_combination_analysis,
+    run_ablation_interference,
     run_ablation_straggler_disk,
     run_ablation_straggler_node,
     run_ablation_stripe_sweep,
@@ -67,4 +69,6 @@ __all__ = [
     "run_ablation_async",
     "run_ablation_combination_analysis",
     "run_ablation_writer_interference",
+    "run_ablation_interference",
+    "InterferenceAblation",
 ]

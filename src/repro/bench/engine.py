@@ -659,7 +659,13 @@ class SweepRunner:
         self.cache_misses += counters["cache_misses"]
         self.executed += counters["executed"]
         self.predicted += counters.get("predicted", 0)
-        results = [PipelineResult.from_dict(p) for p in payloads]
+        # Rehydrate each payload with its spec type's own hook when it
+        # has one (ScenarioSpec.result_from_dict); experiment cells keep
+        # the classic PipelineResult path.
+        results = [
+            getattr(type(spec), "result_from_dict", PipelineResult.from_dict)(p)
+            for spec, p in zip(specs, payloads)
+        ]
         # Duplicate specs alias one result object, as before.
         seen: Dict[int, PipelineResult] = {}
         out: List[PipelineResult] = []

@@ -56,6 +56,8 @@ __all__ = [
     "run_ablation_writer_interference",
     "run_ablation_server_outage",
     "run_ablation_flaky_disk",
+    "run_ablation_interference",
+    "InterferenceAblation",
 ]
 
 #: Default simulation depth for the sweeps: enough CPIs for a clean
@@ -891,3 +893,191 @@ def run_ablation_flaky_disk(
             )
     results = runner.run(specs)
     return dict(zip(keys, results))
+
+
+@dataclass
+class InterferenceAblation:
+    """Result of :func:`run_ablation_interference`.
+
+    ``solos`` holds the single-tenant baselines keyed by
+    ``(stripe_factor, strategy)``; ``scaling`` the 1..N mixed-tenant
+    scenarios keyed by ``(stripe_factor, n_tenants)``; ``pairs`` the
+    two-tenant strategy-pair cells keyed by ``(strategy_a, strategy_b)``
+    (run at ``pair_stripe_factor``).  Degradation is a tenant's
+    throughput divided by its strategy's solo throughput at the same
+    stripe factor — 1.0 means unaffected, 0.5 means the neighbour cost
+    it half its throughput.
+    """
+
+    strategies: Tuple[str, ...]
+    solos: Dict[Tuple[int, str], object]
+    scaling: Dict[Tuple[int, int], object]
+    pairs: Dict[Tuple[str, str], object]
+    pair_stripe_factor: int
+    read_deadline: Optional[float]
+
+    def degradation(self, sf: int, strategy: str, throughput: float) -> float:
+        """Throughput as a fraction of the strategy's solo baseline."""
+        solo = self.solos[(sf, strategy)]
+        base = next(iter(solo.tenants.values())).throughput
+        return throughput / base if base > 0 else 0.0
+
+    def pair_score(self, key: Tuple[str, str]) -> float:
+        """Mean degradation of a pair's two tenants (lower = worse)."""
+        scenario = self.pairs[key]
+        sf = self.pair_stripe_factor
+        fracs = [
+            self.degradation(sf, t.pipeline, scenario.tenants[name].throughput)
+            for name, t in zip(scenario.spec.tenant_names(),
+                               scenario.spec.tenants)
+        ]
+        return sum(fracs) / len(fracs)
+
+    def render(self) -> str:
+        """The ablation's artifact: scaling table + ranked pair matrix."""
+        out = []
+        if self.read_deadline is not None:
+            out.append(
+                f"per-CPI read deadline in contended cells: "
+                f"{self.read_deadline:.4f} s (drops, not stalls)"
+            )
+        rows = []
+        for (sf, n), scenario in sorted(self.scaling.items()):
+            for name, t in zip(scenario.spec.tenant_names(),
+                               scenario.spec.tenants):
+                r = scenario.tenants[name]
+                rows.append([
+                    sf, n, name, t.pipeline,
+                    r.throughput,
+                    self.degradation(sf, t.pipeline, r.throughput),
+                    len(r.dropped_cpis or ()),
+                ])
+        out.append(format_table(
+            ["sf", "tenants", "tenant", "strategy", "CPIs/s", "x solo",
+             "dropped"],
+            rows,
+            title="Tenant scaling on one shared PFS (case-1 tenants, "
+                  "mixed strategies)",
+            float_fmt="{:.4f}",
+        ))
+        ranked = sorted(self.pairs, key=self.pair_score)
+        rows = []
+        for key in ranked:
+            scenario = self.pairs[key]
+            names = scenario.spec.tenant_names()
+            fracs = [
+                self.degradation(
+                    self.pair_stripe_factor, t.pipeline,
+                    scenario.tenants[name].throughput,
+                )
+                for name, t in zip(names, scenario.spec.tenants)
+            ]
+            drops = sum(len(scenario.tenants[n].dropped_cpis or ())
+                        for n in names)
+            rows.append([
+                f"{key[0]} + {key[1]}",
+                fracs[0], fracs[1],
+                self.pair_score(key), drops,
+            ])
+        out.append(format_table(
+            ["pair", "t0 x solo", "t1 x solo", "mean x solo", "dropped"],
+            rows,
+            title=f"\nStrategy-pair interference (2 tenants, PFS "
+                  f"sf={self.pair_stripe_factor}; worst pairs first)",
+            float_fmt="{:.4f}",
+        ))
+        return "\n".join(out)
+
+
+def run_ablation_interference(
+    tenant_counts: Tuple[int, ...] = (1, 2, 3, 4),
+    strategies: Tuple[str, ...] = ("embedded-io", "separate-io"),
+    stripe_factors: Tuple[int, ...] = (4, 16),
+    case_number: int = 1,
+    read_deadline="auto",
+    params: Optional[STAPParams] = None,
+    cfg: ExecutionConfig = DEFAULT_CFG,
+    runner: Optional[SweepRunner] = None,
+    seed: int = 0,
+) -> InterferenceAblation:
+    """Multi-tenant interference: N pipelines contending for one PFS.
+
+    The paper evaluates each I/O strategy with the machine to itself;
+    this ablation shares the stripe directories (and the mesh) between
+    1..N tenant pipelines and measures what each tenant keeps of its
+    solo throughput.  Two sweeps:
+
+    * **scaling** — for each stripe factor, grow the tenant count;
+      tenant *i* runs ``strategies[i % len(strategies)]`` so the mix
+      stays fixed while contention grows;
+    * **pairs** — every unordered strategy pair as a two-tenant
+      scenario at the smallest stripe factor, ranking which strategy
+      pairs interfere worst.
+
+    ``read_deadline="auto"`` derives a per-CPI deadline from the slowest
+    solo baseline (two pipeline beats), so contended tenants *drop*
+    late CPIs — surfacing degradation as both lost throughput and a
+    drop count.  Solo baselines run without a deadline.  Pass ``None``
+    to let contended reads stall instead, or a float to use as-is.
+    """
+    from repro.scenario import ScenarioSpec, TenantSpec
+
+    params = params or STAPParams()
+    runner = _runner(runner)
+    a = NodeAssignment.case(case_number, params)
+
+    def scenario(sf: int, names: Tuple[str, ...],
+                 tenant_cfg: ExecutionConfig) -> ScenarioSpec:
+        return ScenarioSpec(
+            tenants=tuple(
+                TenantSpec(assignment=a, pipeline=strategy, cfg=tenant_cfg)
+                for strategy in names
+            ),
+            machine="paragon",
+            fs=FSConfig(kind="pfs", stripe_factor=sf),
+            params=params,
+            seed=seed,
+        )
+
+    # Solo baselines: every (stripe factor, strategy), deadline-free.
+    pair_sf = min(stripe_factors)
+    solo_keys = [(sf, s) for sf in stripe_factors for s in strategies]
+    solo_specs = [scenario(sf, (s,), cfg) for sf, s in solo_keys]
+    solos = dict(zip(solo_keys, runner.run(solo_specs)))
+
+    deadline: Optional[float]
+    if read_deadline == "auto":
+        slowest = min(
+            next(iter(r.tenants.values())).throughput for r in solos.values()
+        )
+        deadline = 2.0 / max(slowest, 1e-9)
+    else:
+        deadline = read_deadline
+    contended_cfg = replace(cfg, read_deadline=deadline)
+
+    # Tenant scaling: same strategy mix, growing contention.
+    scaling_keys = [(sf, n) for sf in stripe_factors for n in tenant_counts]
+    scaling_specs = [
+        scenario(sf, tuple(strategies[i % len(strategies)] for i in range(n)),
+                 contended_cfg)
+        for sf, n in scaling_keys
+    ]
+    scaling = dict(zip(scaling_keys, runner.run(scaling_specs)))
+
+    # Pair matrix: every unordered strategy pair at the tightest sf.
+    pair_keys = [
+        (strategies[i], strategies[j])
+        for i in range(len(strategies))
+        for j in range(i, len(strategies))
+    ]
+    pair_specs = [scenario(pair_sf, key, contended_cfg) for key in pair_keys]
+    pairs = dict(zip(pair_keys, runner.run(pair_specs)))
+
+    return InterferenceAblation(
+        strategies=strategies,
+        solos=solos,
+        scaling=scaling,
+        pairs=pairs,
+        pair_stripe_factor=pair_sf,
+        read_deadline=deadline,
+    )

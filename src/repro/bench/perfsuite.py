@@ -16,6 +16,9 @@ speedup story):
   total function calls under cProfile, and the result hash;
 * ``cell_smoke`` — a small, fast cell used by CI and the perf-smoke
   test, same metrics;
+* ``cell_two_tenant_smoke`` — a two-tenant mixed-strategy scenario on
+  one shared PFS (the scenario layer's end-to-end hot path), gating the
+  full ``ScenarioResult`` hash;
 * ``metrics_overhead`` — the canonical embedded cell run plain and with
   live metrics sampling, recording the wall overhead fraction and
   gating on the *stripped* result hash (metrics must change nothing);
@@ -50,6 +53,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 __all__ = [
     "run_suite",
     "measure_cell",
+    "measure_scenario_cell",
     "measure_kernel_ops",
     "measure_kernel_ops_calendar",
     "measure_metrics_overhead",
@@ -185,6 +189,57 @@ def measure_cell(pipeline: str, case: int, n_cpis: int = 8, warmup: int = 2,
         "n_cpis": n_cpis,
         "warmup": warmup,
         "stripe_factor": stripe_factor,
+        "wall_s": round(wall, 4),
+        "calls": calls,
+        "result_hash": digest,
+    }
+
+
+def measure_scenario_cell(pipelines: Tuple[str, ...] = ("embedded-io",
+                                                        "separate-io"),
+                          case: int = 1, n_cpis: int = 4, warmup: int = 1,
+                          stripe_factor: int = 8,
+                          fs_kind: str = "pfs") -> Dict[str, Any]:
+    """Wall time, call count, and result hash of one multi-tenant cell.
+
+    One tenant per entry of ``pipelines``, all on the given case's node
+    assignment, sharing a single substrate — exercising the scenario
+    layer's rank-offset communicators, tenant-namespaced files, and
+    shared-FS accounting end to end.
+    """
+    from repro.core.context import ExecutionConfig
+    from repro.core.executor import FSConfig
+    from repro.core.pipeline import NodeAssignment
+    from repro.scenario import ScenarioSpec, TenantSpec, run_scenario
+    from repro.stap.params import STAPParams
+
+    params = STAPParams()
+    cfg = ExecutionConfig(n_cpis=n_cpis, warmup=warmup)
+    spec = ScenarioSpec(
+        tenants=tuple(
+            TenantSpec(
+                assignment=NodeAssignment.case(case, params),
+                pipeline=pipeline,
+                cfg=cfg,
+            )
+            for pipeline in pipelines
+        ),
+        machine="paragon",
+        fs=FSConfig(kind=fs_kind, stripe_factor=stripe_factor),
+        params=params,
+        seed=0,
+    )
+    wall, calls, result = _profiled(lambda: run_scenario(spec))
+    digest = hashlib.sha256(
+        json.dumps(result.to_dict(), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return {
+        "pipelines": list(pipelines),
+        "case": case,
+        "n_cpis": n_cpis,
+        "warmup": warmup,
+        "stripe_factor": stripe_factor,
+        "fs_kind": fs_kind,
         "wall_s": round(wall, 4),
         "calls": calls,
         "result_hash": digest,
@@ -330,6 +385,10 @@ _SECTIONS: Dict[str, Callable[[], Dict[str, Any]]] = {
     ),
     "cell_list_io_smoke": lambda: measure_cell(
         "list-io", 1, n_cpis=4, warmup=1, stripe_factor=16
+    ),
+    "cell_two_tenant_smoke": lambda: measure_scenario_cell(
+        ("embedded-io", "separate-io"), 1, n_cpis=4, warmup=1,
+        stripe_factor=8
     ),
     "cell_embedded_case3": lambda: measure_cell("embedded", 3),
     "cell_separate_case3": lambda: measure_cell("separate", 3),

@@ -292,6 +292,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--host", default="127.0.0.1")
     p_jobs.add_argument("--port", type=int, default=7077)
 
+    p_scn = sub.add_parser(
+        "scenario",
+        help="run a multi-tenant scenario (N pipelines on one shared PFS)",
+    )
+    p_scn.add_argument("action", choices=("run",))
+    p_scn.add_argument("--spec", default=None, metavar="FILE",
+                       help="JSON ScenarioSpec file ('-' for stdin); "
+                       "overrides the tenant/arrival flags below")
+    p_scn.add_argument("--tenant", action="append", default=[],
+                       metavar="PIPELINE[:CASE]", dest="tenants",
+                       help="add one tenant (repeatable): a PIPELINES "
+                       "registry name, optionally with a paper case, e.g. "
+                       "embedded-io or separate-io:2 "
+                       "(default: two embedded-io case-1 tenants)")
+    p_scn.add_argument("--machine", choices=_MACHINE_CHOICES, default="paragon")
+    p_scn.add_argument("--fs", choices=("pfs", "piofs"), default="pfs")
+    p_scn.add_argument("--stripe-factor", type=int, default=8)
+    p_scn.add_argument("--cpis", type=int, default=8)
+    p_scn.add_argument("--warmup", type=int, default=2)
+    p_scn.add_argument("--seed", type=int, default=0)
+    p_scn.add_argument("--arrival", choices=("fixed", "poisson", "jittered",
+                                             "burst"), default="fixed",
+                       help="CPI arrival process for every tenant "
+                       "(default fixed: back-to-back, as standalone runs)")
+    p_scn.add_argument("--period", type=float, default=0.0,
+                       help="mean inter-arrival period in simulated seconds "
+                       "(0 with --arrival fixed means no gating)")
+    p_scn.add_argument("--offset", type=float, default=0.0,
+                       help="arrival time of CPI 0 (fixed/burst trains)")
+    p_scn.add_argument("--jitter", type=float, default=0.0,
+                       help="uniform +/- jitter for --arrival jittered")
+    p_scn.add_argument("--burst-size", type=int, default=1,
+                       help="CPIs per burst for --arrival burst")
+    p_scn.add_argument("--burst-gap", type=float, default=0.0,
+                       help="intra-burst spacing for --arrival burst")
+    p_scn.add_argument("--arrival-seed", type=int, default=0,
+                       help="seed of the stochastic arrival stream")
+    p_scn.add_argument("--read-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-CPI read deadline for every tenant; late "
+                       "CPIs are dropped instead of stalling the pipeline")
+    p_scn.add_argument("--metrics-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="sample tenant-labelled metrics at this "
+                       "simulated-time interval")
+    p_scn.add_argument("--gantt", action="store_true",
+                       help="render the multi-pipeline Gantt chart")
+    p_scn.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the full ScenarioResult JSON")
+
     sub.add_parser("info", help="show dimensions, costs, and node assignments")
     return parser
 
@@ -953,11 +1003,12 @@ def _cmd_jobs(args) -> int:
         rows = [
             [j["id"], j["client"], j["state"], j["cells"],
              j["counters"]["executed"], j["counters"]["cache_hits"],
-             j["label"]]
+             j["counters"].get("predicted", 0), j["label"]]
             for j in jobs
         ]
         print(format_table(
-            ["job", "client", "state", "cells", "executed", "cached", "label"],
+            ["job", "client", "state", "cells", "executed", "cached",
+             "predicted", "label"],
             rows, title=f"{len(jobs)} job(s)",
         ))
         return 0
@@ -966,11 +1017,101 @@ def _cmd_jobs(args) -> int:
         return 2
     if args.action == "show":
         info = request(args.host, args.port, {"op": "job", "id": args.id})
+        c = info["job"].get("counters", {})
+        print(f"counters: {c.get('executed', 0)} executed, "
+              f"{c.get('cache_hits', 0)} cache hits, "
+              f"{c.get('cache_misses', 0)} cache misses, "
+              f"{c.get('predicted', 0)} predicted (surrogate-screened)")
         print(json.dumps(info["job"], indent=2, sort_keys=True))
         return 0
     resp = request(args.host, args.port, {"op": "cancel", "id": args.id})
     print(f"job {args.id} "
           + ("cancelled" if resp["cancelled"] else "already finished"))
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    """Run one multi-tenant scenario and print per-tenant results."""
+    import json
+
+    from repro.core.arrivals import ArrivalSpec
+    from repro.scenario import ScenarioExecutor, ScenarioSpec, TenantSpec
+
+    if args.spec:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        spec = ScenarioSpec.from_dict(json.loads(text))
+    else:
+        params = STAPParams()
+        arrival = None
+        if args.arrival != "fixed" or args.period or args.offset:
+            arrival = ArrivalSpec(
+                kind=args.arrival, period=args.period, offset=args.offset,
+                jitter=args.jitter, burst_size=args.burst_size,
+                burst_gap=args.burst_gap, seed=args.arrival_seed,
+            )
+        cfg = ExecutionConfig(
+            n_cpis=args.cpis, warmup=args.warmup,
+            read_deadline=args.read_deadline, arrival=arrival,
+        )
+        tenants = []
+        for desc in (args.tenants or ["embedded-io", "embedded-io"]):
+            pipeline, _, case_text = desc.partition(":")
+            try:
+                case = int(case_text) if case_text else 1
+            except ValueError:
+                raise ReproError(
+                    f"--tenant wants PIPELINE[:CASE], got {desc!r}"
+                )
+            tenants.append(TenantSpec(
+                assignment=NodeAssignment.case(case, params),
+                pipeline=pipeline, cfg=cfg,
+            ))
+        spec = ScenarioSpec(
+            tenants=tuple(tenants),
+            machine=args.machine,
+            fs=FSConfig(kind=args.fs, stripe_factor=args.stripe_factor),
+            params=params,
+            seed=args.seed,
+            metrics_interval=args.metrics_interval,
+        )
+
+    executor = ScenarioExecutor(spec)
+    result = executor.run()
+
+    print(spec.label())
+    print(f"spec hash : {spec.short_hash()}")
+    print(f"elapsed   : {result.elapsed_sim_time:.4f} s on the shared kernel")
+    rows = []
+    for name, tenant in zip(spec.tenant_names(), spec.tenants):
+        r = result.tenants[name]
+        mib = (result.tenant_bytes or {}).get(name, 0) / 2**20
+        rows.append([
+            name, tenant.pipeline, tenant.build_pipeline().total_nodes,
+            f"{r.measurement.throughput:.4f}",
+            f"{r.measurement.latency:.4f}",
+            len(r.dropped_cpis or []), f"{mib:.1f}",
+        ])
+    print(format_table(
+        ["tenant", "pipeline", "nodes", "CPIs/s", "latency(s)",
+         "dropped", "MiB"],
+        rows, title="\nper-tenant results",
+    ))
+    if result.disk_stats is not None:
+        served = result.disk_stats["bytes_served"] / 2**20
+        print(f"\nshared PFS: {served:.1f} MiB served by "
+              f"{len(result.disk_stats['requests_per_server'])} server(s)")
+    if args.gantt:
+        print()
+        print(executor.gantt())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -1014,6 +1155,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
+        "scenario": _cmd_scenario,
         "info": _cmd_info,
     }
     try:

@@ -29,8 +29,15 @@ from repro.core.pipeline import (
     build_separate_io_pipeline,
     combine_pulse_cfar,
 )
+from repro.core.arrivals import ArrivalSpec
 from repro.core.model import CombinationAnalysis, IOModel, PipelineModel
-from repro.core.executor import ExecutionConfig, PipelineExecutor, PipelineResult
+from repro.core.executor import (
+    ExecutionConfig,
+    PipelineExecutor,
+    PipelineResult,
+    Substrate,
+    validate_fs_hints,
+)
 from repro.core.metrics import PipelineMeasurement, TaskPhaseStats, measure
 from repro.core.plan import PipelinePlan
 from repro.core.scaling import ScalingStudy, run_scaling_study
@@ -57,6 +64,9 @@ __all__ = [
     "ExecutionConfig",
     "PipelineExecutor",
     "PipelineResult",
+    "ArrivalSpec",
+    "Substrate",
+    "validate_fs_hints",
     "PipelinePlan",
     "TaskPhaseStats",
     "PipelineMeasurement",

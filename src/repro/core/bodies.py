@@ -114,6 +114,10 @@ class ReaderStages(TaskStages):
         yield
 
     def recv(self, k: int):
+        # Gate on the CPI's arrival (no-op without an arrival process).
+        # Prefetch is deliberately not gated: files exist up front; the
+        # arrival process models when the *consumer* may start reading.
+        yield from self.ctx.await_arrival(k)
         raw = yield from self.reader.read(k)
         self.reader.prefetch(k + 1)
         return raw
@@ -193,6 +197,7 @@ class DopplerStages(TaskStages):
     def recv(self, k: int):
         ctx, plan, p = self.ctx, self.ctx.plan, self.ctx.params
         if self.embedded:
+            yield from ctx.await_arrival(k)
             raw = yield from self.reader.read(k)
             self.reader.prefetch(k + 1)
             return self.reader.slab_array(raw) if ctx.cfg.compute else None
@@ -464,7 +469,8 @@ class _ReportWriterMixin(TaskStages):
         if not ctx.cfg.write_reports:
             return
         fs = ctx.fileset.fs
-        path = f"reports_{ctx.name}_{ctx.local}.dat"
+        stem = f"{ctx.tenant}_" if ctx.tenant else ""
+        path = f"reports_{stem}{ctx.name}_{ctx.local}.dat"
         fs.create(path, exist_ok=True)
         node_id = ctx.rc.comm.node_of(ctx.rc.rank)
         self._report_handle = fs.open(path, node_id, OpenMode.M_ASYNC)

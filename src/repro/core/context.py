@@ -9,8 +9,9 @@ credit-window flow control.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.core.arrivals import ArrivalSpec
 from repro.core.plan import PipelinePlan
 from repro.core.task import TaskInstance
 from repro.io.fileset import CubeFileSet
@@ -77,6 +78,13 @@ class ExecutionConfig:
         clock-advance hook, so event order — and every simulated
         quantity — is bit-identical with metrics on or off.  ``None``
         (the default) disables metrics entirely.
+    arrival:
+        CPI arrival process (:class:`~repro.core.arrivals.ArrivalSpec`).
+        When set, the reading task gates each CPI's read on its arrival
+        time — modelling a radar front end that delivers CPIs on a
+        cadence instead of a pre-populated file system.  ``None`` (the
+        default) keeps the classic all-data-ready behaviour and is
+        bit-identical to it.
     """
 
     n_cpis: int = 8
@@ -87,6 +95,7 @@ class ExecutionConfig:
     write_reports: bool = False
     read_deadline: Optional[float] = None
     metrics_interval: Optional[float] = None
+    arrival: Optional[ArrivalSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_cpis < 1:
@@ -99,13 +108,16 @@ class ExecutionConfig:
             raise ValueError("read_deadline must be > 0 (or None)")
         if self.metrics_interval is not None and self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be > 0 (or None)")
+        if self.arrival is not None and not isinstance(self.arrival, ArrivalSpec):
+            raise ValueError("arrival must be an ArrivalSpec (or None)")
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Lossless JSON-able form.
 
-        ``read_deadline`` and ``metrics_interval`` are emitted only when
-        set so configs predating those features keep their exact hashes.
+        ``read_deadline``, ``metrics_interval``, and ``arrival`` are
+        emitted only when set so configs predating those features keep
+        their exact hashes.
         """
         d: Dict[str, Any] = {
             "n_cpis": self.n_cpis,
@@ -119,11 +131,16 @@ class ExecutionConfig:
             d["read_deadline"] = self.read_deadline
         if self.metrics_interval is not None:
             d["metrics_interval"] = self.metrics_interval
+        if self.arrival is not None:
+            d["arrival"] = self.arrival.to_dict()
         return d
 
     @staticmethod
     def from_dict(d: Dict[str, Any]) -> "ExecutionConfig":
         """Inverse of :meth:`to_dict`."""
+        if d.get("arrival") is not None and not isinstance(d["arrival"], ArrivalSpec):
+            d = dict(d)
+            d["arrival"] = ArrivalSpec.from_dict(d["arrival"])
         return ExecutionConfig(**d)
 
 
@@ -144,6 +161,8 @@ class TaskContext:
         results: Dict[str, Any],
         strategy=None,
         metrics=None,
+        tenant: str = "",
+        arrival_times: Optional[Sequence[float]] = None,
     ) -> None:
         self.kernel = kernel
         self.rc = rc
@@ -161,6 +180,14 @@ class TaskContext:
         #: The run's :class:`~repro.obs.MetricsRegistry`, or None when
         #: observability is off (``cfg.metrics_interval`` unset).
         self.metrics = metrics
+        #: Tenant name when this context belongs to a pipeline hosted by
+        #: a :class:`~repro.scenario.ScenarioExecutor`; "" standalone.
+        #: Non-empty tenants add a ``tenant`` label to every instrument
+        #: registered from task code (standalone labels are unchanged).
+        self.tenant = tenant
+        #: Absolute arrival time of each CPI (``cfg.arrival``-derived),
+        #: or None when the classic all-data-ready behaviour applies.
+        self.arrival_times = tuple(arrival_times) if arrival_times is not None else None
         self.params: STAPParams = plan.params
         self.costs = STAPCosts(plan.params)
         # Per-consumer-set credit bookkeeping: edge key -> consumer ranks.
@@ -175,6 +202,13 @@ class TaskContext:
     def name(self) -> str:
         return self.task.name
 
+    def tenant_labels(self, **labels) -> Dict[str, Any]:
+        """Instrument labels with a ``tenant`` key added when this
+        context runs inside a scenario (standalone: unchanged)."""
+        if self.tenant:
+            labels["tenant"] = self.tenant
+        return labels
+
     def record(self, cpi: int, phase: Phase, t_start: float, t_end: Optional[float] = None) -> None:
         """Add a trace record ending now (or at ``t_end``)."""
         end = self.now if t_end is None else t_end
@@ -186,8 +220,27 @@ class TaskContext:
             self.metrics.counter(
                 "task_phase_seconds_total",
                 help="cumulative simulated seconds spent per task phase",
-                task=self.name, phase=phase.value,
+                **self.tenant_labels(task=self.name, phase=phase.value),
             ).inc(end - t_start)
+
+    # -- arrival gating ---------------------------------------------------
+    def await_arrival(self, cpi: int):
+        """Process generator: wait until CPI ``cpi`` has arrived.
+
+        No-op (zero kernel events — bit-identical control flow) when no
+        arrival process is configured or the CPI already arrived.  A
+        real wait is recorded as an ARRIVAL phase: idle time, excluded
+        from service metrics like CREDIT.
+        """
+        times = self.arrival_times
+        if times is None or cpi >= len(times):
+            return
+        t = times[cpi]
+        t0 = self.now
+        if t <= t0:
+            return
+        yield self.kernel.timeout(t - t0)
+        self.record(cpi, Phase.ARRIVAL, t0)
 
     def ranks(self, task_name: str) -> Tuple[int, ...]:
         return self.plan.ranks(task_name)

@@ -106,7 +106,7 @@ class BoundedQueue:
                 "bounded_queue_depth",
                 help="items buffered between node threads (depth-bounded)",
                 fn=self._items.__len__,
-                queue=name or f"{ctx.name}[{ctx.local}]",
+                **ctx.tenant_labels(queue=name or f"{ctx.name}[{ctx.local}]"),
             )
 
     def put(self, item: Any):

@@ -34,7 +34,7 @@ from repro.obs.instruments import (
     Timeseries,
     validate_metrics_dict,
 )
-from repro.obs.instrument import instrument_pipeline
+from repro.obs.instrument import instrument_pipeline, instrument_substrate
 from repro.obs.report import (
     bottleneck_profile,
     render_metrics_summary,
@@ -54,6 +54,7 @@ __all__ = [
     "MetricsRegistry",
     "Sampler",
     "instrument_pipeline",
+    "instrument_substrate",
     "validate_metrics_dict",
     "bottleneck_profile",
     "render_metrics_summary",

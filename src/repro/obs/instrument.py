@@ -28,7 +28,7 @@ from repro.machine.mesh import MeshNetwork
 from repro.machine.multistage import MultistageNetwork
 from repro.obs.instruments import MetricsRegistry
 
-__all__ = ["instrument_pipeline"]
+__all__ = ["instrument_pipeline", "instrument_substrate"]
 
 
 class _BusyTally:
@@ -138,26 +138,43 @@ def _instrument_network(registry: MetricsRegistry, network) -> None:
     )
 
 
-def instrument_pipeline(registry: MetricsRegistry, executor) -> None:
+def instrument_pipeline(
+    registry: MetricsRegistry,
+    executor,
+    tenant: str = "",
+    include_substrate: bool = True,
+) -> None:
     """Register the standard gauge set over ``executor``'s components.
 
     Called by :class:`~repro.core.executor.PipelineExecutor` when
     ``cfg.metrics_interval`` is set, after the machine/FS/communicator
     are built and before any process is spawned.
+
+    Scenario hosting: a non-empty ``tenant`` adds a ``tenant`` label to
+    every per-pipeline instrument (MPI traffic, reader state, drops) so
+    N tenants' series split cleanly in one shared registry, and
+    ``include_substrate=False`` skips the server/network gauges — the
+    substrate is shared, so the scenario registers those exactly once
+    (see :func:`instrument_substrate`).  Standalone runs (``tenant=""``)
+    keep their exact pre-existing metric names and labels.
     """
-    _instrument_servers(registry, executor.fs)
-    _instrument_network(registry, executor.machine.network)
+    labels = {"tenant": tenant} if tenant else {}
+    if include_substrate:
+        _instrument_servers(registry, executor.fs)
+        _instrument_network(registry, executor.machine.network)
 
     traffic = executor.comm.traffic
     registry.gauge(
         "mpi_messages_total",
         help="messages delivered over the interconnect",
         fn=lambda: sum(m for m, _ in traffic.values()),
+        **labels,
     )
     registry.gauge(
         "mpi_bytes_total",
         help="payload bytes delivered over the interconnect",
         fn=lambda: sum(b for _, b in traffic.values()),
+        **labels,
     )
 
     results = executor.results
@@ -165,10 +182,24 @@ def instrument_pipeline(registry: MetricsRegistry, executor) -> None:
         "reader_cancelled_reads_total",
         help="asynchronous slab reads drained unconsumed at teardown",
         fn=lambda: len(results.get("cancelled_reads", ())),
+        **labels,
     )
     if executor.cfg.read_deadline is not None:
         registry.gauge(
             "pipeline_dropped_cpis_total",
             help="CPIs skipped at the graceful-degradation read deadline",
             fn=lambda: len(results.get("dropped_cpis", ())),
+            **labels,
         )
+
+
+def instrument_substrate(registry: MetricsRegistry, substrate) -> None:
+    """Register the *shared* gauges of a scenario substrate, once.
+
+    The stripe servers and the interconnect belong to every tenant at
+    once; per-tenant attribution of disk traffic comes from the file
+    system's per-path byte accounting instead
+    (``pfs_tenant_bytes_total``, registered by the scenario executor).
+    """
+    _instrument_servers(registry, substrate.fs)
+    _instrument_network(registry, substrate.machine.network)

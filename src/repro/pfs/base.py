@@ -195,6 +195,12 @@ class ParallelFileSystem:
         # pattern and the unit -> directory remap computed from it.
         self._declared: Dict[str, Tuple[Tuple[int, int], ...]] = {}
         self._placements: Dict[str, Dict[int, int]] = {}
+        #: Cumulative bytes requested per path (reads + writes), counted
+        #: client-side at call time.  A plain Python tally — no kernel
+        #: interaction — used for per-tenant attribution when several
+        #: pipelines share one file system (ViPIOS-style awareness of
+        #: *whose* accesses the servers are absorbing).
+        self.bytes_by_path: Dict[str, int] = {}
 
     @property
     def fault_tolerant(self) -> bool:
@@ -313,6 +319,9 @@ class ParallelFileSystem:
         handle._check_open()
         if nbytes < 0 or offset < 0:
             raise ConfigurationError("offset and nbytes must be >= 0")
+        self.bytes_by_path[handle.path] = (
+            self.bytes_by_path.get(handle.path, 0) + nbytes
+        )
         token = self._token(handle.path) if handle.mode is OpenMode.M_UNIX else None
         if token is not None:
             yield token.request()
@@ -369,6 +378,9 @@ class ParallelFileSystem:
             handle._check_open()
             if nbytes < 0 or offset < 0:
                 raise ConfigurationError("offset and nbytes must be >= 0")
+            self.bytes_by_path[handle.path] = (
+                self.bytes_by_path.get(handle.path, 0) + nbytes
+            )
         # Atomic-mode handles still serialise per file; tokens are taken
         # in sorted path order so concurrent lists can never deadlock.
         token_paths = sorted(
@@ -436,6 +448,9 @@ class ParallelFileSystem:
         """
         handle._check_open()
         total = nbytes_of(data)
+        self.bytes_by_path[handle.path] = (
+            self.bytes_by_path.get(handle.path, 0) + total
+        )
         token = self._token(handle.path) if handle.mode is OpenMode.M_UNIX else None
         if token is not None:
             yield token.request()
@@ -565,6 +580,17 @@ class ParallelFileSystem:
     def total_bytes_served(self) -> int:
         """Bytes served across all stripe directories."""
         return sum(s.bytes_served for s in self.servers)
+
+    def bytes_for_prefix(self, prefix: str) -> int:
+        """Bytes requested against paths starting with ``prefix``.
+
+        Per-tenant disk-traffic attribution: a scenario names each
+        tenant's files with a distinct prefix, so this sum is exactly
+        that tenant's share of the client-side request volume.
+        """
+        return sum(
+            n for path, n in self.bytes_by_path.items() if path.startswith(prefix)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,175 @@
+"""The scenario executor: N tenant pipelines on one shared substrate.
+
+:class:`ScenarioExecutor` is the top tier of the two-tier execution
+architecture: it builds ONE :class:`~repro.core.executor.Substrate`
+(kernel, machine sized for the sum of the tenants' nodes, one parallel
+file system) and hosts a slimmed-down
+:class:`~repro.core.executor.PipelineExecutor` per tenant, each of which
+*receives* the substrate instead of constructing its own.  Tenants
+occupy contiguous compute-node blocks, namespace their cube files with
+their tenant name, and contend for the same stripe-directory disks and
+mesh links — the shared-PFS interference regime the paper's strategy
+comparison sharpens into.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.executor import PipelineExecutor, Substrate
+from repro.obs import MetricsRegistry, Sampler, instrument_substrate
+from repro.scenario.spec import ScenarioResult, ScenarioSpec
+from repro.trace.gantt import render_scenario_gantt
+
+__all__ = ["ScenarioExecutor", "run_scenario"]
+
+# The engine's machine registry (presets by name), imported lazily to
+# keep module import order flexible.
+
+
+def _preset_for(name: str):
+    from repro.bench.engine import MACHINES
+
+    return MACHINES[name]()
+
+
+class ScenarioExecutor:
+    """Build and run one multi-tenant scenario."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.preset = _preset_for(spec.machine)
+        names = spec.tenant_names()
+        pipelines = [t.build_pipeline() for t in spec.tenants]
+
+        # ONE substrate for everyone: the machine's compute section is
+        # the concatenation of the tenants' node blocks; I/O nodes and
+        # the FS come from the shared FSConfig exactly as standalone.
+        base_substrate = Substrate.build(
+            self.preset, spec.fs, n_compute=sum(p.total_nodes for p in pipelines)
+        )
+        self.kernel = base_substrate.kernel
+        self.machine = base_substrate.machine
+        self.fs = base_substrate.fs
+
+        # Scenario-owned observability: one registry + one sampler; the
+        # shared server/network gauges are registered exactly once, and
+        # each tenant's pipeline instruments carry a ``tenant`` label.
+        self.metrics: Optional[MetricsRegistry] = None
+        self._sampler: Optional[Sampler] = None
+        if spec.metrics_interval is not None:
+            self.metrics = MetricsRegistry()
+            self._sampler = Sampler(self.kernel, self.metrics, spec.metrics_interval)
+            instrument_substrate(self.metrics, base_substrate)
+
+        self.tenant_names: List[str] = list(names)
+        self.executors: Dict[str, PipelineExecutor] = {}
+        self._prefixes: Dict[str, str] = {}
+        rank_base = 0
+        for name, tenant, pipeline in zip(names, spec.tenants, pipelines):
+            prefix = f"{name}.cpi"
+            sub = Substrate(
+                kernel=self.kernel,
+                machine=self.machine,
+                fs=self.fs,
+                rank_base=rank_base,
+                tenant=name,
+                file_prefix=prefix,
+                metrics=self.metrics,
+            )
+            self.executors[name] = PipelineExecutor(
+                pipeline,
+                spec.params,
+                self.preset,
+                spec.fs,
+                tenant.cfg,
+                seed=spec.seed,
+                substrate=sub,
+            )
+            self._prefixes[name] = prefix
+            rank_base += pipeline.total_nodes
+            if self.metrics is not None:
+                # Per-tenant share of the shared disks' request volume
+                # (ViPIOS-style awareness of whose accesses are served).
+                self.metrics.gauge(
+                    "pfs_tenant_bytes_total",
+                    help="bytes this tenant requested against its own files",
+                    fn=lambda p=prefix: self.fs.bytes_for_prefix(p),
+                    tenant=name,
+                )
+
+    def setup_processes(self) -> None:
+        """Initialise every tenant's file set and spawn its processes."""
+        for name, tenant in zip(self.tenant_names, self.spec.tenants):
+            ex = self.executors[name]
+            ex.setup_processes()
+            if tenant.writer is not None:
+                self._spawn_writer(name, ex, tenant.writer)
+        if self._sampler is not None:
+            self._sampler.attach()
+
+    def _spawn_writer(self, name: str, ex: PipelineExecutor, w) -> None:
+        from repro.io.writer import RadarWriter
+
+        writer = RadarWriter(
+            ex.fileset,
+            node_id=self.machine.io_node_id(0),
+            period=w.period,
+            n_cpis=w.n_cpis,
+            start_cpi=w.start_cpi,
+            initial_delay=w.initial_delay,
+        )
+        self.kernel.process(writer.run(self.kernel), name=f"{name}.radar-writer")
+
+    def run(self) -> ScenarioResult:
+        """Drive the shared kernel to completion and collect per tenant."""
+        self.setup_processes()
+        self.kernel.run()
+        if self._sampler is not None:
+            self._sampler.finalize(self.kernel.now)
+        tenants = {
+            name: self.executors[name].collect() for name in self.tenant_names
+        }
+        result = ScenarioResult(
+            spec=self.spec,
+            tenants=tenants,
+            elapsed_sim_time=self.kernel.now,
+        )
+        result.disk_stats = {
+            "busy_time_per_server": [s.busy_time for s in self.fs.servers],
+            "requests_per_server": [s.requests_served for s in self.fs.servers],
+            "bytes_served": self.fs.total_bytes_served(),
+        }
+        if self.fs.fault_tolerant:
+            result.disk_stats["requests_failed_per_server"] = [
+                s.requests_failed for s in self.fs.servers
+            ]
+            result.disk_stats["outages_per_server"] = [
+                s.outages for s in self.fs.servers
+            ]
+        result.tenant_bytes = {
+            name: self.fs.bytes_for_prefix(f"{name}.")
+            for name in self.tenant_names
+        }
+        if self.metrics is not None:
+            # Per-tenant cpi_latency_seconds histograms were observed by
+            # each tenant's collect(); emit the one combined artifact.
+            result.metrics = self.metrics.to_dict(
+                interval=self.spec.metrics_interval,
+                t_end=self.kernel.now,
+                samples=self._sampler.samples,
+            )
+        return result
+
+    def gantt(self, width: int = 100) -> str:
+        """Multi-pipeline Gantt: every tenant's lanes on one time axis."""
+        return render_scenario_gantt(
+            {name: self.executors[name].trace for name in self.tenant_names},
+            width=width,
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario.  Pure function of the spec (the DES is
+    deterministic), which is what makes result caching sound."""
+    return ScenarioExecutor(spec).run()

@@ -156,13 +156,18 @@ class ExperimentScheduler:
         client: str = "default",
         label: str = "",
     ) -> JobHandle:
-        """Submit one batch of :class:`ExperimentSpec` cells as a
-        single-stage job; returns its streaming :class:`JobHandle`."""
+        """Submit one batch of spec cells as a single-stage job;
+        returns its streaming :class:`JobHandle`.
+
+        Any hashable/serializable spec value works: the runner is the
+        spec type's ``RUNNER`` class attribute when it has one
+        (:class:`~repro.scenario.ScenarioSpec` does), defaulting to the
+        :class:`ExperimentSpec` cell runner."""
         cells = [
             TaskSpec(
                 key=spec.spec_hash(),
                 payload=spec.to_dict(),
-                runner=RUN_SPEC_RUNNER,
+                runner=getattr(spec, "RUNNER", RUN_SPEC_RUNNER),
                 spec=spec,
                 label=spec.label(),
             )

@@ -146,9 +146,14 @@ class ExperimentServer:
 
     def _handle_submit(self, req: Dict[str, Any], wfile) -> None:
         from repro.bench.engine import ExperimentSpec
+        from repro.scenario import ScenarioSpec
 
         try:
-            specs = [ExperimentSpec.from_dict(d) for d in req["specs"]]
+            specs = [
+                ScenarioSpec.from_dict(d) if d.get("kind") == "scenario"
+                else ExperimentSpec.from_dict(d)
+                for d in req["specs"]
+            ]
             if not specs:
                 raise ValueError("empty spec list")
         except (ReproError, KeyError, TypeError, ValueError) as exc:

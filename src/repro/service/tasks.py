@@ -9,10 +9,20 @@ in :mod:`repro.service.testing`.
 
 from __future__ import annotations
 
-__all__ = ["RUN_SPEC_RUNNER", "run_spec_payload"]
+__all__ = [
+    "RUN_SPEC_RUNNER",
+    "RUN_SCENARIO_RUNNER",
+    "run_spec_payload",
+    "run_scenario_payload",
+]
 
 #: Import string of the production experiment-cell runner.
 RUN_SPEC_RUNNER = "repro.service.tasks:run_spec_payload"
+
+#: Import string of the multi-tenant scenario runner (a
+#: :class:`~repro.scenario.ScenarioSpec` names it via its ``RUNNER``
+#: class attribute, which the scheduler consults per spec).
+RUN_SCENARIO_RUNNER = "repro.service.tasks:run_scenario_payload"
 
 
 def run_spec_payload(payload: dict) -> dict:
@@ -26,3 +36,15 @@ def run_spec_payload(payload: dict) -> dict:
     from repro.bench.engine import ExperimentSpec, run_spec
 
     return run_spec(ExperimentSpec.from_dict(payload)).to_dict()
+
+
+def run_scenario_payload(payload: dict) -> dict:
+    """Simulate one multi-tenant scenario: spec dict in, result dict out.
+
+    The scenario twin of :func:`run_spec_payload` — same JSON-in /
+    JSON-out contract, same determinism guarantee, so scenario cells
+    ride the scheduler, worker pool, cache, and TCP front end unchanged.
+    """
+    from repro.scenario import ScenarioSpec, run_scenario
+
+    return run_scenario(ScenarioSpec.from_dict(payload)).to_dict()

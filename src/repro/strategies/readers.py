@@ -103,7 +103,7 @@ class SlabReader:
                 "reader_outstanding_reads",
                 help="posted slab reads not yet completed nor cancelled",
                 fn=self.outstanding_requests,
-                task=ctx.name, node=str(ctx.local),
+                **ctx.tenant_labels(task=ctx.name, node=str(ctx.local)),
             )
 
     def _handle(self, cpi: int):

@@ -19,7 +19,7 @@ from repro.trace.export import (
     write_prometheus,
     write_result_json,
 )
-from repro.trace.gantt import render_gantt
+from repro.trace.gantt import render_gantt, render_scenario_gantt
 from repro.trace.report import bar_chart, format_table, grouped_bar_chart, heatmap
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "Phase",
     "TraceCollector",
     "render_gantt",
+    "render_scenario_gantt",
     "to_chrome_trace",
     "write_chrome_trace",
     "to_result_json",

@@ -120,7 +120,7 @@ class TraceCollector:
         recs = [
             r
             for r in self._by_task_cpi.get((task, cpi), [])
-            if r.phase is not Phase.CREDIT
+            if r.phase not in (Phase.CREDIT, Phase.ARRIVAL)
         ]
         if not recs:
             raise KeyError(f"no records for ({task}, {cpi})")

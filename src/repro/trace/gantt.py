@@ -7,10 +7,11 @@ from typing import List, Optional
 from repro.trace.collector import TraceCollector
 from repro.trace.record import Phase
 
-__all__ = ["render_gantt"]
+__all__ = ["render_gantt", "render_scenario_gantt"]
 
 _PHASE_CHARS = {
     Phase.CREDIT: ".",
+    Phase.ARRIVAL: "a",
     Phase.RECV: "r",
     Phase.COMPUTE: "C",
     Phase.SEND: "s",
@@ -52,4 +53,36 @@ def render_gantt(
                 for c in range(lo, hi):
                     row[c] = ch
             lines.append(f"{name[:14]:>14}[{node:>2}] {''.join(row)}")
+    return "\n".join(lines)
+
+
+def render_scenario_gantt(
+    traces,
+    width: int = 100,
+    t_max: Optional[float] = None,
+) -> str:
+    """Render several tenants' traces as one timeline.
+
+    ``traces`` maps tenant name -> :class:`TraceCollector`.  All lanes
+    share one time axis (the max end time across tenants, unless
+    ``t_max`` overrides it) so cross-tenant interference lines up
+    visually; task rows are prefixed with the tenant name.
+    """
+    traces = dict(traces)
+    ends = [
+        max(r.t_end for r in t.records) for t in traces.values() if t.records
+    ]
+    if not ends:
+        return "(empty trace)"
+    end = t_max if t_max is not None else max(ends)
+    lines = []
+    for tenant, trace in traces.items():
+        if not trace.records:
+            continue
+        block = render_gantt(trace, width=width, t_max=end)
+        body = block.splitlines()
+        if not lines:
+            lines.append(body[0])  # shared time axis header
+        lines.append(f"--- {tenant} ---")
+        lines.extend(body[1:])
     return "\n".join(lines)

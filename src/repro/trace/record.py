@@ -18,6 +18,9 @@ class Phase(enum.Enum):
     """
 
     CREDIT = "credit"
+    #: Waiting for a CPI's data to *arrive* (bursty/jittered arrival
+    #: processes); like CREDIT it is idle time outside service metrics.
+    ARRIVAL = "arrival"
     RECV = "recv"
     COMPUTE = "compute"
     SEND = "send"

@@ -1,0 +1,124 @@
+"""Tests for the CPI arrival processes (repro.core.arrivals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arrivals import ARRIVAL_KINDS, ArrivalSpec
+from repro.core.context import ExecutionConfig
+
+
+class TestFixed:
+    def test_default_gates_nothing(self):
+        spec = ArrivalSpec()
+        assert spec.kind == "fixed" and spec.period == 0.0
+        assert spec.times(4) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_cadence_arithmetic(self):
+        spec = ArrivalSpec(kind="fixed", period=0.5, offset=1.0)
+        assert spec.times(4) == (1.0, 1.5, 2.0, 2.5)
+
+    def test_empty_and_negative(self):
+        assert ArrivalSpec().times(0) == ()
+        with pytest.raises(ValueError, match="n_cpis"):
+            ArrivalSpec().times(-1)
+
+
+class TestBurst:
+    def test_burst_train_structure(self):
+        spec = ArrivalSpec(kind="burst", period=10.0, burst_size=3,
+                           burst_gap=1.0, offset=2.0)
+        assert spec.times(7) == (2.0, 3.0, 4.0, 12.0, 13.0, 14.0, 22.0)
+
+    def test_burst_must_fit_in_period(self):
+        with pytest.raises(ValueError, match="fit inside"):
+            ArrivalSpec(kind="burst", period=1.0, burst_size=4, burst_gap=0.5)
+
+
+class TestStochastic:
+    @pytest.mark.parametrize("kind,kw", [
+        ("poisson", {}),
+        ("jittered", {"jitter": 0.3}),
+    ])
+    def test_same_seed_same_times(self, kind, kw):
+        a = ArrivalSpec(kind=kind, period=1.0, seed=42, **kw)
+        b = ArrivalSpec(kind=kind, period=1.0, seed=42, **kw)
+        assert a.times(64) == b.times(64)
+        # And the stream really is stochastic: another seed differs.
+        c = ArrivalSpec(kind=kind, period=1.0, seed=43, **kw)
+        assert a.times(64) != c.times(64)
+
+    def test_times_are_pure(self):
+        spec = ArrivalSpec(kind="poisson", period=0.5, seed=7)
+        assert spec.times(16) == spec.times(16)
+        # A shorter ask is a prefix of a longer one (same RNG stream).
+        assert spec.times(8) == spec.times(16)[:8]
+
+    def test_monotone_nondecreasing(self):
+        for spec in (
+            ArrivalSpec(kind="poisson", period=0.2, seed=3),
+            ArrivalSpec(kind="jittered", period=1.0, jitter=1.0, seed=3),
+        ):
+            times = spec.times(200)
+            assert all(t1 <= t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_poisson_mean_gap(self):
+        times = ArrivalSpec(kind="poisson", period=2.0, seed=1).times(4000)
+        mean = times[-1] / (len(times) - 1)
+        assert mean == pytest.approx(2.0, rel=0.1)
+
+    def test_jitter_bounds(self):
+        spec = ArrivalSpec(kind="jittered", period=1.0, jitter=0.25, seed=9)
+        times = spec.times(100)
+        gaps = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+        assert all(0.75 - 1e-12 <= g <= 1.25 + 1e-12 for g in gaps)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw,match", [
+        ({"kind": "weird"}, "unknown arrival kind"),
+        ({"period": -1.0}, "period"),
+        ({"offset": -0.1}, "offset"),
+        ({"kind": "poisson", "period": 0.0}, "poisson"),
+        ({"kind": "jittered", "period": 1.0, "jitter": -1.0}, "jitter"),
+        ({"kind": "jittered", "period": 1.0, "jitter": 2.0}, "jitter"),
+        ({"kind": "burst", "burst_size": 0}, "burst_size"),
+        ({"kind": "burst", "burst_gap": -1.0}, "burst_gap"),
+    ])
+    def test_rejects(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            ArrivalSpec(**kw)
+
+    def test_kinds_registry(self):
+        assert ARRIVAL_KINDS == ("fixed", "poisson", "jittered", "burst")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("spec", [
+        ArrivalSpec(),
+        ArrivalSpec(kind="fixed", period=0.5, offset=2.0),
+        ArrivalSpec(kind="poisson", period=1.5, seed=11),
+        ArrivalSpec(kind="jittered", period=1.0, jitter=0.5, seed=2),
+        ArrivalSpec(kind="burst", period=8.0, burst_size=4, burst_gap=0.5),
+    ])
+    def test_round_trip(self, spec):
+        assert ArrivalSpec.from_dict(spec.to_dict()) == spec
+
+    def test_minimal_dict(self):
+        # Default fields stay out of the wire form (and out of hashes).
+        assert ArrivalSpec(kind="fixed", period=0.5).to_dict() == {
+            "kind": "fixed", "period": 0.5,
+        }
+
+    def test_execution_config_carries_arrival(self):
+        cfg = ExecutionConfig(
+            n_cpis=4, arrival=ArrivalSpec(kind="poisson", period=1.0, seed=3)
+        )
+        back = ExecutionConfig.from_dict(cfg.to_dict())
+        assert back == cfg and isinstance(back.arrival, ArrivalSpec)
+        # No arrival process: the wire dict stays exactly as before.
+        assert "arrival" not in ExecutionConfig(n_cpis=4).to_dict()
+
+    def test_execution_config_rejects_raw_dict(self):
+        with pytest.raises(Exception):
+            ExecutionConfig(arrival={"kind": "fixed", "period": 1.0})

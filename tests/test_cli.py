@@ -383,3 +383,78 @@ class TestRunStrategyOption:
                            "--fs", "piofs"]
         assert main(argv) == 2
         assert "asynchronous" in capsys.readouterr().err
+
+
+class TestScenarioCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["scenario", "run"])
+        assert args.action == "run"
+        assert args.tenants == [] and args.arrival == "fixed"
+        assert args.stripe_factor == 8 and args.spec is None
+
+    def test_run_from_spec_file(self, capsys, tmp_path, small_params):
+        import json
+
+        from repro.core.context import ExecutionConfig
+        from repro.core.pipeline import NodeAssignment
+        from repro.scenario import ScenarioSpec, TenantSpec
+        from repro.core.executor import FSConfig
+
+        cfg = ExecutionConfig(n_cpis=2, warmup=0)
+        spec = ScenarioSpec(
+            tenants=(
+                TenantSpec(NodeAssignment.balanced(small_params, 14), cfg=cfg),
+                TenantSpec(NodeAssignment.balanced(small_params, 14),
+                           pipeline="separate-io", cfg=cfg),
+            ),
+            fs=FSConfig(kind="pfs", stripe_factor=4),
+            params=small_params,
+        )
+        spec_path = tmp_path / "scn.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        out_path = tmp_path / "result.json"
+        argv = ["scenario", "run", "--spec", str(spec_path),
+                "--gantt", "--json", str(out_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "per-tenant results" in out and "shared PFS" in out
+        assert "t0" in out and "t1" in out
+        assert "--- t0 ---" in out and "--- t1 ---" in out
+        saved = json.loads(out_path.read_text())
+        assert saved["kind"] == "scenario" and set(saved["tenants"]) == {
+            "t0", "t1"}
+
+    def test_bad_tenant_descriptor_is_clean_error(self, capsys):
+        assert main(["scenario", "run", "--tenant", "embedded-io:x"]) == 2
+        assert "PIPELINE[:CASE]" in capsys.readouterr().err
+
+
+class TestJobsPredictedRendering:
+    def _patch(self, monkeypatch, response):
+        import repro.service.server as server
+
+        monkeypatch.setattr(server, "request",
+                            lambda *a, **kw: response)
+
+    def test_list_has_predicted_column(self, capsys, monkeypatch):
+        self._patch(monkeypatch, {"jobs": [{
+            "id": "j1", "client": "c", "state": "done", "cells": 3,
+            "label": "",
+            "counters": {"executed": 1, "cache_hits": 0, "predicted": 2},
+        }]})
+        assert main(["jobs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out
+        row = [line for line in out.splitlines() if line.startswith("j1")][0]
+        assert " 2 " in row or row.rstrip().endswith("2")
+
+    def test_show_renders_predicted_counter(self, capsys, monkeypatch):
+        self._patch(monkeypatch, {"job": {
+            "id": "j1", "state": "done",
+            "counters": {"executed": 1, "cache_hits": 2,
+                         "cache_misses": 3, "predicted": 4},
+        }})
+        assert main(["jobs", "show", "j1"]) == 0
+        out = capsys.readouterr().out
+        assert "4 predicted (surrogate-screened)" in out
+        assert "1 executed" in out and "2 cache hits" in out
