@@ -23,7 +23,11 @@ The package layers, bottom to top:
   per-table/figure experiment harness;
 * :mod:`repro.service` — the experiment service tier: a job/stage/task
   scheduler with persistent workers, streaming results, and a shared
-  cache, serving many clients (``repro serve`` / ``repro submit``).
+  cache, serving many clients (``repro serve`` / ``repro submit``);
+* :mod:`repro.analysis` — the offline analysis facade: ``load()`` any
+  result artifact, ``analyze_sweep()`` a directory/cache of them into a
+  bottleneck narrative, ``render()`` it as text/JSON/HTML, plus the
+  live dashboard behind ``repro dash``.
 
 Quick start — the one-call facade::
 
@@ -52,6 +56,8 @@ or the explicit layers (identical results)::
     ).run()
 """
 
+from repro import analysis
+from repro.analysis import analyze_sweep, load, render
 from repro.api import run
 from repro.bench.engine import ExperimentSpec, SweepRunner, run_spec
 from repro.bench.store import ResultStore
@@ -84,6 +90,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "run",
+    "analysis",
+    "load",
+    "analyze_sweep",
+    "render",
     "MetricsRegistry",
     "ExecutionConfig",
     "ExperimentSpec",

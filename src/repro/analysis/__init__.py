@@ -1,0 +1,76 @@
+"""The unified read side: one facade over every result artifact.
+
+Before this package the read side had four disjoint entry points with
+three artifact-resolution conventions — ``repro.obs.report`` wanted a
+live result, ``trace.report``/``trace.gantt`` wanted collectors,
+``repro metrics show`` did its own path-vs-hash sniffing.
+``repro.analysis`` is the single front door:
+
+* :func:`load` — resolve *anything* (ResultStore hash, artifact path,
+  raw dict, result object) to one normalized :class:`LoadedResult`;
+* :func:`analyze_sweep` — join many artifacts into the cross-run
+  bottleneck narrative (win/loss tables, disk→compute crossovers,
+  fault and tenant summaries), ``ANALYSIS_SCHEMA`` = 1;
+* :func:`render` / the ``to_X``/``write_X`` exporter pairs — text,
+  JSON, and static-HTML renderings of that narrative;
+* :func:`gantt` — the ASCII timeline of any loadable source;
+* :class:`DashboardServer` (in :mod:`repro.analysis.dash`) — the live,
+  stdlib-only web view of the same data streaming out of a running
+  :class:`~repro.service.ExperimentScheduler`.
+
+The legacy entry points still work and now route through here.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loader import LoadedResult, load
+from repro.analysis.render import (
+    render,
+    render_queue_stats,
+    to_analysis_json,
+    to_html_report,
+    write_analysis_json,
+    write_html_report,
+)
+from repro.analysis.sweep import ANALYSIS_SCHEMA, CellRecord, analyze_sweep
+from repro.errors import AnalysisError
+
+__all__ = [
+    "ANALYSIS_SCHEMA",
+    "AnalysisError",
+    "CellRecord",
+    "LoadedResult",
+    "analyze_sweep",
+    "gantt",
+    "load",
+    "render",
+    "render_queue_stats",
+    "to_analysis_json",
+    "to_html_report",
+    "write_analysis_json",
+    "write_html_report",
+]
+
+
+def gantt(source, width: int = 100, *, store=None, cache_dir=None) -> str:
+    """ASCII Gantt timeline of any loadable source (see :func:`load`).
+
+    Scenario results render every tenant's lane
+    (:func:`~repro.trace.gantt.render_scenario_gantt`); artifacts with
+    no trace (bare metrics, predicted cells) raise
+    :class:`~repro.errors.AnalysisError`.
+    """
+    from repro.trace.gantt import render_gantt, render_scenario_gantt
+
+    loaded = load(source, store=store, cache_dir=cache_dir)
+    if loaded.kind == "scenario":
+        return render_scenario_gantt(
+            {name: r.trace for name, r in loaded.result.tenants.items()},
+            width=width,
+        )
+    if loaded.kind == "pipeline":
+        return render_gantt(loaded.result.trace, width=width)
+    raise AnalysisError(
+        f"{loaded.origin} is a {loaded.kind} artifact with no phase "
+        "trace to render"
+    )

@@ -1,0 +1,519 @@
+"""Offline sweep analyzer: the cross-run bottleneck narrative.
+
+Point :func:`analyze_sweep` at any mix of artifact sources — a
+directory of committed artifacts (``results/``), a
+:class:`~repro.bench.store.ResultStore`, individual files / hashes /
+result objects — and it joins everything into one analysis dict
+(``ANALYSIS_SCHEMA`` = 1) holding:
+
+* one :class:`CellRecord` per run (per tenant for scenarios), with the
+  joined :class:`~repro.bench.engine.ExperimentSpec` axes and the
+  per-cell binding phase from
+  :func:`repro.obs.report.bottleneck_profile`;
+* **strategy win/loss tables** — within every group of cells that
+  differ only in strategy, who won and by how much (near-identical
+  throughputs are reported as a tie, the paper's "all strategies
+  converge once compute-bound" signature);
+* **disk→compute crossover points** — the first stripe factor at which
+  the binding phase flips, from metered cells and from committed
+  bottleneck-migration tables alike;
+* **fault and drop summaries** (deadline drops, failed requests,
+  server outages) and **per-tenant interference breakdowns** for
+  scenario results.
+
+Mixed stores are first-class: surrogate-predicted cells join the
+win/loss tables on their predicted throughput and show up with
+``source="predicted"`` and a degraded (not crashing) bottleneck row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.artifacts import (
+    DiscoveredArtifacts,
+    ParsedTextArtifact,
+    axis_tokens,
+    discover_artifacts,
+)
+from repro.errors import AnalysisError
+from repro.analysis.loader import LoadedResult, load
+
+__all__ = ["CellRecord", "analyze_sweep", "ANALYSIS_SCHEMA"]
+
+#: Schema of the analysis dict produced by :func:`analyze_sweep`; bump
+#: on incompatible shape changes.
+ANALYSIS_SCHEMA = 1
+
+#: Throughputs within this relative distance of the group maximum count
+#: as a tie.  At 4 rendered significant figures the compute-bound
+#: plateau (every strategy pinned at the same compute rate) lands within
+#: 0.25% — distinguishing those is reading noise, not physics.
+TIE_RTOL = 0.0025
+
+
+@dataclass
+class CellRecord:
+    """One analyzed run (or one tenant of a scenario run)."""
+
+    origin: str
+    label: str
+    source: str = "simulated"
+    #: Join axes: strategy / fs / stripe_factor / machine / nodes /
+    #: seed / tenant — whichever the artifact could supply.
+    axes: Dict[str, Any] = field(default_factory=dict)
+    throughput: Optional[float] = None
+    latency: Optional[float] = None
+    #: Binding-phase profile (see ``bottleneck_profile``); always
+    #: present, degraded to ``bottleneck="unknown"`` when un-metered.
+    profile: Dict[str, Any] = field(default_factory=dict)
+    dropped: int = 0
+    failed_requests: int = 0
+    outages: int = 0
+    spec_hash: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "origin": self.origin,
+            "label": self.label,
+            "source": self.source,
+            "axes": self.axes,
+            "throughput": self.throughput,
+            "latency": self.latency,
+            "profile": self.profile,
+            "dropped": self.dropped,
+            "failed_requests": self.failed_requests,
+            "outages": self.outages,
+            "spec_hash": self.spec_hash,
+        }
+
+
+def _axes_from_spec(spec: Optional[dict]) -> Dict[str, Any]:
+    """Join axes out of an embedded ExperimentSpec/ScenarioSpec dict."""
+    if not spec:
+        return {}
+    axes: Dict[str, Any] = {}
+    if spec.get("pipeline"):
+        axes["strategy"] = spec["pipeline"]
+    if spec.get("machine"):
+        axes["machine"] = spec["machine"]
+    fs = spec.get("fs") or {}
+    if fs.get("kind"):
+        axes["fs"] = fs["kind"]
+    if fs.get("stripe_factor") is not None:
+        axes["stripe_factor"] = fs["stripe_factor"]
+    if spec.get("seed") is not None:
+        axes["seed"] = spec["seed"]
+    cfg = spec.get("cfg") or {}
+    if cfg.get("n_cpis") is not None:
+        axes["n_cpis"] = cfg["n_cpis"]
+    return axes
+
+
+def _axes_from_fs_label(fs_label: str) -> Dict[str, Any]:
+    """``"PFS sf=64"`` -> ``{"fs": "pfs", "stripe_factor": 64}``."""
+    tokens = axis_tokens(fs_label.lower())
+    axes: Dict[str, Any] = {}
+    if "fs" in tokens:
+        axes["fs"] = tokens["fs"]
+    if "sf" in tokens:
+        axes["stripe_factor"] = int(tokens["sf"])
+    return axes
+
+
+def _fault_fields(result) -> Tuple[int, int, int]:
+    """(dropped, failed_requests, outages) of one pipeline result."""
+    dropped = len(result.dropped_cpis or ())
+    stats = result.disk_stats or {}
+    failed = sum(stats.get("requests_failed_per_server") or [])
+    outages = sum(stats.get("outages_per_server") or [])
+    return dropped, int(failed), int(outages)
+
+
+def _profile_of(result) -> Dict[str, Any]:
+    from repro.obs.report import bottleneck_profile
+
+    return bottleneck_profile(result, strict=False)
+
+
+def _cells_from_loaded(loaded: LoadedResult) -> List[CellRecord]:
+    """Expand one loaded artifact into cell records."""
+    if loaded.kind == "pipeline":
+        r = loaded.result
+        axes = _axes_from_spec(loaded.spec) or _axes_from_fs_label(
+            r.fs_label
+        )
+        axes.setdefault("machine", r.machine_name)
+        dropped, failed, outages = _fault_fields(r)
+        return [
+            CellRecord(
+                origin=loaded.origin,
+                label=loaded.label(),
+                source=r.source,
+                axes=axes,
+                throughput=r.throughput,
+                latency=r.latency,
+                profile=_profile_of(r),
+                dropped=dropped,
+                failed_requests=failed,
+                outages=outages,
+                spec_hash=loaded.spec_hash,
+            )
+        ]
+    if loaded.kind == "scenario":
+        sc = loaded.result
+        shared_axes = _axes_from_spec(loaded.spec)
+        tenant_pipeline = {
+            name: t.pipeline
+            for name, t in zip(sc.spec.tenant_names(), sc.spec.tenants)
+        }
+        cells = []
+        for name, r in sc.tenants.items():
+            axes = dict(shared_axes)
+            axes["tenant"] = name
+            axes["strategy"] = tenant_pipeline.get(name, "")
+            axes["n_tenants"] = len(sc.tenants)
+            dropped, failed, outages = _fault_fields(r)
+            if sc.tenant_bytes:
+                axes["tenant_bytes"] = sc.tenant_bytes.get(name)
+            cells.append(
+                CellRecord(
+                    origin=loaded.origin,
+                    label=f"{loaded.label()}:{name}",
+                    source=sc.source,
+                    axes=axes,
+                    throughput=r.throughput,
+                    latency=r.latency,
+                    profile=_profile_of(r),
+                    dropped=dropped,
+                    failed_requests=failed,
+                    outages=outages,
+                    spec_hash=loaded.spec_hash,
+                )
+            )
+        return cells
+    # Bare metrics / trace artifacts carry no measurement to join on;
+    # they contribute nothing to the sweep tables.
+    return []
+
+
+# -- win/loss ----------------------------------------------------------------
+def _win_loss_entry(
+    group: str, values: Dict[str, float], unit: str, origin: str
+) -> Dict[str, Any]:
+    best = max(values.values())
+    winners = sorted(
+        label
+        for label, v in values.items()
+        if best - v <= TIE_RTOL * abs(best)
+    )
+    losers = sorted(set(values) - set(winners))
+    runner_up = max(
+        (values[lb] for lb in losers), default=None
+    )
+    return {
+        "group": group,
+        "axes": axis_tokens(group),
+        "unit": unit,
+        "values": {k: values[k] for k in sorted(values)},
+        "winners": winners,
+        "tie": len(winners) > 1,
+        "margin": (
+            None
+            if runner_up is None or not best
+            else (best - runner_up) / best
+        ),
+        "origin": origin,
+    }
+
+
+def _win_loss_from_text(
+    artifacts: Sequence[ParsedTextArtifact],
+) -> List[Dict[str, Any]]:
+    out = []
+    for art in artifacts:
+        for group, bars in art.groups.items():
+            if len(bars) < 2:
+                continue
+            out.append(
+                _win_loss_entry(
+                    group or art.name(), bars, art.unit, art.name()
+                )
+            )
+    return out
+
+
+def _win_loss_from_cells(
+    cells: Sequence[CellRecord],
+) -> List[Dict[str, Any]]:
+    """Group cells that differ only in strategy; compare throughput."""
+    groups: Dict[Tuple, Dict[str, float]] = {}
+    names: Dict[Tuple, str] = {}
+    for c in cells:
+        strategy = c.axes.get("strategy")
+        if not strategy or c.throughput is None:
+            continue
+        key_axes = {
+            k: v
+            for k, v in sorted(c.axes.items())
+            if k not in ("strategy", "tenant_bytes")
+        }
+        key = tuple(key_axes.items())
+        groups.setdefault(key, {})[str(strategy)] = c.throughput
+        names.setdefault(
+            key,
+            " ".join(
+                f"{k}={v}" for k, v in key_axes.items()
+                if k in ("fs", "stripe_factor", "tenant", "n_tenants")
+            )
+            or c.label,
+        )
+    return [
+        _win_loss_entry(names[key], values, "CPIs/s", "cells")
+        for key, values in groups.items()
+        if len(values) >= 2
+    ]
+
+
+# -- crossovers --------------------------------------------------------------
+def _crossovers_from_tables(
+    artifacts: Sequence[ParsedTextArtifact],
+) -> List[Dict[str, Any]]:
+    """Bottleneck flips read out of committed migration tables."""
+    out = []
+    for art in artifacts:
+        for table in art.tables:
+            bcol = next(
+                (c for c in table.columns if "bottleneck" in c.lower()),
+                None,
+            )
+            if bcol is None or not table.rows:
+                continue
+            label_col = table.columns[0]
+            prev = None
+            for row in table.rows:
+                phase = str(row.get(bcol, "")).strip()
+                if prev is not None and phase and phase != prev:
+                    cell = str(row.get(label_col, "")).strip()
+                    out.append(
+                        {
+                            "artifact": art.name(),
+                            "at": cell,
+                            "axes": axis_tokens(cell),
+                            "from": prev,
+                            "to": phase,
+                        }
+                    )
+                if phase:
+                    prev = phase
+    return out
+
+
+def _crossovers_from_cells(
+    cells: Sequence[CellRecord],
+) -> List[Dict[str, Any]]:
+    """Bottleneck flips along the stripe-factor axis of metered cells."""
+    lanes: Dict[Tuple, List[CellRecord]] = {}
+    for c in cells:
+        sf = c.axes.get("stripe_factor")
+        phase = c.profile.get("bottleneck")
+        if sf is None or phase in (None, "unknown"):
+            continue
+        key = tuple(
+            (k, v)
+            for k, v in sorted(c.axes.items())
+            if k not in ("stripe_factor", "tenant_bytes", "seed")
+        )
+        lanes.setdefault(key, []).append(c)
+    out = []
+    for key, lane in lanes.items():
+        lane.sort(key=lambda c: c.axes["stripe_factor"])
+        for prev, cur in zip(lane, lane[1:]):
+            a, b = prev.profile["bottleneck"], cur.profile["bottleneck"]
+            if a != b:
+                out.append(
+                    {
+                        "artifact": "cells",
+                        "at": f"sf={cur.axes['stripe_factor']:g}",
+                        "axes": {
+                            "sf": float(cur.axes["stripe_factor"]),
+                            **{
+                                k: v
+                                for k, v in key
+                                if k in ("fs", "strategy", "machine")
+                            },
+                        },
+                        "from": a,
+                        "to": b,
+                    }
+                )
+    return out
+
+
+# -- faults / tenants --------------------------------------------------------
+def _fault_summary(cells: Sequence[CellRecord]) -> Dict[str, Any]:
+    dropped = [(c.label, c.dropped) for c in cells if c.dropped]
+    failed = [
+        (c.label, c.failed_requests) for c in cells if c.failed_requests
+    ]
+    outages = [(c.label, c.outages) for c in cells if c.outages]
+    return {
+        "dropped_total": sum(n for _, n in dropped),
+        "cells_with_drops": len(dropped),
+        "failed_requests_total": sum(n for _, n in failed),
+        "outages_total": sum(n for _, n in outages),
+        "worst_drops": sorted(dropped, key=lambda kv: -kv[1])[:8],
+    }
+
+
+def _tenant_summary(cells: Sequence[CellRecord]) -> List[Dict[str, Any]]:
+    """Per-tenant interference rows (scenario cells only)."""
+    rows = []
+    for c in cells:
+        tenant = c.axes.get("tenant")
+        if tenant is None:
+            continue
+        rows.append(
+            {
+                "scenario": c.origin,
+                "tenant": tenant,
+                "strategy": c.axes.get("strategy"),
+                "n_tenants": c.axes.get("n_tenants"),
+                "throughput": c.throughput,
+                "latency": c.latency,
+                "dropped": c.dropped,
+                "bytes": c.axes.get("tenant_bytes"),
+                "bottleneck": c.profile.get("bottleneck"),
+            }
+        )
+    rows.sort(key=lambda r: (str(r["scenario"]), str(r["tenant"])))
+    return rows
+
+
+def _iter_sources(sources) -> List[Any]:
+    if isinstance(sources, (list, tuple)):
+        return list(sources)
+    return [sources]
+
+
+def analyze_sweep(
+    sources,
+    *,
+    store=None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Join artifacts from ``sources`` into one analysis dict.
+
+    ``sources`` is one source or a list of sources; each may be a
+    directory (scanned with
+    :func:`~repro.bench.artifacts.discover_artifacts`), anything
+    :func:`~repro.analysis.load` resolves (file path, store hash, dict,
+    result object), or a :class:`~repro.bench.store.ResultStore`
+    instance (every entry analyzed).  ``store``/``cache_dir`` configure
+    hash resolution, and a passed ``store`` is *also* analyzed when the
+    source list is empty.
+
+    Unresolvable sources are collected under ``"errors"`` rather than
+    aborting the whole analysis; an empty join raises
+    :class:`~repro.errors.AnalysisError`.
+    """
+    from repro.bench.store import ResultStore
+
+    cells: List[CellRecord] = []
+    text_artifacts: List[ParsedTextArtifact] = []
+    scanned_roots: List[str] = []
+    errors: List[str] = []
+    notes: List[str] = []
+
+    def take_store(st) -> None:
+        scanned_roots.append(f"store:{st.root}")
+        for spec_hash in st.hashes():
+            payload = st.load(spec_hash)
+            if payload is None:
+                errors.append(
+                    f"store entry {spec_hash[:12]} skipped (stale/corrupt)"
+                )
+                continue
+            try:
+                cells.extend(_cells_from_loaded(load(payload)))
+            except AnalysisError as exc:
+                errors.append(str(exc))
+
+    def take(source) -> None:
+        if isinstance(source, ResultStore):
+            take_store(source)
+            return
+        if isinstance(source, (str, Path)) and Path(source).is_dir():
+            found: DiscoveredArtifacts = discover_artifacts(source)
+            scanned_roots.append(found.root)
+            text_artifacts.extend(found.text_artifacts)
+            for path in found.json_paths:
+                try:
+                    cells.extend(
+                        _cells_from_loaded(
+                            load(path, store=store, cache_dir=cache_dir)
+                        )
+                    )
+                except AnalysisError as exc:
+                    errors.append(str(exc))
+            return
+        try:
+            cells.extend(
+                _cells_from_loaded(
+                    load(source, store=store, cache_dir=cache_dir)
+                )
+            )
+        except AnalysisError as exc:
+            errors.append(str(exc))
+
+    source_list = _iter_sources(sources)
+    for source in source_list:
+        take(source)
+    if store is not None and not source_list:
+        take_store(store)
+
+    if not cells and not text_artifacts:
+        raise AnalysisError(
+            "nothing to analyze: no result cells or parseable text "
+            f"artifacts in {scanned_roots or source_list}"
+            + (f" ({'; '.join(errors)})" if errors else "")
+        )
+
+    win_loss = _win_loss_from_text(text_artifacts) + _win_loss_from_cells(
+        cells
+    )
+    crossovers = _crossovers_from_tables(
+        text_artifacts
+    ) + _crossovers_from_cells(cells)
+    predicted = sum(1 for c in cells if c.source == "predicted")
+    unmetered = sum(
+        1 for c in cells if c.profile.get("bottleneck") == "unknown"
+    )
+    if unmetered:
+        notes.append(
+            f"{unmetered} cell(s) without metrics artifacts: bottleneck "
+            "reported as 'unknown' (predicted or un-metered runs)"
+        )
+    return {
+        "schema": ANALYSIS_SCHEMA,
+        "sources": {
+            "scanned": scanned_roots,
+            "text_artifacts": [a.name() for a in text_artifacts],
+            "errors": errors,
+        },
+        "counts": {
+            "cells": len(cells),
+            "simulated": len(cells) - predicted,
+            "predicted": predicted,
+            "unmetered": unmetered,
+            "text_artifacts": len(text_artifacts),
+        },
+        "cells": [c.to_dict() for c in cells],
+        "win_loss": win_loss,
+        "crossovers": crossovers,
+        "faults": _fault_summary(cells),
+        "tenants": _tenant_summary(cells),
+        "notes": notes,
+    }

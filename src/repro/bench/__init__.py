@@ -10,6 +10,12 @@ from a plain Python session::
     print(run_table1().render())
 """
 
+from repro.bench.artifacts import (
+    DiscoveredArtifacts,
+    ParsedTextArtifact,
+    discover_artifacts,
+    parse_text_artifact,
+)
 from repro.bench.cases import PAPER_CASES, BenchCase, paper_cases, paper_filesystems
 from repro.bench.engine import (
     PIPELINES,
@@ -42,6 +48,10 @@ from repro.bench.experiments import (
 from repro.bench.store import ResultStore
 
 __all__ = [
+    "DiscoveredArtifacts",
+    "ParsedTextArtifact",
+    "discover_artifacts",
+    "parse_text_artifact",
     "BenchCase",
     "PAPER_CASES",
     "paper_cases",

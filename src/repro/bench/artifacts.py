@@ -1,0 +1,202 @@
+"""Discovery and parsing of committed benchmark artifacts.
+
+The harness writes every table/figure/ablation as plain text through
+:mod:`repro.trace.report` (``format_table`` / ``bar_chart`` /
+``grouped_bar_chart``), and metered runs additionally emit
+``*.metrics.json`` / ``*.trace.json`` / structured-result JSON.  This
+module is the *read-back* side of those formats: point
+:func:`discover_artifacts` at a directory (``results/`` in this repo)
+and it classifies everything it finds; :func:`parse_text_artifact`
+recovers the numbers from the rendered text — bar values grouped by
+their ``-- group`` headings and table rows keyed by column — so the
+sweep analyzer (:mod:`repro.analysis`) can re-derive strategy winners
+and bottleneck crossovers from committed artifacts with **zero new
+simulations**.
+
+Parsing is forgiving by design: lines that match neither a bar nor a
+table row are ignored (sparklines, prose, Gantt lanes), and a file that
+yields no bars and no tables simply contributes nothing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "ParsedTable",
+    "ParsedTextArtifact",
+    "DiscoveredArtifacts",
+    "parse_text_artifact",
+    "discover_artifacts",
+]
+
+#: ``label | #### 1.234unit`` — one bar of bar_chart/grouped_bar_chart.
+#: The bar may be empty (zero-valued bars render no ``#``).
+_BAR_LINE = re.compile(
+    r"^\s*(?P<label>\S.*?)\s*\|\s*#*\s*"
+    r"(?P<value>[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+    r"(?P<unit>[A-Za-z/%][\w/%]*)?\s*$"
+)
+
+#: ``-- group heading`` of grouped_bar_chart.
+_GROUP_LINE = re.compile(r"^--\s+(?P<group>\S.*?)\s*$")
+
+#: The ``----+----`` rule format_table draws under its header row.
+_TABLE_RULE = re.compile(r"^\s*-+(?:\+-+)+\s*$")
+
+#: ``sf=16`` / ``rep=2`` style axis tokens inside labels and headings.
+_AXIS_TOKEN = re.compile(r"([A-Za-z_][\w-]*)=([^\s,|]+)")
+
+
+@dataclass
+class ParsedTable:
+    """One ``format_table`` block: column names plus row dicts.
+
+    Numeric-looking cells are converted to float; everything else stays
+    a stripped string.
+    """
+
+    columns: List[str]
+    rows: List[Dict[str, object]]
+
+
+@dataclass
+class ParsedTextArtifact:
+    """Everything recovered from one rendered text artifact."""
+
+    path: Optional[str]
+    title: str = ""
+    #: bar-chart data: group heading -> {bar label -> value}.  A plain
+    #: (ungrouped) bar chart lands under the ``""`` group.
+    groups: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: unit suffix seen on bar values (e.g. ``"CPIs/s"``), if any.
+    unit: str = ""
+    tables: List[ParsedTable] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.groups and not self.tables
+
+    def name(self) -> str:
+        """Short display name (file stem, else the title line)."""
+        if self.path:
+            return Path(self.path).stem
+        return self.title or "<text artifact>"
+
+
+def _coerce(cell: str) -> object:
+    cell = cell.strip()
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def axis_tokens(text: str) -> Dict[str, object]:
+    """``"pfs sf=16 rep=2"`` -> ``{"fs": "pfs", "sf": 16.0, "rep": 2.0}``.
+
+    Bare words that are not ``k=v`` pairs are collected under ``"fs"``
+    when they look like a file-system kind, so the analyzer can join
+    text-artifact groups onto spec axes.
+    """
+    out: Dict[str, object] = {}
+    for key, value in _AXIS_TOKEN.findall(text):
+        out[key] = _coerce(value)
+    for word in re.sub(_AXIS_TOKEN, " ", text).split():
+        if word.lower() in ("pfs", "piofs"):
+            out.setdefault("fs", word.lower())
+    return out
+
+
+def parse_text_artifact(
+    text: str, path: Optional[str] = None
+) -> ParsedTextArtifact:
+    """Recover bars and tables from one rendered text artifact."""
+    lines = text.splitlines()
+    art = ParsedTextArtifact(path=path)
+    group = ""
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        # A format_table block: header row, rule, data rows.
+        if (
+            i + 1 < len(lines)
+            and "|" in line
+            and _TABLE_RULE.match(lines[i + 1])
+        ):
+            columns = [c.strip() for c in line.split("|")]
+            rows: List[Dict[str, object]] = []
+            i += 2
+            while i < len(lines) and "|" in lines[i] \
+                    and not _TABLE_RULE.match(lines[i]):
+                cells = [c for c in lines[i].split("|")]
+                if len(cells) == len(columns):
+                    rows.append(
+                        {col: _coerce(c) for col, c in zip(columns, cells)}
+                    )
+                i += 1
+            art.tables.append(ParsedTable(columns=columns, rows=rows))
+            continue
+        m = _GROUP_LINE.match(line)
+        if m:
+            group = m.group("group")
+            i += 1
+            continue
+        m = _BAR_LINE.match(line)
+        if m and not _TABLE_RULE.match(line):
+            art.groups.setdefault(group, {})[m.group("label")] = float(
+                m.group("value")
+            )
+            if m.group("unit"):
+                art.unit = m.group("unit")
+            i += 1
+            continue
+        if not art.title and line.strip() and "|" not in line:
+            art.title = line.strip()
+        i += 1
+    return art
+
+
+@dataclass
+class DiscoveredArtifacts:
+    """What :func:`discover_artifacts` found under one directory."""
+
+    root: str
+    #: ``*.metrics.json`` / ``*.trace.json`` / other ``*.json`` files.
+    json_paths: List[str] = field(default_factory=list)
+    #: Parsed text artifacts that yielded bars or tables.
+    text_artifacts: List[ParsedTextArtifact] = field(default_factory=list)
+    #: Text files that parsed to nothing (prose, Gantt output, ...).
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.json_paths and not self.text_artifacts
+
+
+def discover_artifacts(root: Union[str, Path]) -> DiscoveredArtifacts:
+    """Classify every artifact under ``root`` (non-recursive JSON scan,
+    plus one directory level for ``results/metrics/``-style subdirs)."""
+    root = Path(root)
+    found = DiscoveredArtifacts(root=str(root))
+    if not root.is_dir():
+        return found
+    json_files: List[Path] = sorted(root.glob("*.json"))
+    for sub in sorted(p for p in root.iterdir() if p.is_dir()):
+        json_files.extend(sorted(sub.glob("*.json")))
+    found.json_paths = [str(p) for p in json_files]
+    for path in sorted(root.glob("*.txt")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            found.skipped.append(str(path))
+            continue
+        art = parse_text_artifact(text, path=str(path))
+        if art.empty:
+            found.skipped.append(str(path))
+        else:
+            found.text_artifacts.append(art)
+    return found

@@ -22,6 +22,9 @@ Examples::
     python -m repro serve --workers 4
     python -m repro submit --case 1,2,3 --stripe-factor 16,64 --follow
     python -m repro jobs list
+    python -m repro analyze results/ --format text
+    python -m repro analyze results/ .cache/experiments --format html --out report.html
+    python -m repro dash --service-port 7077 --results results/
 
 Sweep commands run their cells through the declarative experiment
 engine: ``--jobs N`` simulates cells in N worker processes, and results
@@ -342,6 +345,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_scn.add_argument("--json", default=None, metavar="FILE",
                        help="also write the full ScenarioResult JSON")
 
+    p_an = sub.add_parser(
+        "analyze",
+        help="offline sweep analysis over result artifacts and caches",
+    )
+    p_an.add_argument("sources", nargs="+", metavar="SOURCE",
+                      help="artifact directory, result/metrics JSON file, or "
+                      "cached-result hash prefix (repeatable; directories "
+                      "pick up *.json artifacts and ablation *.txt tables)")
+    p_an.add_argument("--format", choices=("text", "json", "html"),
+                      default="text", dest="fmt",
+                      help="output rendering (default text)")
+    p_an.add_argument("--out", default=None, metavar="FILE",
+                      help="write the rendering to FILE instead of stdout")
+    p_an.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                      help="result cache used to resolve hash sources")
+    p_an.add_argument("--store", action="store_true",
+                      help="also join every entry of --cache-dir into the "
+                      "analysis (zero new simulations)")
+
+    p_dash = sub.add_parser(
+        "dash", help="serve the live dashboard for a running service"
+    )
+    p_dash.add_argument("--host", default="127.0.0.1",
+                        help="dashboard bind address (default 127.0.0.1)")
+    p_dash.add_argument("--port", type=int, default=7078,
+                        help="dashboard HTTP port (0 picks a free one; "
+                        "default 7078)")
+    p_dash.add_argument("--service-host", default="127.0.0.1",
+                        help="host of the repro service to watch")
+    p_dash.add_argument("--service-port", type=int, default=7077,
+                        help="TCP port of 'repro serve' (default 7077)")
+    p_dash.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                        help="result cache backing the run browser")
+    p_dash.add_argument("--no-cache", action="store_true",
+                        help="serve without the stored-run browser")
+    p_dash.add_argument("--results", default=None, metavar="DIR",
+                        help="artifact directory joined into /report "
+                        "(e.g. results/)")
+
     sub.add_parser("info", help="show dimensions, costs, and node assignments")
     return parser
 
@@ -486,34 +528,13 @@ def _emit_metrics_artifacts(result, exp, metrics_dir: str) -> None:
 
 def _cmd_metrics(args) -> int:
     """Render the metrics artifact of a cached result or a JSON file."""
-    import json
-    import pathlib
-
+    from repro.analysis import load
     from repro.obs import render_metrics_summary, validate_metrics_dict
 
-    target = args.target
-    if pathlib.Path(target).is_file():
-        payload = json.loads(pathlib.Path(target).read_text(encoding="utf-8"))
-        # Accept a bare metrics artifact, a structured-result envelope,
-        # or a raw PipelineResult dict.
-        if "counters" in payload:
-            metrics = payload
-        else:
-            data = payload.get("data", payload)
-            metrics = (data.get("result") or data).get("metrics")
-    else:
-        store = ResultStore(args.cache_dir)
-        matches = [h for h in store.hashes() if h.startswith(target)]
-        if len(matches) != 1:
-            what = "no" if not matches else f"{len(matches)} ambiguous"
-            print(f"error: {what} cached result(s) match {target!r}",
-                  file=sys.stderr)
-            return 2
-        payload = store.load(matches[0])
-        if payload is None:
-            print(f"error: entry {matches[0]} is unreadable", file=sys.stderr)
-            return 2
-        metrics = payload["result"].get("metrics")
+    # One resolver for every artifact shape: a file path (bare metrics,
+    # structured-result envelope, raw result dict) or a cache hash prefix.
+    loaded = load(args.target, cache_dir=args.cache_dir)
+    metrics = loaded.metrics
     if metrics is None:
         print(
             "error: this result carries no metrics artifact; re-run the "
@@ -583,7 +604,9 @@ def _cmd_profile(args) -> int:
     )
     stats.sort_stats(args.sort).print_stats(args.lines)
     if args.queue_stats:
-        print(render_queue_stats(ex.kernel.queue_stats()))
+        from repro.analysis import render_queue_stats as _render_qs
+
+        print(_render_qs(ex.kernel.queue_stats()))
     if args.output:
         stats.dump_stats(args.output)
         print(f"raw pstats data written to {args.output}")
@@ -591,30 +614,17 @@ def _cmd_profile(args) -> int:
 
 
 def render_queue_stats(qs: dict) -> str:
-    """Human-readable calendar-queue statistics (``profile --queue-stats``)."""
-    total = qs["total_entries"]
-    lane = qs["lane_entries"]
-    cal = qs["calendar_entries"]
-    lines = [
-        "calendar queue statistics",
-        f"  ring        : {qs['nbuckets']} buckets x {qs['width']:g} s wide, "
-        f"{qs['count']} live entries",
-        f"  events      : {total} scheduled — {lane} lane (zero-delay, "
-        f"{qs['lane_ratio']:.1%}), {cal} calendar",
-        f"  advances    : {qs['advances']} clock advances, "
-        f"{qs['fallback_scans']} fallback scans, {qs['resizes']} resizes",
-    ]
-    occ = qs["occupancy_hist"]
-    labels = ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127"]
-    cells = []
-    for i, n in enumerate(occ):
-        if n == 0:
-            continue
-        label = labels[i] if i < len(labels) else f"{1 << (i - 1)}+"
-        cells.append(f"{label} entries: {n}")
-    lines.append("  occupancy   : " + ("; ".join(cells) + " buckets"
-                                       if cells else "empty ring"))
-    return "\n".join(lines)
+    """Deprecated alias; use :func:`repro.analysis.render_queue_stats`."""
+    import warnings
+
+    from repro.analysis import render_queue_stats as _render_qs
+
+    warnings.warn(
+        "repro.cli.render_queue_stats moved to "
+        "repro.analysis.render_queue_stats",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _render_qs(qs)
 
 
 def _cmd_detect(args) -> int:
@@ -899,6 +909,7 @@ def _cmd_strategies(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Run the experiment service until interrupted."""
+    from repro.service.events import EventFeed
     from repro.service.scheduler import ExperimentScheduler
     from repro.service.server import ExperimentServer
 
@@ -907,7 +918,9 @@ def _cmd_serve(args) -> int:
         workers=args.workers, store=store, backpressure=args.backpressure,
         job_retention=args.job_retention,
     )
-    server = ExperimentServer(scheduler, host=args.host, port=args.port)
+    feed = EventFeed().attach(scheduler)
+    server = ExperimentServer(scheduler, host=args.host, port=args.port,
+                              feed=feed)
     pool = (f"{args.workers} worker process(es)" if args.workers
             else "in-process execution")
     cache = "no cache" if args.no_cache else f"cache {args.cache_dir}"
@@ -1115,6 +1128,51 @@ def _cmd_scenario(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Offline sweep analysis: join artifacts, write the narrative."""
+    from repro.analysis import analyze_sweep, render
+
+    sources: List[object] = list(args.sources)
+    if args.store:
+        sources.append(ResultStore(args.cache_dir))
+    analysis = analyze_sweep(sources, cache_dir=args.cache_dir)
+    text = render(analysis, fmt=args.fmt)
+    if args.out:
+        from repro.trace.export import _atomic_write_text
+
+        if not text.endswith("\n"):
+            text += "\n"
+        _atomic_write_text(args.out, text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    for err in analysis["sources"]["errors"]:
+        print(f"warning: {err}", file=sys.stderr)
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    """Serve the live dashboard against a running repro service."""
+    from repro.analysis.dash import DashboardServer, RemoteBackend
+
+    backend = RemoteBackend(args.service_host, args.service_port)
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    server = DashboardServer(
+        backend, host=args.host, port=args.port,
+        store=store, results_dir=args.results,
+    )
+    print(f"repro dashboard on {server.address} — watching service at "
+          f"{args.service_host}:{args.service_port}")
+    print("Ctrl-C stops the dashboard (the service keeps running)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_info(_args) -> int:
     params = STAPParams()
     costs = STAPCosts(params)
@@ -1156,6 +1214,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "scenario": _cmd_scenario,
+        "analyze": _cmd_analyze,
+        "dash": _cmd_dash,
         "info": _cmd_info,
     }
     try:

@@ -101,6 +101,12 @@ class JobCancelledError(ServiceError):
     """A job was cancelled before (or while) producing its results."""
 
 
+class AnalysisError(ReproError):
+    """The read-side analysis facade could not resolve or interpret an
+    artifact (unknown source kind, ambiguous store hash, stale schema,
+    unparseable file)."""
+
+
 class PipelineError(ReproError):
     """Invalid pipeline structure or execution failure."""
 

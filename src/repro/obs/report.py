@@ -62,7 +62,19 @@ def time_weighted_mean(
     return area / (t_end - t[0])
 
 
-def bottleneck_profile(result) -> Dict[str, float]:
+def _degraded_profile(result) -> Dict[str, object]:
+    """The explicit "no metrics" profile row for un-metered results."""
+    source = getattr(result, "source", "simulated") or "simulated"
+    return {
+        "disk_util": 0.0,
+        "mean_queue_depth": 0.0,
+        "compute_util": 0.0,
+        "bottleneck": "unknown",
+        "note": f"no metrics recorded (source={source})",
+    }
+
+
+def bottleneck_profile(result, *, strict: bool = True) -> Dict[str, float]:
     """Where the run's bottleneck sat: disk queues vs. compute.
 
     Derived entirely from the new gauges on ``result.metrics``:
@@ -77,12 +89,23 @@ def bottleneck_profile(result) -> Dict[str, float]:
     The disk→compute bottleneck handoff of the stripe-factor sweep shows
     up as ``disk_util``/``mean_queue_depth`` collapsing while
     ``compute_util`` saturates.
+
+    A result without a usable metrics artifact (surrogate-predicted, or
+    simulated without ``metrics_interval``) raises ``ValueError`` by
+    default; with ``strict=False`` it instead returns a degraded profile
+    — ``bottleneck="unknown"`` plus an explicit
+    ``note="no metrics recorded (source=...)"`` — so sweep-level
+    analysis over a mixed store never aborts on one un-metered cell.
     """
     metrics = result.metrics
     if metrics is None:
+        if not strict:
+            return _degraded_profile(result)
         raise ValueError("result has no metrics (run with metrics enabled)")
     t_end = metrics.get("t_end") or result.elapsed_sim_time
     if not t_end:
+        if not strict:
+            return _degraded_profile(result)
         raise ValueError("metrics artifact has no elapsed time")
 
     busy = [
@@ -133,14 +156,25 @@ def sparkline(values: Sequence[float], width: int = 40) -> str:
 
 
 def render_metrics_summary(metrics: dict, top: int = 8) -> str:
-    """Human-readable digest of a metrics artifact."""
+    """Human-readable digest of a metrics artifact.
+
+    Robust to partial artifacts: a dict missing ``t_end`` / ``samples``
+    / ``interval`` (predicted results, hand-built fixtures) renders an
+    explicit placeholder header instead of raising a format error.
+    """
     lines: List[str] = []
     interval: Optional[float] = metrics.get("interval")
+    t_end_raw = metrics.get("t_end")
+    elapsed = (
+        f"{t_end_raw:.3f}s simulated"
+        if isinstance(t_end_raw, (int, float))
+        else "no elapsed time recorded"
+    )
     lines.append(
         f"metrics: {len(metrics.get('series', {}))} series, "
         f"{len(metrics.get('counters', {}))} counters, "
         f"{metrics.get('samples')} samples @ {interval}s over "
-        f"{metrics.get('t_end'):.3f}s simulated"
+        f"{elapsed}"
     )
     t_end = metrics.get("t_end") or 0.0
     ranked = sorted(

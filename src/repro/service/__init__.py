@@ -21,6 +21,7 @@ from repro.service.model import (
     Task,
     TaskSpec,
 )
+from repro.service.events import EventFeed
 from repro.service.pool import InlinePool, PoolEvent, ProcessPool, default_pool
 from repro.service.scheduler import ExperimentScheduler
 from repro.service.streaming import CellResult, JobHandle
@@ -28,6 +29,7 @@ from repro.service.tasks import RUN_SPEC_RUNNER, run_spec_payload
 
 __all__ = [
     "ExperimentScheduler",
+    "EventFeed",
     "JobHandle",
     "CellResult",
     "Job",

@@ -126,6 +126,9 @@ class ExperimentScheduler:
         self._pool_respawns_seen = 0
 
         self._lock = threading.RLock()
+        #: Event listeners (see :meth:`add_listener`); no-overhead when
+        #: empty — ``_emit`` short-circuits before building the event.
+        self._listeners: List[Any] = []
         self._jobs: Dict[str, Job] = {}
         self._handles: Dict[str, JobHandle] = {}
         #: Terminal job ids in retirement order (eviction queue).
@@ -148,6 +151,63 @@ class ExperimentScheduler:
             daemon=True,
         )
         self._dispatcher.start()
+
+    # -- event stream ------------------------------------------------------
+    def add_listener(self, fn) -> None:
+        """Call ``fn(event_dict)`` on every job/stage/task transition
+        and delivered result.
+
+        Listeners run on whichever thread drove the transition — often
+        the dispatcher, often *under the scheduler lock* — so they must
+        be nonblocking and must not call back into the scheduler.
+        Append to a queue or an :class:`~repro.service.events.EventFeed`
+        and do real work elsewhere.  Listener exceptions are swallowed:
+        observability must never fail a job.
+        """
+        with self._lock:
+            self._listeners.append(fn)
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        if not self._listeners:
+            return
+        payload = {"event": event, **fields}
+        for fn in list(self._listeners):
+            try:
+                fn(payload)
+            except Exception:  # noqa: BLE001 - see add_listener docs
+                pass
+
+    def _emit_job_locked(self, job: Job) -> None:
+        self._emit(
+            "job",
+            **job.describe(),
+            results=len(job.results_by_index),
+        )
+
+    def _emit_result_locked(
+        self, job: Job, index: int, key: str, payload: dict,
+        source: str, stage_index: int,
+    ) -> None:
+        if not self._listeners:
+            return
+        meas = (
+            payload.get("measurement") if isinstance(payload, dict) else None
+        ) or {}
+        self._emit(
+            "result",
+            job=job.id,
+            index=index,
+            key=key,
+            source=source,
+            stage=stage_index,
+            throughput=meas.get("throughput"),
+            latency=meas.get("latency"),
+            result_source=(
+                payload.get("source", "simulated")
+                if isinstance(payload, dict)
+                else "simulated"
+            ),
+        )
 
     # -- client surface ----------------------------------------------------
     def submit(
@@ -237,6 +297,7 @@ class ExperimentScheduler:
                 for idx, cell, cached, predicted in rows:
                     self._admit_cell(job, stage, idx, cell, cached, predicted)
             job.signal(State.RUNNING)
+            self._emit_job_locked(job)
             self._advance_job_locked(job)
         self._wake()
         return handle
@@ -375,6 +436,9 @@ class ExperimentScheduler:
                 "result",
                 CellResult(index, cell.key, predicted, "predicted", stage.index),
             )
+            self._emit_result_locked(
+                job, index, cell.key, predicted, "predicted", stage.index
+            )
             return
 
         if cached is not None:
@@ -384,6 +448,9 @@ class ExperimentScheduler:
             self._handles[job.id]._push(
                 "result",
                 CellResult(index, cell.key, cached, "cache", stage.index),
+            )
+            self._emit_result_locked(
+                job, index, cell.key, cached, "cache", stage.index
             )
             return
 
@@ -416,15 +483,28 @@ class ExperimentScheduler:
                 continue
             if stage.state is State.PENDING:
                 stage.signal(State.RUNNING)
+                self._emit_stage_locked(job, stage)
                 self._enqueue_stage_locked(job, stage)
             if stage.settled:
                 stage.signal(State.DONE)
+                self._emit_stage_locked(job, stage)
                 continue
             return
         job.signal(State.DONE)
         self.metrics.jobs_completed.inc()
         self._handles[job.id]._push("done")
+        self._emit_job_locked(job)
         self._retire_job_locked(job)
+
+    def _emit_stage_locked(self, job: Job, stage: Stage) -> None:
+        self._emit(
+            "stage",
+            job=job.id,
+            stage=stage.index,
+            name=stage.name,
+            state=stage.state.value,
+            tasks=len(stage.tasks),
+        )
 
     def _enqueue_stage_locked(self, job: Job, stage: Stage) -> None:
         dq = self._ready[job.client]
@@ -466,6 +546,7 @@ class ExperimentScheduler:
                     ]
             stage.pending_keys.clear()
         self._handles[job.id]._push("cancelled")
+        self._emit_job_locked(job)
         self._retire_job_locked(job)
 
     def _release_task_locked(self, job: Job, task: Task) -> None:
@@ -525,6 +606,7 @@ class ExperimentScheduler:
                 task.signal(State.RUNNING)
                 self._running[task.id] = task
                 self.metrics.tasks_in_flight.set(len(self._running))
+                self._emit_task_locked(task)
             # Pool interaction happens unlocked: for the inline pool
             # this *is* the task execution, and a long cell must not
             # block submitters or cancellation.
@@ -558,6 +640,19 @@ class ExperimentScheduler:
             return task
         return None
 
+    def _emit_task_locked(self, task: Task) -> None:
+        owner = task.owner
+        self._emit(
+            "task",
+            job=owner.id if owner is not None else None,
+            task=task.id,
+            key=task.spec.key,
+            label=task.spec.label,
+            state=task.state.value,
+            attempts=task.attempts,
+            retries=task.retries,
+        )
+
     # -- pool events ---------------------------------------------------------
     def _handle_event(self, event: PoolEvent) -> None:
         if event.kind == "done":
@@ -582,6 +677,7 @@ class ExperimentScheduler:
                 return
             task.result = event.result
             task.signal(State.DONE)
+            self._emit_task_locked(task)
             self.metrics.tasks_completed.inc()
             self._inflight.pop(task.spec.key, None)
             touched = []
@@ -606,6 +702,7 @@ class ExperimentScheduler:
         self._handles[job.id]._push(
             "result", CellResult(index, key, payload, source, stage_index)
         )
+        self._emit_result_locked(job, index, key, payload, source, stage_index)
 
     def _on_task_error(self, event: PoolEvent) -> None:
         with self._lock:
@@ -615,6 +712,7 @@ class ExperimentScheduler:
                 return
             task.error = event.error
             task.signal(State.FAILED)
+            self._emit_task_locked(task)
             self.metrics.tasks_failed.inc()
             self._inflight.pop(task.spec.key, None)
             # A deterministic task failure fails every job that wanted
@@ -640,6 +738,7 @@ class ExperimentScheduler:
             stage.pending_keys.clear()
         job.signal(State.FAILED)
         self._handles[job.id]._push("failed", error=error)
+        self._emit_job_locked(job)
         self._retire_job_locked(job)
 
     def _on_worker_died(self, event: PoolEvent) -> None:
@@ -659,6 +758,7 @@ class ExperimentScheduler:
                 )
                 task.error = error
                 task.signal(State.FAILED)
+                self._emit_task_locked(task)
                 self.metrics.tasks_failed.inc()
                 self._inflight.pop(task.spec.key, None)
                 for job, _stage, _index in list(task.subscribers):
@@ -667,6 +767,7 @@ class ExperimentScheduler:
             # Reschedule at the front of the client's queue: the task
             # already waited its turn once.
             task.signal(State.PENDING)
+            self._emit_task_locked(task)
             task.worker_id = None
             client = task.stage.job.client
             self._ready[client].appendleft(task)

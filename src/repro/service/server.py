@@ -14,7 +14,15 @@ one per line, UTF-8:
 * ``{"op": "jobs"}`` → ``{"ok": true, "jobs": [<describe>, ...]}``;
 * ``{"op": "job", "id": j}`` → ``{"ok": true, "job": <describe>}``;
 * ``{"op": "cancel", "id": j}`` → ``{"ok": true, "cancelled": bool}``;
-* ``{"op": "ping"}`` → ``{"ok": true, "event": "pong"}``.
+* ``{"op": "ping"}`` → ``{"ok": true, "event": "pong"}``;
+* ``{"op": "events", "after": n, "timeout": t}`` → ``{"ok": true,
+  "events": [...], "next": cursor}`` — cursor-paged scheduler events
+  from the server's :class:`~repro.service.events.EventFeed`
+  (long-polls up to ``timeout`` seconds when past the tail; requires
+  the server to have been built with a feed);
+* ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}`` — the
+  :class:`~repro.obs.service.ServiceMetrics` snapshot plus
+  ``tasks_in_flight`` and worker PIDs, the dashboard's gauge source.
 
 Anything the server rejects answers ``{"ok": false, "error": msg}`` —
 a malformed request never kills the service.  Each connection carries
@@ -55,8 +63,12 @@ class ExperimentServer:
     """Serve one scheduler to TCP clients (one thread per connection)."""
 
     def __init__(self, scheduler, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, feed=None) -> None:
         self.scheduler = scheduler
+        #: Optional :class:`~repro.service.events.EventFeed` backing the
+        #: ``events`` op; attach it to the scheduler before passing it
+        #: in (``EventFeed().attach(scheduler)``).
+        self.feed = feed
         self._sock = socket.create_server((host, port))
         self._sock.settimeout(_ACCEPT_TICK)
         self.host, self.port = self._sock.getsockname()[:2]
@@ -139,6 +151,30 @@ class ExperimentServer:
         elif op == "cancel":
             ok = self.scheduler.cancel(str(req.get("id")))
             _send(wfile, {"ok": True, "cancelled": ok})
+        elif op == "events":
+            if self.feed is None:
+                _send(wfile, {"ok": False,
+                              "error": "server has no event feed"})
+                return
+            try:
+                after = int(req.get("after") or 0)
+                timeout = min(float(req.get("timeout") or 0.0), 30.0)
+            except (TypeError, ValueError) as exc:
+                _send(wfile, {"ok": False, "error": f"bad cursor: {exc}"})
+                return
+            if timeout > 0:
+                events, cursor = self.feed.wait(after, timeout=timeout)
+            else:
+                events, cursor = self.feed.since(after)
+            _send(wfile, {"ok": True, "events": events, "next": cursor})
+        elif op == "stats":
+            stats = self.scheduler.metrics.snapshot()
+            stats["tasks_in_flight"] = self.scheduler.tasks_in_flight
+            _send(wfile, {
+                "ok": True,
+                "stats": stats,
+                "workers": self.scheduler.worker_pids(),
+            })
         elif op == "submit":
             self._handle_submit(req, wfile)
         else:
